@@ -1,0 +1,102 @@
+// Experiment A1 (ablation, §5): what the unexposed-variable optimization
+// (Remove-a-write) buys.
+//
+// A system installing a write-graph node must atomically write every
+// variable the node's writes label mentions. Remove-a-write drops writes
+// whose values are unexposed (a following blind write shadows them), so
+// installs touch fewer variables. We drive identical random write graphs
+// to full installation with the optimization on vs. off and count the
+// variable-writes installs had to perform and the largest atomic set.
+
+#include <cstdio>
+
+#include "core/random_history.h"
+#include "core/write_graph.h"
+
+namespace {
+
+using namespace redo;
+using namespace redo::core;
+
+struct InstallCost {
+  uint64_t variable_writes = 0;  ///< total vars written during installs
+  uint64_t max_atomic_set = 0;
+  uint64_t removed_writes = 0;
+};
+
+InstallCost DriveToFullInstall(const History& h, const InstallationGraph& ig,
+                               const StateGraph& sg, bool remove_writes) {
+  WriteGraph wg = WriteGraph::FromInstallationGraph(h, ig, sg);
+  InstallCost cost;
+  if (remove_writes) {
+    // Try to drop every droppable write before installing anything (a
+    // cache manager would do this lazily; the effect is the same).
+    for (WriteNodeId n = 0; n < wg.num_nodes(); ++n) {
+      if (!wg.node(n).alive) continue;
+      const std::vector<WritePair> writes = wg.node(n).writes;
+      for (const WritePair& wp : writes) {
+        if (wg.RemoveWrite(n, wp.var).ok()) ++cost.removed_writes;
+      }
+    }
+  }
+  // Install everything in frontier order.
+  for (;;) {
+    const std::vector<WriteNodeId> frontier = wg.InstallFrontier();
+    if (frontier.empty()) break;
+    for (WriteNodeId n : frontier) {
+      const size_t set_size = wg.node(n).writes.size();
+      cost.variable_writes += set_size;
+      cost.max_atomic_set = std::max<uint64_t>(cost.max_atomic_set, set_size);
+      REDO_CHECK(wg.InstallNode(n).ok());
+    }
+  }
+  wg.Validate();
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Experiment A1: the Remove-a-write (unexposed variables)\n"
+              "optimization — stable-state writes to install everything\n\n");
+  std::printf("%-12s %14s %14s %10s %12s %12s\n", "blind-write", "writes",
+              "writes", "saved", "max atomic", "removed");
+  std::printf("%-12s %14s %14s %10s %12s %12s\n", "probability", "baseline",
+              "optimized", "", "set (opt)", "writes");
+
+  for (const double blind : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    uint64_t base_writes = 0, opt_writes = 0, max_atomic = 0, removed = 0;
+    constexpr int kTrials = 50;
+    Rng rng(0xab1a + static_cast<uint64_t>(blind * 100));
+    for (int t = 0; t < kTrials; ++t) {
+      RandomHistoryOptions options;
+      options.num_ops = 24;
+      options.num_vars = 6;
+      options.max_writes = 2;
+      options.blind_write_probability = blind;
+      const History h = RandomHistory(options, rng);
+      const ConflictGraph cg = ConflictGraph::Generate(h);
+      const InstallationGraph ig = InstallationGraph::Derive(cg);
+      const StateGraph sg = StateGraph::Generate(h, cg, State(h.num_vars(), 0));
+      const InstallCost base = DriveToFullInstall(h, ig, sg, false);
+      const InstallCost opt = DriveToFullInstall(h, ig, sg, true);
+      base_writes += base.variable_writes;
+      opt_writes += opt.variable_writes;
+      max_atomic = std::max(max_atomic, opt.max_atomic_set);
+      removed += opt.removed_writes;
+    }
+    std::printf("%-12.1f %14llu %14llu %9.1f%% %12llu %12llu\n", blind,
+                (unsigned long long)base_writes, (unsigned long long)opt_writes,
+                100.0 * (1.0 - static_cast<double>(opt_writes) /
+                                   static_cast<double>(base_writes)),
+                (unsigned long long)max_atomic, (unsigned long long)removed);
+  }
+
+  std::printf(
+      "\nShape check (paper §5, H/J example): blind-write-heavy workloads\n"
+      "shadow more values, so Remove-a-write saves more stable-state\n"
+      "writes as the blind-write probability grows. The paper's §7 caveat\n"
+      "applies: exploiting unexposed variables requires the log manager\n"
+      "to flush earlier (see bench_ablation_wal).\n");
+  return 0;
+}

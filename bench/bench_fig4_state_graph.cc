@@ -1,0 +1,120 @@
+// Experiment F4 (Figure 4): conflict state graphs.
+//
+// First reproduces the figure's boxed prefix-determined states exactly,
+// then benchmarks the graph machinery (conflict graph generation, state
+// graph generation, determined-state queries, Lemma 2 sweeps) as history
+// length grows — the scaling story for using the model as a checker.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/random_history.h"
+#include "core/scenarios.h"
+
+namespace {
+
+using namespace redo;
+using namespace redo::core;
+
+void PrintFigure4States() {
+  const Scenario s = MakeFigure4();
+  std::printf("Figure 4's boxed states (prefix -> determined state):\n");
+  const struct {
+    const char* label;
+    std::vector<uint32_t> ops;
+  } rows[] = {
+      {"{}", {}}, {"{O}", {0}}, {"{O,P}", {0, 1}}, {"{O,P,Q}", {0, 1, 2}}};
+  for (const auto& row : rows) {
+    const State state =
+        s.state_graph.DeterminedState(Bitset::FromVector(3, row.ops));
+    std::printf("  %-8s -> x=%lld y=%lld\n", row.label,
+                (long long)state.Get(0), (long long)state.Get(1));
+  }
+  const State extra =
+      s.state_graph.DeterminedState(Bitset::FromVector(3, {1}));
+  std::printf("  %-8s -> x=%lld y=%lld   (the Fig. 5 installation-only prefix)\n\n",
+              "{P}", (long long)extra.Get(0), (long long)extra.Get(1));
+}
+
+History MakeHistory(size_t ops, uint64_t seed) {
+  RandomHistoryOptions options;
+  options.num_ops = ops;
+  options.num_vars = std::max<size_t>(4, ops / 8);
+  options.blind_write_probability = 0.25;
+  Rng rng(seed);
+  return RandomHistory(options, rng);
+}
+
+void BM_ConflictGraphGenerate(benchmark::State& state) {
+  const History h = MakeHistory(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConflictGraph::Generate(h));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ConflictGraphGenerate)->Range(8, 2048);
+
+void BM_StateGraphGenerate(benchmark::State& state) {
+  const History h = MakeHistory(static_cast<size_t>(state.range(0)), 2);
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  const State initial(h.num_vars(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StateGraph::Generate(h, cg, initial));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StateGraphGenerate)->Range(8, 2048);
+
+void BM_InstallationGraphDerive(benchmark::State& state) {
+  const History h = MakeHistory(static_cast<size_t>(state.range(0)), 3);
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InstallationGraph::Derive(cg));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InstallationGraphDerive)->Range(8, 2048);
+
+void BM_DeterminedState(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const History h = MakeHistory(n, 4);
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  const StateGraph sg = StateGraph::Generate(h, cg, State(h.num_vars(), 0));
+  Bitset half(n);
+  for (size_t i = 0; i < n / 2; ++i) half.Set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sg.DeterminedState(half));
+  }
+}
+BENCHMARK(BM_DeterminedState)->Range(8, 2048);
+
+// Lemma 2 verified across every execution prefix (the correctness sweep
+// a checker pays for).
+void BM_Lemma2FullSweep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const History h = MakeHistory(n, 5);
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  const State initial(h.num_vars(), 0);
+  const StateGraph sg = StateGraph::Generate(h, cg, initial);
+  const std::vector<State> states = h.Execute(initial);
+  for (auto _ : state) {
+    Bitset prefix(n);
+    for (size_t i = 0; i <= n; ++i) {
+      if (i > 0) prefix.Set(i - 1);
+      REDO_CHECK(sg.DeterminedState(prefix) == states[i]) << "Lemma 2 violated";
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (state.range(0) + 1));
+}
+BENCHMARK(BM_Lemma2FullSweep)->Range(8, 512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Experiment F4: conflict state graphs\n");
+  PrintFigure4States();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

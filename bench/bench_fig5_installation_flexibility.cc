@@ -1,0 +1,96 @@
+// Experiments F5 + A2 (Figure 5 / §3.1): how much installation-order
+// flexibility does removing write-read edges buy?
+//
+// The paper's qualitative claim: installation-graph prefixes strictly
+// include conflict-graph prefixes, so a cache manager has more legal
+// install schedules. We quantify it: over random histories, count the
+// prefixes (= installable state sets) of both graphs and the edges
+// removed, sweeping the workload's read/write mix. Shape to expect:
+// read-heavy histories (many WR edges) gain the most; blind-write-only
+// histories (physical logging, §6.2) gain nothing because no WR edge
+// exists to remove.
+
+#include <cstdio>
+
+#include "core/random_history.h"
+#include "core/scenarios.h"
+
+namespace {
+
+using namespace redo;
+using namespace redo::core;
+
+struct Row {
+  double blind_probability;
+  double mean_conflict_prefixes = 0;
+  double mean_installation_prefixes = 0;
+  double mean_removed_edges = 0;
+  double mean_kept_edges = 0;
+};
+
+Row Measure(double blind_probability, size_t trials, uint64_t seed) {
+  Row row;
+  row.blind_probability = blind_probability;
+  Rng rng(seed);
+  constexpr uint64_t kCap = 200000;
+  for (size_t t = 0; t < trials; ++t) {
+    RandomHistoryOptions options;
+    options.num_ops = 14;
+    options.num_vars = 4;
+    options.max_reads = 2;
+    options.max_writes = 1;
+    options.blind_write_probability = blind_probability;
+    const History h = RandomHistory(options, rng);
+    const ConflictGraph cg = ConflictGraph::Generate(h);
+    const InstallationGraph ig = InstallationGraph::Derive(cg);
+    row.mean_conflict_prefixes +=
+        static_cast<double>(cg.dag().CountPrefixes(kCap));
+    row.mean_installation_prefixes +=
+        static_cast<double>(ig.dag().CountPrefixes(kCap));
+    row.mean_removed_edges += static_cast<double>(ig.removed_edges());
+    row.mean_kept_edges += static_cast<double>(ig.dag().NumEdges());
+  }
+  const double n = static_cast<double>(trials);
+  row.mean_conflict_prefixes /= n;
+  row.mean_installation_prefixes /= n;
+  row.mean_removed_edges /= n;
+  row.mean_kept_edges /= n;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Experiment F5/A2: install-schedule flexibility of the\n"
+              "installation graph vs. the conflict graph\n\n");
+
+  // The figure's own instance first.
+  {
+    const Scenario s = MakeFigure4();
+    std::printf("Figure 4/5 instance: conflict prefixes=%llu, installation "
+                "prefixes=%llu (the extra one is {P})\n\n",
+                (unsigned long long)s.conflict.dag().CountPrefixes(100),
+                (unsigned long long)s.installation.dag().CountPrefixes(100));
+  }
+
+  std::printf("Random 14-op histories over 4 variables, 60 trials/row:\n");
+  std::printf("%-12s %14s %14s %12s %10s %10s\n", "blind-write", "conflict",
+              "installation", "flexibility", "WR edges", "kept");
+  std::printf("%-12s %14s %14s %12s %10s %10s\n", "probability", "prefixes",
+              "prefixes", "ratio", "removed", "edges");
+  for (const double p : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const Row row = Measure(p, 60, 42);
+    std::printf("%-12.2f %14.1f %14.1f %12.2f %10.2f %10.2f\n",
+                row.blind_probability, row.mean_conflict_prefixes,
+                row.mean_installation_prefixes,
+                row.mean_installation_prefixes / row.mean_conflict_prefixes,
+                row.mean_removed_edges, row.mean_kept_edges);
+  }
+
+  std::printf(
+      "\nShape check (paper): every conflict prefix is an installation\n"
+      "prefix (ratio >= 1 everywhere); pure blind-write histories have no\n"
+      "WR edge to remove (ratio = 1 at probability 1.0, matching §6.2's\n"
+      "physical logging); read-heavy histories gain the most.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Experiment F7 (Figure 7 / §5): write graphs and what collapsing costs.
+//
+// Real cache managers keep one copy per page, which the theory models by
+// collapsing all write-graph nodes that write the page. The price: some
+// recoverable states become inaccessible (fewer install schedules) and
+// writes can agglomerate into larger atomic sets. We measure both on
+// random histories, plus the Figure 7 instance itself.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/random_history.h"
+#include "core/scenarios.h"
+#include "core/write_graph.h"
+
+namespace {
+
+using namespace redo;
+using namespace redo::core;
+
+// Collapses, per variable, all alive nodes writing that variable (the
+// one-copy-per-page cache policy). Returns false if some collapse was
+// rejected (would be cyclic), which models a cache manager that must
+// fall back to atomic multi-page writes.
+size_t CollapsePerVariable(WriteGraph* wg, size_t num_vars, size_t* rejected) {
+  size_t collapses = 0;
+  for (VarId x = 0; x < num_vars; ++x) {
+    std::vector<WriteNodeId> writers;
+    for (WriteNodeId n : wg->AliveNodes()) {
+      for (const WritePair& wp : wg->node(n).writes) {
+        if (wp.var == x) writers.push_back(n);
+      }
+    }
+    if (writers.size() < 2) continue;
+    if (wg->CollapseNodes(writers).ok()) {
+      ++collapses;
+    } else {
+      ++*rejected;
+    }
+  }
+  return collapses;
+}
+
+// Counts install schedules (maximal chains of the install lattice) is
+// exponential; we use the number of *reachable installed-set states*
+// (prefixes of the alive write graph) as the flexibility metric, via the
+// ops-level prefix count of an equivalent DAG over alive nodes.
+uint64_t CountWriteGraphPrefixes(const WriteGraph& wg, uint64_t cap) {
+  const std::vector<WriteNodeId> alive = wg.AliveNodes();
+  Dag dag(alive.size());
+  std::map<WriteNodeId, uint32_t> index;
+  for (uint32_t i = 0; i < alive.size(); ++i) index[alive[i]] = i;
+  for (uint32_t i = 0; i < alive.size(); ++i) {
+    for (WriteNodeId succ : wg.node(alive[i]).out) {
+      dag.AddEdge(i, index.at(succ));
+    }
+  }
+  return dag.CountPrefixes(cap);
+}
+
+size_t MaxAtomicWriteSet(const WriteGraph& wg) {
+  size_t max_set = 0;
+  for (WriteNodeId n : wg.AliveNodes()) {
+    max_set = std::max(max_set, wg.node(n).writes.size());
+  }
+  return max_set;
+}
+
+void Figure7Instance() {
+  const Scenario s = MakeFigure4();
+  WriteGraph wg = WriteGraph::FromInstallationGraph(s.history, s.installation,
+                                                    s.state_graph);
+  std::printf("Figure 7 instance (O, P, Q; collapse the x-writers O and Q):\n");
+  std::printf("  before collapse: %llu installable state sets, max atomic "
+              "write set %zu\n",
+              (unsigned long long)CountWriteGraphPrefixes(wg, 1000),
+              MaxAtomicWriteSet(wg));
+  REDO_CHECK(wg.CollapseNodes({0, 2}).ok());
+  std::printf("  after  collapse: %llu installable state sets, max atomic "
+              "write set %zu\n",
+              (unsigned long long)CountWriteGraphPrefixes(wg, 1000),
+              MaxAtomicWriteSet(wg));
+  std::printf("  (the state \"only O installed\" became inaccessible, and\n"
+              "   the frontier forces y before x — exactly Fig. 7)\n\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Experiment F7: write-graph collapse (one cached copy per page)\n\n");
+  Figure7Instance();
+
+  std::printf("Random histories (16 ops), 40 trials/row, by write-set size:\n");
+  std::printf("%-10s %12s %12s %12s %10s %10s\n", "max-writes", "prefixes",
+              "prefixes", "flexibility", "atomic-set", "rejected");
+  std::printf("%-10s %12s %12s %12s %10s %10s\n", "per op", "before",
+              "after", "retained", "after", "collapses");
+  for (const size_t max_writes : {1u, 2u, 3u}) {
+    double before_prefixes = 0, after_prefixes = 0, atomic_after = 0,
+           rejected_total = 0;
+    constexpr int kTrials = 40;
+    Rng rng(0xf16 + max_writes);
+    for (int t = 0; t < kTrials; ++t) {
+      RandomHistoryOptions options;
+      options.num_ops = 16;
+      options.num_vars = 5;
+      options.max_reads = 2;
+      options.max_writes = max_writes;
+      options.blind_write_probability = 0.3;
+      const History h = RandomHistory(options, rng);
+      const ConflictGraph cg = ConflictGraph::Generate(h);
+      const InstallationGraph ig = InstallationGraph::Derive(cg);
+      const StateGraph sg = StateGraph::Generate(h, cg, State(h.num_vars(), 0));
+      WriteGraph wg = WriteGraph::FromInstallationGraph(h, ig, sg);
+      before_prefixes += static_cast<double>(CountWriteGraphPrefixes(wg, 100000));
+      size_t rejected = 0;
+      CollapsePerVariable(&wg, h.num_vars(), &rejected);
+      wg.Validate();
+      after_prefixes += static_cast<double>(CountWriteGraphPrefixes(wg, 100000));
+      atomic_after += static_cast<double>(MaxAtomicWriteSet(wg));
+      rejected_total += static_cast<double>(rejected);
+    }
+    std::printf("%-10zu %12.1f %12.1f %11.1f%% %10.2f %10.2f\n", max_writes,
+                before_prefixes / kTrials, after_prefixes / kTrials,
+                100.0 * after_prefixes / before_prefixes, atomic_after / kTrials,
+                rejected_total / kTrials);
+  }
+
+  std::printf(
+      "\nShape check (paper §5): collapsing never adds flexibility (the\n"
+      "retained fraction is <= 100%%), and multi-variable write sets drive\n"
+      "both larger atomic writes and rejected (cyclic) collapses — the\n"
+      "\"large atomic transitions\" §7 flags as the hard systems problem.\n");
+  return 0;
+}

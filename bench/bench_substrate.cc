@@ -1,0 +1,111 @@
+// Substrate micro-benchmarks: the page / buffer-pool / log-manager
+// primitives everything above is built on. Not a paper experiment —
+// included so performance regressions in the simulation layers are
+// visible (a slow substrate distorts every figure-level measurement).
+
+#include <benchmark/benchmark.h>
+
+#include "storage/buffer_pool.h"
+#include "util/rng.h"
+#include "wal/log_manager.h"
+
+namespace {
+
+using namespace redo;
+using storage::BufferPool;
+using storage::Disk;
+using storage::Page;
+using storage::PageId;
+
+void BM_PageContentHash(benchmark::State& state) {
+  Page page;
+  page.WriteSlot(1, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(page.ContentHash());
+  }
+  state.SetBytesProcessed(state.iterations() * Page::kSize);
+}
+BENCHMARK(BM_PageContentHash);
+
+void BM_DiskWritePage(benchmark::State& state) {
+  Disk disk(64);
+  Page page;
+  PageId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.WritePage(id, page));
+    id = (id + 1) % 64;
+  }
+  state.SetBytesProcessed(state.iterations() * Page::kSize);
+}
+BENCHMARK(BM_DiskWritePage);
+
+void BM_PoolFetchHit(benchmark::State& state) {
+  Disk disk(8);
+  BufferPool pool(&disk, 8);
+  (void)pool.Fetch(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Fetch(3));
+  }
+}
+BENCHMARK(BM_PoolFetchHit);
+
+void BM_PoolFetchMissEvict(benchmark::State& state) {
+  Disk disk(256);
+  BufferPool pool(&disk, 4);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pool.Fetch(static_cast<PageId>(rng.Below(256))));
+  }
+}
+BENCHMARK(BM_PoolFetchMissEvict);
+
+void BM_PoolDirtyFlushCycle(benchmark::State& state) {
+  Disk disk(4);
+  BufferPool pool(&disk, 4);
+  core::Lsn lsn = 0;
+  for (auto _ : state) {
+    (void)pool.Fetch(1);
+    (void)pool.MarkDirty(1, ++lsn);
+    benchmark::DoNotOptimize(pool.FlushPage(1));
+  }
+}
+BENCHMARK(BM_PoolDirtyFlushCycle);
+
+void BM_LogAppend(benchmark::State& state) {
+  wal::LogManager log;
+  std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        log.Append(wal::RecordType::kSlotWrite, payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LogAppend)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_LogAppendForce(benchmark::State& state) {
+  wal::LogManager log;
+  std::vector<uint8_t> payload(64, 0xab);
+  for (auto _ : state) {
+    const core::Lsn lsn = log.Append(wal::RecordType::kSlotWrite, payload);
+    benchmark::DoNotOptimize(log.Force(lsn));
+  }
+}
+BENCHMARK(BM_LogAppendForce);
+
+void BM_LogStableScan(benchmark::State& state) {
+  wal::LogManager log;
+  for (int i = 0; i < state.range(0); ++i) {
+    log.Append(wal::RecordType::kSlotWrite, {1, 2, 3, 4});
+  }
+  (void)log.ForceAll();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.StableRecords(1));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LogStableScan)->Range(64, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

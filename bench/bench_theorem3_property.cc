@@ -1,0 +1,108 @@
+// Experiment T3 (Theorem 3): explainable states are potentially
+// recoverable — validated exhaustively and benchmarked.
+//
+// For random histories we enumerate *every* installation-graph prefix,
+// scramble the unexposed variables, and replay the uninstalled
+// operations in random conflict-consistent orders; every single replay
+// must land on the final state. The bench reports verified-replays/sec —
+// the cost of using the theorem as a checking primitive.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/exposed.h"
+#include "core/random_history.h"
+#include "core/replay.h"
+
+namespace {
+
+using namespace redo;
+using namespace redo::core;
+
+struct Totals {
+  uint64_t prefixes = 0;
+  uint64_t replays = 0;
+  uint64_t scrambled_vars = 0;
+};
+
+Totals VerifyHistory(const History& h, Rng& rng, size_t orders_per_prefix) {
+  Totals totals;
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  const InstallationGraph ig = InstallationGraph::Derive(cg);
+  const State initial(h.num_vars(), 0);
+  const StateGraph sg = StateGraph::Generate(h, cg, initial);
+  const State final = sg.FinalState();
+
+  ig.dag().ForEachPrefix(4096, [&](const Bitset& prefix) {
+    ++totals.prefixes;
+    State crash = sg.DeterminedState(prefix);
+    const Bitset exposed = ExposedVars(h, cg, prefix);
+    for (VarId x = 0; x < h.num_vars(); ++x) {
+      if (!exposed.Test(x)) {
+        crash.Set(x, rng.Range(-1'000'000, 1'000'000));
+        ++totals.scrambled_vars;
+      }
+    }
+    for (size_t i = 0; i < orders_per_prefix; ++i) {
+      State state = crash;
+      const Status st =
+          ReplayUninstalledRandomOrder(h, cg, sg, prefix, &state, rng);
+      REDO_CHECK(st.ok()) << "Theorem 3 violated: " << st.ToString();
+      REDO_CHECK(state == final) << "Theorem 3 violated: wrong final state";
+      ++totals.replays;
+    }
+  });
+  return totals;
+}
+
+void BM_Theorem3Verification(benchmark::State& state) {
+  RandomHistoryOptions options;
+  options.num_ops = static_cast<size_t>(state.range(0));
+  options.num_vars = 4;
+  options.blind_write_probability = 0.3;
+  Rng rng(0x7e0);
+  const History h = RandomHistory(options, rng);
+  uint64_t replays = 0;
+  for (auto _ : state) {
+    const Totals t = VerifyHistory(h, rng, 2);
+    replays += t.replays;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(replays));
+  state.counters["replays/iter"] = benchmark::Counter(
+      static_cast<double>(replays) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_Theorem3Verification)->DenseRange(6, 14, 2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Experiment T3: Theorem 3 (explainable => recoverable)\n\n");
+
+  // The headline exhaustive run: many histories, every prefix, several
+  // replay orders, unexposed variables scrambled.
+  Rng rng(0x7311);
+  Totals grand;
+  constexpr int kHistories = 100;
+  for (int i = 0; i < kHistories; ++i) {
+    RandomHistoryOptions options;
+    options.num_ops = 6 + rng.Below(7);
+    options.num_vars = 2 + rng.Below(4);
+    options.blind_write_probability = 0.1 + rng.NextDouble() * 0.6;
+    const History h = RandomHistory(options, rng);
+    const Totals t = VerifyHistory(h, rng, 3);
+    grand.prefixes += t.prefixes;
+    grand.replays += t.replays;
+    grand.scrambled_vars += t.scrambled_vars;
+  }
+  std::printf("Verified %llu replays over %llu installation prefixes of %d\n"
+              "random histories (%llu unexposed variables scrambled with\n"
+              "junk): every replay reached the final state. Theorem 3 holds.\n\n",
+              (unsigned long long)grand.replays,
+              (unsigned long long)grand.prefixes, kHistories,
+              (unsigned long long)grand.scrambled_vars);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

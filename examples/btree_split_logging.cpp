@@ -1,0 +1,99 @@
+// The §6.4 application end-to-end: a B-tree whose node splits are logged
+// with generalized (multi-page) log operations vs. conventional
+// physiological operations.
+//
+// Loads the same key sequence into two trees, one per method, and
+// reports: log volume (the generalized win), the write-order constraint
+// the generalized cache manager enforces (the cost), and that both trees
+// recover exactly after a crash.
+
+#include <cstdio>
+
+#include "btree/btree.h"
+#include "btree/node_format.h"
+#include "checker/recovery_checker.h"
+
+namespace {
+
+using namespace redo;
+using engine::MiniDb;
+using methods::MethodKind;
+
+struct RunResult {
+  uint64_t log_bytes = 0;
+  uint64_t records = 0;
+  uint64_t ordered_cascades = 0;
+  size_t entries = 0;
+  uint32_t height = 0;
+  bool recovered_ok = false;
+  bool invariant_ok = false;
+};
+
+RunResult Run(MethodKind kind, int keys) {
+  engine::MiniDbOptions options;
+  options.num_pages = 256;
+  options.cache_capacity = kind == MethodKind::kLogical ? 0 : 16;
+  MiniDb db(options, methods::MakeMethod(kind, options.num_pages));
+  engine::TraceRecorder trace(db.disk());
+  db.set_trace(&trace);
+
+  btree::Btree tree = btree::Btree::Create(&db).value();
+  for (int i = 0; i < keys; ++i) {
+    const int64_t key = (static_cast<int64_t>(i) * 2654435761) % (keys * 4);
+    const Status st = tree.Insert(key, i);
+    REDO_CHECK(st.ok()) << st.ToString();
+  }
+  REDO_CHECK(db.log().ForceAll().ok());
+
+  RunResult result;
+  result.records = db.log().stats().appends;
+  result.log_bytes = db.log().stats().stable_bytes;
+  result.ordered_cascades = db.pool().stats().ordered_cascades;
+
+  // Crash, validate the invariant, recover, revalidate the tree.
+  db.Crash();
+  result.invariant_ok = checker::CheckCrashState(db, trace).ok;
+  REDO_CHECK(db.Recover().ok());
+  btree::Btree reopened = btree::Btree::Open(&db).value();
+  result.recovered_ok = reopened.ValidateStructure().ok();
+  result.entries = reopened.Size().value();
+  result.height = reopened.Height().value();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kKeys = 2000;
+  std::printf("Loading %d keys into a B-tree under each recovery method\n",
+              kKeys);
+  std::printf("(node capacity %u entries; splits are the interesting ops)\n\n",
+              btree::NodeRef::Capacity());
+  std::printf("%-16s %12s %9s %9s %7s %7s %10s %10s\n", "method", "log bytes",
+              "records", "cascades", "height", "entries", "recovered",
+              "invariant");
+
+  uint64_t physio_bytes = 0, gen_bytes = 0;
+  for (const MethodKind kind :
+       {MethodKind::kPhysical, MethodKind::kPhysicalPartial, MethodKind::kLogical,
+        MethodKind::kPhysiological,
+        MethodKind::kGeneralized}) {
+    const RunResult r = Run(kind, kKeys);
+    std::printf("%-16s %12llu %9llu %9llu %7u %7zu %10s %10s\n",
+                methods::MethodKindName(kind),
+                (unsigned long long)r.log_bytes, (unsigned long long)r.records,
+                (unsigned long long)r.ordered_cascades, r.height, r.entries,
+                r.recovered_ok ? "yes" : "NO", r.invariant_ok ? "holds" : "NO");
+    if (kind == MethodKind::kPhysiological) physio_bytes = r.log_bytes;
+    if (kind == MethodKind::kGeneralized) gen_bytes = r.log_bytes;
+  }
+
+  std::printf(
+      "\nGeneralized split logging avoids the physical image of each new\n"
+      "node (§6.4): %.1fx less log than physiological on this workload,\n"
+      "at the price of the careful write order visible in 'cascades'.\n",
+      physio_bytes > 0 && gen_bytes > 0
+          ? static_cast<double>(physio_bytes) / static_cast<double>(gen_bytes)
+          : 0.0);
+  return 0;
+}

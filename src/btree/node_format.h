@@ -1,0 +1,204 @@
+// B-tree node page layout and pure node transforms.
+//
+// Header-only so the engine's record-replay code can apply B-tree log
+// records without a link-time dependency on the tree logic (the tree
+// depends on the engine, not vice versa).
+//
+// Payload layout (within Page::payload(), after the page LSN header):
+//   u8  magic       (kMagic once initialized as a node)
+//   u8  is_leaf
+//   u16 count
+//   u32 aux         (leaf: right-sibling page id; internal: leftmost child)
+//   entries[count]  16 bytes each: i64 key + u64 payload
+//                   (leaf payload = value; internal payload = child page)
+//
+// Split semantics (pure functions of the source payload, §6.4):
+//   leaf:     lower keeps count/2 entries; upper gets the rest and the
+//             old right-sibling pointer; lower's sibling becomes the new
+//             page (passed as an argument — it is not derivable from the
+//             source payload).
+//   internal: the middle entry's key becomes the separator (pushed up by
+//             the caller); upper gets the entries after it, with the
+//             middle entry's child as its leftmost child.
+
+#ifndef REDO_BTREE_NODE_FORMAT_H_
+#define REDO_BTREE_NODE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "storage/page.h"
+#include "util/logging.h"
+
+namespace redo::btree {
+
+/// Accessor over a page's payload interpreted as a B-tree node.
+class NodeRef {
+ public:
+  static constexpr uint8_t kMagic = 0xB7;
+  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kEntrySize = 16;
+
+  explicit NodeRef(storage::Page* page) : p_(page->payload().data()) {}
+  explicit NodeRef(const storage::Page& page)
+      : p_(const_cast<uint8_t*>(page.payload().data())) {}
+
+  /// Maximum entries per node.
+  static constexpr uint32_t Capacity() {
+    return static_cast<uint32_t>(
+        (storage::Page::kPayloadSize - kHeaderSize) / kEntrySize);
+  }
+
+  bool initialized() const { return p_[0] == kMagic; }
+  bool is_leaf() const { return p_[1] != 0; }
+  uint16_t count() const { return ReadU16(p_ + 2); }
+  uint32_t aux() const { return ReadU32(p_ + 4); }
+
+  void set_count(uint16_t c) { WriteU16(p_ + 2, c); }
+  void set_aux(uint32_t a) { WriteU32(p_ + 4, a); }
+
+  int64_t key(uint32_t i) const {
+    REDO_CHECK_LT(i, count());
+    return static_cast<int64_t>(ReadU64(EntryPtr(i)));
+  }
+  uint64_t payload(uint32_t i) const {
+    REDO_CHECK_LT(i, count());
+    return ReadU64(EntryPtr(i) + 8);
+  }
+  int64_t value(uint32_t i) const { return static_cast<int64_t>(payload(i)); }
+  uint32_t child(uint32_t i) const { return static_cast<uint32_t>(payload(i)); }
+
+  /// Formats the node as an empty leaf / internal node.
+  void InitLeaf(uint32_t right_sibling) { Init(/*leaf=*/true, right_sibling); }
+  void InitInternal(uint32_t leftmost_child) {
+    Init(/*leaf=*/false, leftmost_child);
+  }
+
+  /// Index of the first entry with key >= `k` (binary search).
+  uint32_t LowerBound(int64_t k) const {
+    uint32_t lo = 0, hi = count();
+    while (lo < hi) {
+      const uint32_t mid = (lo + hi) / 2;
+      if (key(mid) < k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// True if the node contains `k`.
+  bool Contains(int64_t k) const {
+    const uint32_t i = LowerBound(k);
+    return i < count() && key(i) == k;
+  }
+
+  /// Inserts (k, payload), keeping keys sorted; replaces the payload if
+  /// k is already present. Returns false if the node is full.
+  bool Insert(int64_t k, uint64_t pl) {
+    const uint32_t i = LowerBound(k);
+    if (i < count() && key(i) == k) {
+      WriteU64(EntryPtr(i) + 8, pl);
+      return true;
+    }
+    if (count() >= Capacity()) return false;
+    std::memmove(EntryPtr(i + 1), EntryPtr(i),
+                 (count() - i) * static_cast<size_t>(kEntrySize));
+    WriteU64(EntryPtr(i), static_cast<uint64_t>(k));
+    WriteU64(EntryPtr(i) + 8, pl);
+    set_count(static_cast<uint16_t>(count() + 1));
+    return true;
+  }
+
+  /// Removes k if present; returns whether it was.
+  bool Remove(int64_t k) {
+    const uint32_t i = LowerBound(k);
+    if (i >= count() || key(i) != k) return false;
+    std::memmove(EntryPtr(i), EntryPtr(i + 1),
+                 (count() - i - 1) * static_cast<size_t>(kEntrySize));
+    set_count(static_cast<uint16_t>(count() - 1));
+    return true;
+  }
+
+  /// The entry count the lower node keeps after a split.
+  static uint32_t SplitLowerCount(uint32_t count) { return count / 2; }
+
+  /// The separator key a split pushes into the parent (pure function of
+  /// the pre-split source node).
+  int64_t SeparatorKey() const {
+    REDO_CHECK_GE(count(), 2u);
+    return key(SplitLowerCount(count()));
+  }
+
+ private:
+  void Init(bool leaf, uint32_t aux_value) {
+    p_[0] = kMagic;
+    p_[1] = leaf ? 1 : 0;
+    set_count(0);
+    set_aux(aux_value);
+  }
+
+  uint8_t* EntryPtr(uint32_t i) const {
+    return p_ + kHeaderSize + static_cast<size_t>(i) * kEntrySize;
+  }
+
+  static uint16_t ReadU16(const uint8_t* p) {
+    uint16_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+  static uint32_t ReadU32(const uint8_t* p) {
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+  static uint64_t ReadU64(const uint8_t* p) {
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+  static void WriteU16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+  static void WriteU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+  static void WriteU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+  uint8_t* p_;
+};
+
+/// Computes the upper (new) node of a split from the pre-split source —
+/// the P of §6.4 (reads src, writes dst). Fully overwrites dst's payload.
+inline void SplitNodeUpper(const storage::Page& src, storage::Page* dst) {
+  const NodeRef s(src);
+  REDO_CHECK(s.initialized());
+  dst->payload()[0] = 0;  // scrub, then init below
+  NodeRef d(dst);
+  const uint32_t lower = NodeRef::SplitLowerCount(s.count());
+  if (s.is_leaf()) {
+    d.InitLeaf(/*right_sibling=*/s.aux());
+    for (uint32_t i = lower; i < s.count(); ++i) {
+      REDO_CHECK(d.Insert(s.key(i), s.payload(i)));
+    }
+  } else {
+    // Middle entry's key becomes the separator; its child seeds the
+    // upper node's leftmost pointer.
+    d.InitInternal(/*leftmost_child=*/s.child(lower));
+    for (uint32_t i = lower + 1; i < s.count(); ++i) {
+      REDO_CHECK(d.Insert(s.key(i), s.payload(i)));
+    }
+  }
+}
+
+/// Rewrites the source node to keep only the lower half — the Q of §6.4
+/// (reads and writes src). `new_sibling` is the upper node's page id
+/// (leaf chains only; ignored for internal nodes).
+inline void SplitNodeLowerRewrite(storage::Page* src, uint32_t new_sibling) {
+  NodeRef s(*src);
+  REDO_CHECK(s.initialized());
+  const uint32_t lower = NodeRef::SplitLowerCount(s.count());
+  s.set_count(static_cast<uint16_t>(lower));
+  if (s.is_leaf()) s.set_aux(new_sibling);
+}
+
+}  // namespace redo::btree
+
+#endif  // REDO_BTREE_NODE_FORMAT_H_

@@ -1,0 +1,228 @@
+#include "checker/crash_sim.h"
+
+#include <sstream>
+#include <vector>
+
+namespace redo::checker {
+
+namespace {
+
+using engine::Action;
+using engine::MiniDb;
+using engine::SinglePageOp;
+using engine::SplitOp;
+using storage::Page;
+using storage::PageId;
+
+// One oracle entry: a pure page update keyed by its log record's LSN.
+struct AppliedEntry {
+  enum class Kind { kSinglePage, kSplitDst };
+  Kind kind;
+  core::Lsn lsn;
+  SinglePageOp op;  // kSinglePage
+  SplitOp split;    // kSplitDst
+};
+
+// Replays entries with lsn <= stable_lsn onto an all-zero initial state.
+std::vector<Page> OracleReplay(size_t num_pages,
+                               const std::vector<AppliedEntry>& applied,
+                               core::Lsn stable_lsn) {
+  std::vector<Page> pages(num_pages);
+  for (const AppliedEntry& entry : applied) {
+    if (entry.lsn > stable_lsn) continue;
+    switch (entry.kind) {
+      case AppliedEntry::Kind::kSinglePage: {
+        const Status st = engine::ApplySinglePageOp(entry.op, &pages[entry.op.page]);
+        REDO_CHECK(st.ok()) << st.ToString();
+        pages[entry.op.page].set_lsn(entry.lsn);
+        break;
+      }
+      case AppliedEntry::Kind::kSplitDst: {
+        // Start from dst's prior contents: slot transfers modify one
+        // slot in place (split transforms overwrite dst anyway).
+        Page dst = pages[entry.split.dst];
+        engine::ApplySplitToDst(entry.split, pages[entry.split.src], &dst);
+        dst.set_lsn(entry.lsn);
+        pages[entry.split.dst] = dst;
+        break;
+      }
+    }
+  }
+  return pages;
+}
+
+// The rewrite op a split implies (must mirror the methods' choice).
+SinglePageOp RewriteFor(const SplitOp& op) {
+  return engine::MakeRewriteForSplit(op);
+}
+
+}  // namespace
+
+std::string CrashSimResult::ToString() const {
+  std::ostringstream out;
+  out << (ok ? "OK" : ("FAILED: " + failure)) << "; actions=" << actions_executed
+      << " crashes=" << crashes << " checker_runs=" << checker_runs
+      << " stable_ops=" << stable_ops_at_crashes
+      << " pages_verified=" << recovered_pages_verified;
+  return out.str();
+}
+
+CrashSimResult RunCrashSim(methods::MethodKind method_kind,
+                           const CrashSimOptions& options, uint64_t seed) {
+  CrashSimResult result;
+  auto fail = [&result](std::string why) {
+    result.ok = false;
+    if (result.failure.empty()) result.failure = std::move(why);
+    return result;
+  };
+
+  engine::MiniDbOptions db_options;
+  db_options.num_pages = options.workload.num_pages;
+  db_options.cache_capacity =
+      method_kind == methods::MethodKind::kLogical ? 0 : options.cache_capacity;
+  MiniDb db(db_options,
+            methods::MakeMethod(method_kind, options.workload.num_pages));
+
+  engine::TraceRecorder trace(db.disk());
+  db.set_trace(&trace);
+
+  engine::Workload workload(options.workload, seed);
+  Rng rng(seed ^ 0x5117ab1eULL);
+  std::vector<AppliedEntry> applied;
+
+  for (size_t crash = 0; crash < options.crashes; ++crash) {
+    // ---- Normal operation segment ----
+    for (size_t step = 0; step < options.ops_per_segment; ++step) {
+      const Action action = workload.Next();
+      ++result.actions_executed;
+      switch (action.kind) {
+        case Action::Kind::kSlotWrite:
+        case Action::Kind::kBlindFormat: {
+          const SinglePageOp op =
+              action.kind == Action::Kind::kSlotWrite
+                  ? engine::MakeSlotWrite(action.page, action.slot, action.value)
+                  : engine::MakeBlindFormat(action.page, action.value);
+          Result<core::Lsn> lsn = db.Apply(op);
+          if (!lsn.ok()) return fail("apply: " + lsn.status().ToString());
+          applied.push_back(
+              {AppliedEntry::Kind::kSinglePage, lsn.value(), op, {}});
+          break;
+        }
+        case Action::Kind::kSplit:
+        case Action::Kind::kTransfer: {
+          const SplitOp op =
+              action.kind == Action::Kind::kSplit
+                  ? SplitOp{engine::SplitTransform::kSlotHalf, action.split_src,
+                            action.split_dst}
+                  : engine::MakeSlotTransfer(action.split_src, action.slot,
+                                             action.split_dst, action.slot2);
+          Result<methods::RecoveryMethod::SplitLsns> lsns = db.Split(op);
+          if (!lsns.ok()) return fail("split: " + lsns.status().ToString());
+          applied.push_back({AppliedEntry::Kind::kSplitDst,
+                             lsns.value().split_lsn,
+                             {},
+                             op});
+          applied.push_back({AppliedEntry::Kind::kSinglePage,
+                             lsns.value().rewrite_lsn, RewriteFor(op),
+                             {}});
+          break;
+        }
+        case Action::Kind::kFlushPage: {
+          const Status st = db.MaybeFlushPage(action.page);
+          if (!st.ok()) return fail("flush: " + st.ToString());
+          break;
+        }
+        case Action::Kind::kCheckpoint: {
+          const Status st = db.Checkpoint();
+          if (!st.ok()) return fail("checkpoint: " + st.ToString());
+          break;
+        }
+        case Action::Kind::kForceLog: {
+          const core::Lsn last = db.log().last_lsn();
+          if (last > 0) {
+            const Status st = db.log().Force(1 + rng.Below(last));
+            if (!st.ok()) return fail("force: " + st.ToString());
+          }
+          break;
+        }
+      }
+    }
+
+    // ---- Crash ----
+    db.Crash();
+    ++result.crashes;
+    const core::Lsn stable_lsn = db.log().stable_lsn();
+
+    // ---- Invariant check against the formal model ----
+    if (options.run_checker) {
+      const CheckResult check = CheckCrashState(db, trace);
+      ++result.checker_runs;
+      result.stable_ops_at_crashes += check.stable_ops;
+      if (!check.ok) {
+        return fail("invariant checker at crash " + std::to_string(crash) +
+                    ": " + check.ToString());
+      }
+    }
+
+    // ---- Crashes during recovery ----
+    // Recover, install an arbitrary subset of the redone pages, and
+    // crash again: recovery must be idempotent and every intermediate
+    // state must still satisfy the invariant.
+    for (size_t rc = 0; rc < options.recovery_crashes; ++rc) {
+      Status recover_status = db.Recover();
+      if (!recover_status.ok()) {
+        return fail("recovery crash round " + std::to_string(rc) + ": " +
+                    recover_status.ToString());
+      }
+      for (PageId p = 0; p < db.num_pages(); ++p) {
+        if (rng.Chance(0.3)) {
+          const Status flush = db.MaybeFlushPage(p);
+          if (!flush.ok()) return fail("mid-recovery flush: " + flush.ToString());
+        }
+      }
+      db.Crash();
+      if (options.run_checker) {
+        const CheckResult recheck = CheckCrashState(db, trace);
+        ++result.checker_runs;
+        if (!recheck.ok) {
+          return fail("invariant checker after recovery crash " +
+                      std::to_string(rc) + ": " + recheck.ToString());
+        }
+      }
+    }
+
+    // ---- Recovery ----
+    Status st = db.Recover();
+    if (!st.ok()) return fail("recover: " + st.ToString());
+    st = db.FlushEverything();
+    if (!st.ok()) return fail("post-recovery flush: " + st.ToString());
+    st = db.Checkpoint();
+    if (!st.ok()) return fail("post-recovery checkpoint: " + st.ToString());
+
+    // ---- Byte-level oracle verification ----
+    // Recovery must reconstruct exactly the stable-logged prefix.
+    applied.erase(std::remove_if(applied.begin(), applied.end(),
+                                 [stable_lsn](const AppliedEntry& e) {
+                                   return e.lsn > stable_lsn;
+                                 }),
+                  applied.end());
+    const std::vector<Page> expected =
+        OracleReplay(db.num_pages(), applied, stable_lsn);
+    for (PageId p = 0; p < db.num_pages(); ++p) {
+      if (!(db.disk().PeekPage(p) == expected[p])) {
+        return fail("recovered page " + std::to_string(p) +
+                    " differs from the stable-log-prefix oracle at crash " +
+                    std::to_string(crash));
+      }
+      ++result.recovered_pages_verified;
+    }
+
+    // ---- New epoch for the trace ----
+    trace.BeginEpoch(db.disk(), db.log().last_lsn() + 1);
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace redo::checker

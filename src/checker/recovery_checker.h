@@ -1,0 +1,61 @@
+// The recovery-invariant checker: the paper's theory as a runtime oracle
+// for a concrete engine.
+//
+// Given a crashed MiniDb and the trace of its logged operations, the
+// checker projects the execution into the formal model —
+//   pages            -> variables,
+//   page versions    -> values (content hashes interned as version ids),
+//   logged ops       -> operations with the traced read/write sets,
+//   stable log       -> the formal log (real WAL LSNs),
+//   stable disk      -> the crash state,
+//   the method's redo test -> the matching formal RecoveryPolicy —
+// and validates §4.5's Recovery Invariant: the operations the redo test
+// would NOT replay form a prefix of the installation graph that explains
+// the stable state. It also cross-checks the write-ahead-log rule: no
+// disk page may hold a version produced by an operation whose log record
+// did not survive the crash.
+
+#ifndef REDO_CHECKER_RECOVERY_CHECKER_H_
+#define REDO_CHECKER_RECOVERY_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/invariant.h"
+#include "engine/minidb.h"
+#include "engine/trace.h"
+
+namespace redo::checker {
+
+/// The checker's verdict on one crash point.
+struct CheckResult {
+  /// Invariant holds and no structural problems were found.
+  bool ok = false;
+  /// The formal invariant report (valid when `model_built`).
+  core::InvariantReport invariant;
+  bool model_built = false;
+  /// WAL violations, unknown page versions, log corruption, trace gaps.
+  std::vector<std::string> problems;
+  /// Diagnosis when the invariant fails (small models only): does ANY
+  /// installation-graph prefix explain the crash state? If yes, the
+  /// state is fine and the *redo test / checkpoint* chose the wrong set;
+  /// if no, the state itself is unrecoverable (bad install ordering).
+  enum class FailureLocus { kNotDiagnosed, kRedoTestWrong, kStateUnexplainable };
+  FailureLocus failure_locus = FailureLocus::kNotDiagnosed;
+  /// Sizes, for reporting.
+  size_t stable_ops = 0;
+  size_t checkpointed_ops = 0;
+
+  std::string ToString() const;
+};
+
+/// Checks the recovery invariant of a *crashed* database (call after
+/// MiniDb::Crash(), before Recover()). `trace` must cover the epoch
+/// since the last TraceRecorder::BeginEpoch, which must coincide with
+/// the disk state at that moment.
+CheckResult CheckCrashState(engine::MiniDb& db,
+                            const engine::TraceRecorder& trace);
+
+}  // namespace redo::checker
+
+#endif  // REDO_CHECKER_RECOVERY_CHECKER_H_

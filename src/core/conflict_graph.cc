@@ -1,0 +1,92 @@
+#include "core/conflict_graph.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace redo::core {
+
+ConflictGraph ConflictGraph::Generate(const History& history) {
+  ConflictGraph g;
+  const size_t n = history.size();
+  g.dag_ = Dag(n);
+
+  auto add = [&g](OpId u, OpId v, uint8_t kind) {
+    g.dag_.AddEdge(u, v);
+    g.edge_kinds_[{u, v}] |= kind;
+  };
+
+  // Per-variable scan in sequence order: track the preceding write and
+  // the readers since that write.
+  const size_t num_vars = history.num_vars();
+  std::vector<OpId> last_writer(num_vars, kInvalidOpId);
+  std::vector<std::vector<OpId>> readers_since_write(num_vars);
+
+  for (OpId i = 0; i < n; ++i) {
+    const Operation& op = history.op(i);
+    // Reads first: the operation reads, then writes (§2.1).
+    for (VarId x : op.read_set()) {
+      if (last_writer[x] != kInvalidOpId && last_writer[x] != i) {
+        add(last_writer[x], i, kWriteRead);
+      }
+      readers_since_write[x].push_back(i);
+    }
+    for (VarId x : op.write_set()) {
+      if (last_writer[x] != kInvalidOpId && last_writer[x] != i) {
+        add(last_writer[x], i, kWriteWrite);
+      }
+      // This write is the following write of every read since the
+      // preceding write (read-write conflicts). An operation that both
+      // reads and writes x does not conflict with itself, but its read's
+      // following write is the *next* operation writing x (the paper
+      // labels edge O->Q in Fig. 5 as WW and RW for exactly this case),
+      // so it stays registered as a reader for the next writer.
+      for (OpId reader : readers_since_write[x]) {
+        if (reader != i) add(reader, i, kReadWrite);
+      }
+      readers_since_write[x].clear();
+      if (op.Reads(x)) readers_since_write[x].push_back(i);
+      last_writer[x] = i;
+    }
+  }
+  return g;
+}
+
+uint8_t ConflictGraph::EdgeKinds(OpId u, OpId v) const {
+  const auto it = edge_kinds_.find({u, v});
+  return it == edge_kinds_.end() ? 0 : it->second;
+}
+
+const std::vector<Bitset>& ConflictGraph::AncestorSets() const {
+  if (ancestors_.empty() && dag_.size() > 0) {
+    ancestors_ = dag_.Ancestors();
+  }
+  return ancestors_;
+}
+
+bool ConflictGraph::Precedes(OpId u, OpId v) const {
+  if (u == v) return false;
+  return AncestorSets()[v].Test(u);
+}
+
+std::string ConflictGraph::DebugString() const {
+  std::ostringstream out;
+  for (const auto& [edge, kinds] : edge_kinds_) {
+    out << "O" << edge.first << "->O" << edge.second << " [";
+    bool first = true;
+    auto emit = [&](uint8_t kind, const char* name) {
+      if (kinds & kind) {
+        if (!first) out << "|";
+        out << name;
+        first = false;
+      }
+    };
+    emit(kWriteWrite, "WW");
+    emit(kWriteRead, "WR");
+    emit(kReadWrite, "RW");
+    out << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace redo::core

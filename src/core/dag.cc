@@ -1,0 +1,276 @@
+#include "core/dag.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace redo::core {
+
+Dag::Dag(size_t size) : out_(size), in_(size) {}
+
+void Dag::AddEdge(uint32_t u, uint32_t v) {
+  REDO_CHECK_LT(u, size());
+  REDO_CHECK_LT(v, size());
+  REDO_CHECK_NE(u, v) << "self edge";
+  if (HasEdge(u, v)) return;
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+}
+
+bool Dag::HasEdge(uint32_t u, uint32_t v) const {
+  REDO_CHECK_LT(u, size());
+  REDO_CHECK_LT(v, size());
+  const auto& succ = out_[u];
+  return std::find(succ.begin(), succ.end(), v) != succ.end();
+}
+
+size_t Dag::NumEdges() const {
+  size_t n = 0;
+  for (const auto& succ : out_) n += succ.size();
+  return n;
+}
+
+bool Dag::HasPath(uint32_t u, uint32_t v) const {
+  REDO_CHECK_LT(u, size());
+  REDO_CHECK_LT(v, size());
+  if (u == v) return false;
+  std::vector<uint32_t> stack = {u};
+  Bitset visited(size());
+  visited.Set(u);
+  while (!stack.empty()) {
+    const uint32_t cur = stack.back();
+    stack.pop_back();
+    for (uint32_t next : out_[cur]) {
+      if (next == v) return true;
+      if (!visited.Test(next)) {
+        visited.Set(next);
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+bool Dag::IsAcyclic() const {
+  // Kahn's algorithm: acyclic iff every node is emitted.
+  std::vector<uint32_t> indegree(size(), 0);
+  for (uint32_t v = 0; v < size(); ++v) {
+    indegree[v] = static_cast<uint32_t>(in_[v].size());
+  }
+  std::vector<uint32_t> ready;
+  for (uint32_t v = 0; v < size(); ++v) {
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+  size_t emitted = 0;
+  while (!ready.empty()) {
+    const uint32_t v = ready.back();
+    ready.pop_back();
+    ++emitted;
+    for (uint32_t next : out_[v]) {
+      if (--indegree[next] == 0) ready.push_back(next);
+    }
+  }
+  return emitted == size();
+}
+
+std::vector<Bitset> Dag::Ancestors() const {
+  std::vector<Bitset> anc(size(), Bitset(size()));
+  for (uint32_t v : TopologicalOrder()) {
+    for (uint32_t p : in_[v]) {
+      anc[v].Set(p);
+      anc[v].UnionWith(anc[p]);
+    }
+  }
+  return anc;
+}
+
+std::vector<Bitset> Dag::Descendants() const {
+  std::vector<Bitset> desc(size(), Bitset(size()));
+  std::vector<uint32_t> order = TopologicalOrder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const uint32_t v = *it;
+    for (uint32_t s : out_[v]) {
+      desc[v].Set(s);
+      desc[v].UnionWith(desc[s]);
+    }
+  }
+  return desc;
+}
+
+bool Dag::IsPrefix(const Bitset& nodes) const {
+  REDO_CHECK_EQ(nodes.universe_size(), size());
+  // Closed under direct predecessors iff closed under all predecessors.
+  for (uint32_t v : nodes.ToVector()) {
+    for (uint32_t p : in_[v]) {
+      if (!nodes.Test(p)) return false;
+    }
+  }
+  return true;
+}
+
+Bitset Dag::PrefixClosure(const Bitset& nodes) const {
+  REDO_CHECK_EQ(nodes.universe_size(), size());
+  Bitset closed = nodes;
+  std::vector<uint32_t> stack = nodes.ToVector();
+  while (!stack.empty()) {
+    const uint32_t v = stack.back();
+    stack.pop_back();
+    for (uint32_t p : in_[v]) {
+      if (!closed.Test(p)) {
+        closed.Set(p);
+        stack.push_back(p);
+      }
+    }
+  }
+  return closed;
+}
+
+std::vector<uint32_t> Dag::TopologicalOrder() const {
+  std::vector<uint32_t> indegree(size(), 0);
+  for (uint32_t v = 0; v < size(); ++v) {
+    indegree[v] = static_cast<uint32_t>(in_[v].size());
+  }
+  // Smallest-id-first for determinism: scan a sorted ready list.
+  std::vector<uint32_t> ready;
+  for (uint32_t v = 0; v < size(); ++v) {
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+  std::vector<uint32_t> order;
+  order.reserve(size());
+  while (!ready.empty()) {
+    const auto min_it = std::min_element(ready.begin(), ready.end());
+    const uint32_t v = *min_it;
+    ready.erase(min_it);
+    order.push_back(v);
+    for (uint32_t next : out_[v]) {
+      if (--indegree[next] == 0) ready.push_back(next);
+    }
+  }
+  REDO_CHECK_EQ(order.size(), size()) << "graph has a cycle";
+  return order;
+}
+
+std::vector<uint32_t> Dag::RandomTopologicalOrder(Rng& rng) const {
+  std::vector<uint32_t> indegree(size(), 0);
+  for (uint32_t v = 0; v < size(); ++v) {
+    indegree[v] = static_cast<uint32_t>(in_[v].size());
+  }
+  std::vector<uint32_t> ready;
+  for (uint32_t v = 0; v < size(); ++v) {
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+  std::vector<uint32_t> order;
+  order.reserve(size());
+  while (!ready.empty()) {
+    const size_t i = static_cast<size_t>(rng.Below(ready.size()));
+    const uint32_t v = ready[i];
+    ready[i] = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (uint32_t next : out_[v]) {
+      if (--indegree[next] == 0) ready.push_back(next);
+    }
+  }
+  REDO_CHECK_EQ(order.size(), size()) << "graph has a cycle";
+  return order;
+}
+
+namespace {
+
+// Recursion helper for ForEachTopologicalOrder.
+struct TopoEnum {
+  const Dag* dag;
+  size_t limit;
+  const std::function<void(const std::vector<uint32_t>&)>* visit;
+  std::vector<uint32_t> indegree;
+  std::vector<uint32_t> order;
+  size_t visited = 0;
+
+  void Run() {
+    if (order.size() == dag->size()) {
+      (*visit)(order);
+      ++visited;
+      return;
+    }
+    for (uint32_t v = 0; v < dag->size() && visited < limit; ++v) {
+      if (indegree[v] != 0) continue;
+      // Mark chosen: bump so it is not ready again in this branch.
+      indegree[v] = UINT32_MAX;
+      for (uint32_t next : dag->OutEdges(v)) --indegree[next];
+      order.push_back(v);
+      Run();
+      order.pop_back();
+      for (uint32_t next : dag->OutEdges(v)) ++indegree[next];
+      indegree[v] = 0;
+    }
+  }
+};
+
+// Recursion helper for ForEachPrefix: decide nodes in topological order;
+// a node may be included only if all its direct predecessors (earlier in
+// the order) are included. Visits each prefix exactly once.
+struct PrefixEnum {
+  const Dag* dag;
+  size_t limit;
+  const std::function<void(const Bitset&)>* visit;
+  std::vector<uint32_t> topo;
+  Bitset chosen;
+  size_t visited = 0;
+
+  void Run(size_t i) {
+    if (visited >= limit) return;
+    if (i == topo.size()) {
+      (*visit)(chosen);
+      ++visited;
+      return;
+    }
+    const uint32_t v = topo[i];
+    // Branch 1: exclude v.
+    Run(i + 1);
+    // Branch 2: include v, if its direct predecessors are all chosen.
+    bool can_include = true;
+    for (uint32_t p : dag->InEdges(v)) {
+      if (!chosen.Test(p)) {
+        can_include = false;
+        break;
+      }
+    }
+    if (can_include && visited < limit) {
+      chosen.Set(v);
+      Run(i + 1);
+      chosen.Reset(v);
+    }
+  }
+};
+
+}  // namespace
+
+size_t Dag::ForEachTopologicalOrder(
+    size_t limit,
+    const std::function<void(const std::vector<uint32_t>&)>& visit) const {
+  TopoEnum e{this, limit, &visit, {}, {}, 0};
+  e.indegree.assign(size(), 0);
+  for (uint32_t v = 0; v < size(); ++v) {
+    e.indegree[v] = static_cast<uint32_t>(in_[v].size());
+  }
+  e.order.reserve(size());
+  e.Run();
+  return e.visited;
+}
+
+size_t Dag::ForEachPrefix(
+    size_t limit, const std::function<void(const Bitset&)>& visit) const {
+  REDO_CHECK_LE(size(), 64u) << "prefix enumeration only for small graphs";
+  PrefixEnum e{this, limit, &visit, TopologicalOrder(), Bitset(size()), 0};
+  e.Run(0);
+  return e.visited;
+}
+
+uint64_t Dag::CountPrefixes(uint64_t cap) const {
+  uint64_t count = 0;
+  ForEachPrefix(static_cast<size_t>(cap),
+                [&count](const Bitset&) { ++count; });
+  return count;
+}
+
+}  // namespace redo::core

@@ -1,0 +1,107 @@
+#include "core/exposed.h"
+
+#include <sstream>
+
+namespace redo::core {
+
+namespace {
+
+// Shared implementation: classifies one variable given the uninstalled
+// accessors and the conflict graph's ancestor sets.
+bool VarIsExposed(const History& history, const ConflictGraph& conflict,
+                  const Bitset& installed, VarId x) {
+  // Collect the uninstalled operations accessing x.
+  std::vector<OpId> accessors;
+  for (OpId i = 0; i < history.size(); ++i) {
+    if (installed.Test(i)) continue;
+    if (history.op(i).Accesses(x)) accessors.push_back(i);
+  }
+  if (accessors.empty()) return true;  // x already has its final value
+
+  // Find a minimal accessor under the conflict graph's partial order.
+  // (All minimal accessors agree on whether they read x: accessors that
+  // write x are totally ordered among themselves and against every
+  // reader via WW/WR/RW chains, so if any minimal accessor blind-writes
+  // x it is the unique minimal accessor.)
+  const std::vector<Bitset>& ancestors = conflict.AncestorSets();
+  for (OpId candidate : accessors) {
+    bool minimal = true;
+    for (OpId other : accessors) {
+      if (other != candidate && ancestors[candidate].Test(other)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) {
+      return history.op(candidate).Reads(x);
+    }
+  }
+  REDO_CHECK(false) << "no minimal accessor in an acyclic graph";
+  return false;
+}
+
+}  // namespace
+
+bool IsExposed(const History& history, const ConflictGraph& conflict,
+               const Bitset& installed, VarId x) {
+  return VarIsExposed(history, conflict, installed, x);
+}
+
+Bitset ExposedVars(const History& history, const ConflictGraph& conflict,
+                   const Bitset& installed) {
+  Bitset exposed(history.num_vars());
+  for (VarId x = 0; x < history.num_vars(); ++x) {
+    if (VarIsExposed(history, conflict, installed, x)) exposed.Set(x);
+  }
+  return exposed;
+}
+
+std::string ExplainResult::ToString() const {
+  if (explains) return "explains";
+  std::ostringstream out;
+  if (not_a_prefix) out << "not an installation-graph prefix; ";
+  out << mismatches.size() << " exposed-variable mismatch(es):";
+  for (const Mismatch& m : mismatches) {
+    out << " var" << m.var << " expected " << m.expected << " got " << m.actual
+        << ";";
+  }
+  return out.str();
+}
+
+ExplainResult PrefixExplains(const History& history, const ConflictGraph& conflict,
+                             const InstallationGraph& installation,
+                             const StateGraph& state_graph, const Bitset& prefix,
+                             const State& state) {
+  ExplainResult result;
+  if (!installation.IsPrefix(prefix)) {
+    result.not_a_prefix = true;
+    return result;
+  }
+  const Bitset exposed = ExposedVars(history, conflict, prefix);
+  const State determined = state_graph.DeterminedState(prefix);
+  for (VarId x : exposed.ToVector()) {
+    if (state.Get(x) != determined.Get(x)) {
+      result.mismatches.push_back(
+          ExplainResult::Mismatch{x, determined.Get(x), state.Get(x)});
+    }
+  }
+  result.explains = result.mismatches.empty();
+  return result;
+}
+
+std::optional<Bitset> FindExplainingPrefix(const History& history,
+                                           const ConflictGraph& conflict,
+                                           const InstallationGraph& installation,
+                                           const StateGraph& state_graph,
+                                           const State& state, size_t limit) {
+  std::optional<Bitset> found;
+  installation.dag().ForEachPrefix(limit, [&](const Bitset& prefix) {
+    if (found.has_value()) return;
+    const ExplainResult r = PrefixExplains(history, conflict, installation,
+                                           state_graph, prefix, state);
+    if (r.explains) found = prefix;
+  });
+  return found;
+}
+
+}  // namespace redo::core

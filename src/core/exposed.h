@@ -1,0 +1,77 @@
+// Exposed variables (§2.3) and explainable states (§3.2).
+//
+// Given a conflict graph C and a set I of installed operations with
+// complement U (the uninstalled operations):
+//   - x is *exposed* by I if no operation in U accesses x, or some
+//     operation in U accesses x and a minimal such operation (under C's
+//     partial order) reads x;
+//   - x is *unexposed* otherwise (a minimal uninstalled accessor writes x
+//     without reading it — a blind write that recovery will regenerate).
+//
+// A prefix sigma of the installation graph *explains* a state S if every
+// variable exposed by sigma has the same value in S and the state
+// determined by sigma. Explainable states are potentially recoverable
+// (Theorem 3).
+
+#ifndef REDO_CORE_EXPOSED_H_
+#define REDO_CORE_EXPOSED_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/conflict_graph.h"
+#include "core/history.h"
+#include "core/installation_graph.h"
+#include "core/state_graph.h"
+#include "util/bitset.h"
+
+namespace redo::core {
+
+/// Computes the set of variables exposed by `installed` (a set of OpIds
+/// over `conflict`). Returns a bitset over the variable universe.
+Bitset ExposedVars(const History& history, const ConflictGraph& conflict,
+                   const Bitset& installed);
+
+/// True if variable `x` is exposed by `installed`.
+bool IsExposed(const History& history, const ConflictGraph& conflict,
+               const Bitset& installed, VarId x);
+
+/// The outcome of an explanation check, with per-variable diagnostics.
+struct ExplainResult {
+  bool explains = false;
+  /// Exposed variables whose value in the checked state differs from the
+  /// prefix-determined value: (var, expected, actual).
+  struct Mismatch {
+    VarId var;
+    Value expected;
+    Value actual;
+  };
+  std::vector<Mismatch> mismatches;
+  /// Set iff `prefix` was not a prefix of the installation graph.
+  bool not_a_prefix = false;
+
+  std::string ToString() const;
+};
+
+/// Checks whether the installation-graph prefix `prefix` explains `state`
+/// (§3.2): `prefix` must be predecessor-closed in `installation`, and
+/// every variable exposed by `prefix` must have equal values in `state`
+/// and the state determined by `prefix`.
+ExplainResult PrefixExplains(const History& history, const ConflictGraph& conflict,
+                             const InstallationGraph& installation,
+                             const StateGraph& state_graph, const Bitset& prefix,
+                             const State& state);
+
+/// Searches for *some* installation-graph prefix explaining `state`,
+/// enumerating up to `limit` prefixes. Returns the first found. Intended
+/// for diagnostics and small-model checking (requires <= 64 operations).
+std::optional<Bitset> FindExplainingPrefix(const History& history,
+                                           const ConflictGraph& conflict,
+                                           const InstallationGraph& installation,
+                                           const StateGraph& state_graph,
+                                           const State& state, size_t limit);
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_EXPOSED_H_

@@ -1,0 +1,59 @@
+#include "core/history.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace redo::core {
+
+History::History(size_t num_vars, std::vector<Operation> ops)
+    : num_vars_(num_vars), ops_(std::move(ops)) {
+  for (const Operation& op : ops_) {
+    REDO_CHECK_LT(op.MaxVar(), static_cast<int64_t>(num_vars_))
+        << "operation " << op.name() << " mentions a variable outside the universe";
+  }
+}
+
+OpId History::Append(Operation op) {
+  REDO_CHECK_LT(op.MaxVar(), static_cast<int64_t>(num_vars_))
+      << "operation " << op.name() << " mentions a variable outside the universe";
+  ops_.push_back(std::move(op));
+  return static_cast<OpId>(ops_.size() - 1);
+}
+
+std::vector<State> History::Execute(const State& initial) const {
+  REDO_CHECK_EQ(initial.num_vars(), num_vars_);
+  std::vector<State> states;
+  states.reserve(ops_.size() + 1);
+  states.push_back(initial);
+  for (const Operation& op : ops_) {
+    State next = states.back();
+    op.ApplyTo(&next);
+    states.push_back(std::move(next));
+  }
+  return states;
+}
+
+State History::FinalState(const State& initial) const {
+  REDO_CHECK_EQ(initial.num_vars(), num_vars_);
+  State s = initial;
+  for (const Operation& op : ops_) op.ApplyTo(&s);
+  return s;
+}
+
+History History::Permuted(const std::vector<OpId>& order) const {
+  REDO_CHECK_EQ(order.size(), ops_.size());
+  History out(num_vars_);
+  for (OpId original : order) out.Append(op(original));
+  return out;
+}
+
+std::string History::DebugString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    out << "O" << i << " = " << ops_[i].DebugString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace redo::core

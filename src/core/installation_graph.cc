@@ -1,0 +1,30 @@
+#include "core/installation_graph.h"
+
+#include <sstream>
+
+namespace redo::core {
+
+InstallationGraph InstallationGraph::Derive(const ConflictGraph& conflict) {
+  InstallationGraph g;
+  g.dag_ = Dag(conflict.size());
+  for (const auto& [edge, kinds] : conflict.edges()) {
+    if (kinds & (kWriteWrite | kReadWrite)) {
+      g.dag_.AddEdge(edge.first, edge.second);
+    } else {
+      ++g.removed_edges_;
+    }
+  }
+  return g;
+}
+
+std::string InstallationGraph::DebugString() const {
+  std::ostringstream out;
+  for (uint32_t u = 0; u < dag_.size(); ++u) {
+    for (uint32_t v : dag_.OutEdges(u)) {
+      out << "O" << u << "->O" << v << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace redo::core

@@ -1,0 +1,49 @@
+// Installation graphs (§3.1): the conflict graph with the edges that
+// result *solely* from write-read conflicts removed.
+//
+// Prefixes of the installation graph are exactly the operation sets that
+// may appear installed in a potentially recoverable state (Theorem 3).
+// Every conflict-graph prefix is an installation-graph prefix, but not
+// vice versa: the extra prefixes are the extra flexibility state update
+// enjoys over conflict order.
+
+#ifndef REDO_CORE_INSTALLATION_GRAPH_H_
+#define REDO_CORE_INSTALLATION_GRAPH_H_
+
+#include <string>
+
+#include "core/conflict_graph.h"
+#include "core/dag.h"
+#include "util/bitset.h"
+
+namespace redo::core {
+
+/// The installation graph derived from a conflict graph. Node ids are
+/// OpIds, shared with the conflict graph.
+class InstallationGraph {
+ public:
+  /// Derives the installation graph: keep edge (u, v) iff its conflict
+  /// kinds include write-write or read-write.
+  static InstallationGraph Derive(const ConflictGraph& conflict);
+
+  size_t size() const { return dag_.size(); }
+  const Dag& dag() const { return dag_; }
+
+  /// True if `ops` induces a prefix (predecessor-closed set).
+  bool IsPrefix(const Bitset& ops) const { return dag_.IsPrefix(ops); }
+
+  /// Number of edges removed from the conflict graph (solely-WR edges).
+  size_t removed_edges() const { return removed_edges_; }
+
+  std::string DebugString() const;
+
+ private:
+  InstallationGraph() = default;
+
+  Dag dag_;
+  size_t removed_edges_ = 0;
+};
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_INSTALLATION_GRAPH_H_

@@ -1,0 +1,56 @@
+#include "core/invariant.h"
+
+#include <sstream>
+
+namespace redo::core {
+
+std::string InvariantReport::ToString() const {
+  std::ostringstream out;
+  out << "invariant " << (holds ? "HOLDS" : "VIOLATED")
+      << "; recovery " << (recovered_final_state ? "correct" : "INCORRECT")
+      << "; installed={";
+  bool first = true;
+  for (uint32_t op : installed.ToVector()) {
+    if (!first) out << ",";
+    out << "O" << op;
+    first = false;
+  }
+  out << "}; redo_set={";
+  first = true;
+  for (OpId op : redo_set) {
+    if (!first) out << ",";
+    out << "O" << op;
+    first = false;
+  }
+  out << "}";
+  if (!holds) out << "; " << explain.ToString();
+  return out.str();
+}
+
+InvariantReport CheckRecoveryInvariant(
+    const History& history, const ConflictGraph& conflict,
+    const InstallationGraph& installation, const StateGraph& state_graph,
+    const Log& log, const Bitset& checkpoint, const State& crash_state,
+    const PolicyFactory& make_policy) {
+  InvariantReport report;
+
+  // Simulate the recovery procedure to discover redo_set.
+  std::unique_ptr<RecoveryPolicy> policy = make_policy();
+  const RecoveryOutcome outcome =
+      Recover(history, log, checkpoint, crash_state, policy.get());
+  report.redo_set = outcome.redo_set;
+
+  // installed = operations(log) - redo_set.
+  report.installed = Bitset(history.size());
+  for (OpId op = 0; op < history.size(); ++op) report.installed.Set(op);
+  for (OpId op : outcome.redo_set) report.installed.Reset(op);
+
+  report.explain = PrefixExplains(history, conflict, installation, state_graph,
+                                  report.installed, crash_state);
+  report.holds = report.explain.explains;
+  report.recovered_final_state =
+      outcome.final_state == state_graph.FinalState();
+  return report;
+}
+
+}  // namespace redo::core

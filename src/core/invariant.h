@@ -1,0 +1,60 @@
+// The recovery invariant (§4.5) and its checker (Corollary 4).
+//
+//   Recovery Invariant: the set operations(log) - redo_set induces a
+//   prefix of the installation graph that explains the state.
+//
+// The invariant is the contract between normal operation and recovery:
+// every change to the state must be accompanied by a change to the set
+// of operations the redo test would choose, atomically. The checker
+// simulates the recovery procedure (to discover redo_set — real systems
+// never materialize it explicitly), derives the installed set, and
+// validates prefix-ness and explanation. It also cross-checks Corollary
+// 4 itself: when the invariant holds, recover() must terminate in the
+// state determined by the conflict graph.
+
+#ifndef REDO_CORE_INVARIANT_H_
+#define REDO_CORE_INVARIANT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/exposed.h"
+#include "core/installation_graph.h"
+#include "core/recovery.h"
+#include "core/state_graph.h"
+
+namespace redo::core {
+
+/// Everything the invariant checker determined about one crash point.
+struct InvariantReport {
+  /// The invariant: installed set is an installation-graph prefix that
+  /// explains the crash state.
+  bool holds = false;
+  /// Did the simulated recovery end in the conflict-graph final state?
+  /// Corollary 4 guarantees this whenever `holds` is true; a report with
+  /// holds && !recovered_final_state indicates a bug in the model (the
+  /// property tests assert it never happens).
+  bool recovered_final_state = false;
+  Bitset installed;              ///< operations(log) - redo_set
+  std::vector<OpId> redo_set;    ///< operations the redo test replayed
+  ExplainResult explain;         ///< prefix / exposed-variable diagnosis
+
+  std::string ToString() const;
+};
+
+/// Builds a fresh single-use policy for each simulated recovery.
+using PolicyFactory = std::function<std::unique_ptr<RecoveryPolicy>()>;
+
+/// Checks the recovery invariant at a crash point described by
+/// (crash_state, log, checkpoint) for the recovery procedure whose redo
+/// test the factory supplies.
+InvariantReport CheckRecoveryInvariant(
+    const History& history, const ConflictGraph& conflict,
+    const InstallationGraph& installation, const StateGraph& state_graph,
+    const Log& log, const Bitset& checkpoint, const State& crash_state,
+    const PolicyFactory& make_policy);
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_INVARIANT_H_

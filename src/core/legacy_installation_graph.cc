@@ -1,0 +1,57 @@
+#include "core/legacy_installation_graph.h"
+
+#include "core/history.h"
+
+namespace redo::core {
+
+namespace {
+
+// True if op is a pure blind writer (empty read set).
+bool IsBlind(const History& history, OpId op) {
+  return history.op(op).read_set().empty();
+}
+
+// True if any operation before v (in sequence order) reads a variable
+// both u and v write. Readers *between* the writes would observe u's
+// value directly; readers before u are protected only transitively
+// (reader -RW-> some writer -WW-> ... -> v), and removing the u -> v
+// link severs that chain — our property tests exhibit concrete
+// recoverability failures if such readers are ignored, which is
+// presumably why the VLDB'95 construction was "elaborate".
+bool ReaderBeforeV(const History& history, OpId u, OpId v) {
+  for (VarId x : history.op(u).write_set()) {
+    if (!history.op(v).Writes(x)) continue;
+    for (OpId r = 0; r < v; ++r) {
+      if (r != u && history.op(r).Reads(x)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LegacyInstallationGraph DeriveLegacyInstallationGraph(
+    const History& history, const ConflictGraph& conflict) {
+  LegacyInstallationGraph out;
+  out.dag = Dag(conflict.size());
+  for (const auto& [edge, kinds] : conflict.edges()) {
+    const auto [u, v] = edge;
+    if ((kinds & (kWriteWrite | kReadWrite)) == 0) {
+      ++out.removed_wr_edges;  // the 2003 removal
+      continue;
+    }
+    // The extra removal: a solely-WW edge between two pure blind writers
+    // with no intervening reader of the shared variables. Installing v's
+    // later value without u's loses only values nobody can observe.
+    const bool solely_ww = kinds == kWriteWrite;
+    if (solely_ww && IsBlind(history, u) && IsBlind(history, v) &&
+        !ReaderBeforeV(history, u, v)) {
+      ++out.removed_ww_edges;
+      continue;
+    }
+    out.dag.AddEdge(u, v);
+  }
+  return out;
+}
+
+}  // namespace redo::core

@@ -1,0 +1,46 @@
+// The VLDB'95-style installation graph (§1.3, point 1).
+//
+// The paper's earlier formulation ("Redo recovery after system crashes",
+// Lomet & Tuttle, VLDB 1995) removed certain write-write edges in
+// addition to the write-read edges, "involv[ing] an elaborate
+// construction"; the SIGMOD 2003 paper simplifies to WR-only removal and
+// asserts the two are *equivalent*: a state is explainable by a prefix
+// of one iff it is explainable by a prefix of the other.
+//
+// We reconstruct the stronger removal: a WW edge u -> v on variable x is
+// removable when installing v's (later) value without u's loses nothing
+// that anyone still needs —
+//   (a) the edge carries no other conflict kind (no WR/RW component),
+//   (b) no operation reads x between u and v (u's value is never
+//       exposed to a reader: v's blind overwrite shadows it), and
+//   (c) for every *other* variable y in u's write set the same edge set
+//       gives no ordering obligation violated by deferring u — which the
+//       per-edge test below conservatively keeps by only removing edges,
+//       never reordering them.
+// The equivalence tests (legacy_installation_graph_test.cc) validate the
+// paper's claim empirically: prefix-determined states of either graph
+// are explainable in the other.
+
+#ifndef REDO_CORE_LEGACY_INSTALLATION_GRAPH_H_
+#define REDO_CORE_LEGACY_INSTALLATION_GRAPH_H_
+
+#include "core/conflict_graph.h"
+#include "core/dag.h"
+
+namespace redo::core {
+
+/// The legacy (VLDB'95-style) installation graph.
+struct LegacyInstallationGraph {
+  Dag dag;
+  size_t removed_wr_edges = 0;  ///< same removals as the 2003 definition
+  size_t removed_ww_edges = 0;  ///< the extra, "elaborate" removals
+};
+
+/// Derives the legacy graph: drops solely-WR edges (as in 2003) plus the
+/// removable solely-WW edges described above.
+LegacyInstallationGraph DeriveLegacyInstallationGraph(
+    const History& history, const ConflictGraph& conflict);
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_LEGACY_INSTALLATION_GRAPH_H_

@@ -1,0 +1,74 @@
+#include "core/log.h"
+
+#include <sstream>
+
+namespace redo::core {
+
+Log Log::FromHistory(const History& history) {
+  std::vector<OpId> order(history.size());
+  for (OpId i = 0; i < history.size(); ++i) order[i] = i;
+  return FromOrder(order);
+}
+
+Log Log::FromOrder(const std::vector<OpId>& order) {
+  Log log;
+  log.entries_.reserve(order.size());
+  log.position_of_op_.assign(order.size(), 0);
+  std::vector<bool> seen(order.size(), false);
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const OpId op = order[pos];
+    REDO_CHECK_LT(op, order.size());
+    REDO_CHECK(!seen[op]) << "operation O" << op << " logged twice";
+    seen[op] = true;
+    log.entries_.push_back(LogEntry{op, static_cast<Lsn>(pos + 1)});
+    log.position_of_op_[op] = pos;
+  }
+  return log;
+}
+
+Log Log::FromEntries(std::vector<LogEntry> entries) {
+  Log log;
+  log.entries_ = std::move(entries);
+  log.position_of_op_.assign(log.entries_.size(), 0);
+  std::vector<bool> seen(log.entries_.size(), false);
+  Lsn previous = 0;
+  for (size_t pos = 0; pos < log.entries_.size(); ++pos) {
+    const OpId op = log.entries_[pos].op;
+    REDO_CHECK_LT(op, log.entries_.size());
+    REDO_CHECK(!seen[op]) << "operation O" << op << " logged twice";
+    REDO_CHECK_GT(log.entries_[pos].lsn, previous) << "LSNs must increase";
+    previous = log.entries_[pos].lsn;
+    seen[op] = true;
+    log.position_of_op_[op] = pos;
+  }
+  return log;
+}
+
+Lsn Log::LsnOf(OpId op) const {
+  REDO_CHECK_LT(op, position_of_op_.size());
+  return entries_[position_of_op_[op]].lsn;
+}
+
+size_t Log::PositionOf(OpId op) const {
+  REDO_CHECK_LT(op, position_of_op_.size());
+  return position_of_op_[op];
+}
+
+bool Log::ConsistentWith(const ConflictGraph& conflict) const {
+  if (conflict.size() != entries_.size()) return false;
+  for (const auto& [edge, kinds] : conflict.edges()) {
+    (void)kinds;
+    if (PositionOf(edge.first) >= PositionOf(edge.second)) return false;
+  }
+  return true;
+}
+
+std::string Log::DebugString() const {
+  std::ostringstream out;
+  for (const LogEntry& e : entries_) {
+    out << "lsn=" << e.lsn << " O" << e.op << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace redo::core

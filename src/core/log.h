@@ -1,0 +1,73 @@
+// The log (§4.1) and checkpoints (§4.2) of the abstract recovery model.
+//
+// A log for a conflict graph C contains exactly C's operations, ordered
+// consistently with C. Lemma 1 lets a log be any such order — only
+// conflicting operations need to be ordered — so we represent the log as
+// a total order (one linearization) plus per-record labels (the LSN).
+//
+// A checkpoint identifies a set of logged operations that recovery can
+// ignore because they are installed. It is usually a log prefix but the
+// model does not require that (§4.2).
+
+#ifndef REDO_CORE_LOG_H_
+#define REDO_CORE_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "core/conflict_graph.h"
+#include "core/history.h"
+#include "core/types.h"
+#include "util/bitset.h"
+
+namespace redo::core {
+
+/// One log record: an operation plus its labels.
+struct LogEntry {
+  OpId op;
+  Lsn lsn;
+};
+
+/// A log: a sequence of records covering every operation exactly once.
+class Log {
+ public:
+  /// The log whose record order is the history's sequence order, with
+  /// LSNs 1, 2, ....
+  static Log FromHistory(const History& history);
+
+  /// A log with a caller-chosen record order (a permutation of all
+  /// OpIds); LSNs are assigned 1, 2, ... in that order.
+  static Log FromOrder(const std::vector<OpId>& order);
+
+  /// A log with explicit entries (each op exactly once, LSNs strictly
+  /// increasing along the order). Used by the checker to carry the
+  /// engine's real WAL LSNs into the formal model.
+  static Log FromEntries(std::vector<LogEntry> entries);
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<LogEntry>& entries() const { return entries_; }
+  const LogEntry& entry(size_t position) const {
+    REDO_CHECK_LT(position, entries_.size());
+    return entries_[position];
+  }
+
+  /// The LSN labeling operation `op`.
+  Lsn LsnOf(OpId op) const;
+
+  /// The position (scan index) of operation `op`.
+  size_t PositionOf(OpId op) const;
+
+  /// §4.1 validity: every conflict-graph edge u -> v appears in log
+  /// order (position(u) < position(v)).
+  bool ConsistentWith(const ConflictGraph& conflict) const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<LogEntry> entries_;
+  std::vector<size_t> position_of_op_;  // OpId -> index in entries_
+};
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_LOG_H_

@@ -1,0 +1,131 @@
+#include "core/operation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace redo::core {
+
+Operation::Operation(std::string name, std::vector<VarId> read_set,
+                     std::vector<WriteSpec> writes)
+    : name_(std::move(name)),
+      read_set_(std::move(read_set)),
+      writes_(std::move(writes)) {
+  std::sort(read_set_.begin(), read_set_.end());
+  read_set_.erase(std::unique(read_set_.begin(), read_set_.end()),
+                  read_set_.end());
+  std::sort(writes_.begin(), writes_.end(),
+            [](const WriteSpec& a, const WriteSpec& b) { return a.var < b.var; });
+  for (size_t i = 1; i < writes_.size(); ++i) {
+    REDO_CHECK_NE(writes_[i - 1].var, writes_[i].var)
+        << "duplicate write to variable " << writes_[i].var << " in " << name_;
+  }
+  for (const WriteSpec& w : writes_) {
+    for (const AffineTerm& t : w.terms) {
+      REDO_CHECK_LT(t.read_index, read_set_.size())
+          << "affine term read_index out of range in " << name_;
+    }
+  }
+}
+
+Operation Operation::Assign(std::string name, VarId x, Value c) {
+  return Operation(std::move(name), {}, {WriteSpec{x, c, {}}});
+}
+
+Operation Operation::AddConst(std::string name, VarId x, VarId y, Value c) {
+  return Operation(std::move(name), {y},
+                   {WriteSpec{x, c, {AffineTerm{0, 1}}}});
+}
+
+Operation Operation::Increment(std::string name, VarId x, Value c) {
+  return Operation(std::move(name), {x},
+                   {WriteSpec{x, c, {AffineTerm{0, 1}}}});
+}
+
+Operation Operation::DoubleIncrement(std::string name, VarId x, Value cx,
+                                     VarId y, Value cy) {
+  REDO_CHECK_NE(x, y);
+  // Read set is sorted at construction; compute each variable's index in
+  // the sorted read set {x, y}.
+  const uint32_t x_index = x < y ? 0 : 1;
+  const uint32_t y_index = 1 - x_index;
+  return Operation(std::move(name), {x, y},
+                   {WriteSpec{x, cx, {AffineTerm{x_index, 1}}},
+                    WriteSpec{y, cy, {AffineTerm{y_index, 1}}}});
+}
+
+std::vector<VarId> Operation::write_set() const {
+  std::vector<VarId> out;
+  out.reserve(writes_.size());
+  for (const WriteSpec& w : writes_) out.push_back(w.var);
+  return out;
+}
+
+bool Operation::Reads(VarId x) const {
+  return std::binary_search(read_set_.begin(), read_set_.end(), x);
+}
+
+bool Operation::Writes(VarId x) const {
+  const auto it = std::lower_bound(
+      writes_.begin(), writes_.end(), x,
+      [](const WriteSpec& w, VarId v) { return w.var < v; });
+  return it != writes_.end() && it->var == x;
+}
+
+int64_t Operation::MaxVar() const {
+  int64_t max_var = -1;
+  for (VarId v : read_set_) max_var = std::max<int64_t>(max_var, v);
+  for (const WriteSpec& w : writes_) max_var = std::max<int64_t>(max_var, w.var);
+  return max_var;
+}
+
+std::vector<Value> Operation::Evaluate(std::span<const Value> read_values) const {
+  REDO_CHECK_EQ(read_values.size(), read_set_.size());
+  std::vector<Value> out;
+  out.reserve(writes_.size());
+  for (const WriteSpec& w : writes_) {
+    Value v = w.constant;
+    for (const AffineTerm& t : w.terms) {
+      v += t.coeff * read_values[t.read_index];
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Value> Operation::ReadFrom(const State& state) const {
+  std::vector<Value> out;
+  out.reserve(read_set_.size());
+  for (VarId x : read_set_) out.push_back(state.Get(x));
+  return out;
+}
+
+void Operation::ApplyTo(State* state) const {
+  const std::vector<Value> read_values = ReadFrom(*state);
+  const std::vector<Value> written = Evaluate(read_values);
+  for (size_t i = 0; i < writes_.size(); ++i) {
+    state->Set(writes_[i].var, written[i]);
+  }
+}
+
+std::string Operation::DebugString() const {
+  std::ostringstream out;
+  out << name_ << ": reads{";
+  for (size_t i = 0; i < read_set_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << read_set_[i];
+  }
+  out << "} writes{";
+  for (size_t i = 0; i < writes_.size(); ++i) {
+    if (i > 0) out << "; ";
+    out << writes_[i].var << "<-" << writes_[i].constant;
+    for (const AffineTerm& t : writes_[i].terms) {
+      out << "+" << t.coeff << "*r" << t.read_index;
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace redo::core

@@ -1,0 +1,125 @@
+// Operations (§2.1): an operation is a function with a fixed read set and
+// a fixed write set; it atomically reads its read set and then writes its
+// write set.
+//
+// We restrict operation functions to *affine* maps over int64 values:
+// each written variable receives  constant + sum(coeff_i * read_value_i).
+// Affine operations cover every example in the paper (blind assignments
+// `y <- 2`, copies-with-offset `x <- y + 1`, increments, multi-variable
+// writes like `<x <- x+1; y <- y+1>`), are deterministic, and serialize
+// into log records, which the substrate layers rely on. The theory itself
+// only requires determinism and fixed read/write sets, which this class
+// guarantees by construction.
+
+#ifndef REDO_CORE_OPERATION_H_
+#define REDO_CORE_OPERATION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/state.h"
+#include "core/types.h"
+
+namespace redo::core {
+
+/// One linear term of an affine write: coeff * (value of the read-set
+/// variable at index read_index).
+struct AffineTerm {
+  uint32_t read_index;  ///< index into the operation's read set
+  int64_t coeff;
+
+  friend bool operator==(const AffineTerm&, const AffineTerm&) = default;
+};
+
+/// The affine function computing one written variable.
+struct WriteSpec {
+  VarId var;
+  int64_t constant = 0;
+  std::vector<AffineTerm> terms;
+
+  friend bool operator==(const WriteSpec&, const WriteSpec&) = default;
+};
+
+/// A deterministic operation with fixed read and write sets.
+///
+/// Invariants (established at construction): the read set is sorted and
+/// duplicate-free; write specs are sorted by variable and duplicate-free;
+/// every AffineTerm::read_index is in range.
+class Operation {
+ public:
+  /// Builds an operation. `name` is a display label ("A: x<-y+1").
+  Operation(std::string name, std::vector<VarId> read_set,
+            std::vector<WriteSpec> writes);
+
+  // ---- Factories for the common shapes used in the paper ----
+
+  /// Blind write `x <- c` (empty read set). Paper example: B: y <- 2.
+  static Operation Assign(std::string name, VarId x, Value c);
+
+  /// `x <- y + c` (reads y). Paper example: A: x <- y + 1.
+  static Operation AddConst(std::string name, VarId x, VarId y, Value c);
+
+  /// `x <- x + c` (reads and writes x).
+  static Operation Increment(std::string name, VarId x, Value c);
+
+  /// `<x <- x + cx ; y <- y + cy>` (reads and writes both).
+  /// Paper example: C: <x <- x+1; y <- y+1>.
+  static Operation DoubleIncrement(std::string name, VarId x, Value cx,
+                                   VarId y, Value cy);
+
+  /// Fully general affine operation.
+  static Operation Affine(std::string name, std::vector<VarId> read_set,
+                          std::vector<WriteSpec> writes) {
+    return Operation(std::move(name), std::move(read_set), std::move(writes));
+  }
+
+  // ---- Accessors ----
+
+  const std::string& name() const { return name_; }
+  const std::vector<VarId>& read_set() const { return read_set_; }
+  const std::vector<WriteSpec>& writes() const { return writes_; }
+
+  /// The write set as a sorted list of variables.
+  std::vector<VarId> write_set() const;
+
+  /// True if x is in the read set.
+  bool Reads(VarId x) const;
+
+  /// True if x is in the write set.
+  bool Writes(VarId x) const;
+
+  /// True if the operation reads or writes x.
+  bool Accesses(VarId x) const { return Reads(x) || Writes(x); }
+
+  /// Largest variable id mentioned, or -1 if the op touches nothing.
+  int64_t MaxVar() const;
+
+  // ---- Semantics ----
+
+  /// Evaluates the written values given the read values (aligned with
+  /// read_set()). Result is aligned with writes().
+  std::vector<Value> Evaluate(std::span<const Value> read_values) const;
+
+  /// Reads the read set from `state`.
+  std::vector<Value> ReadFrom(const State& state) const;
+
+  /// Applies the operation to `state` in place (atomic read-then-write).
+  void ApplyTo(State* state) const;
+
+  /// Structural equality (same name, read set, and write specs).
+  friend bool operator==(const Operation&, const Operation&) = default;
+
+  /// Human-readable rendering, e.g. "A: reads{1} writes{0<-r0+1}".
+  std::string DebugString() const;
+
+ private:
+  std::string name_;
+  std::vector<VarId> read_set_;     // sorted, unique
+  std::vector<WriteSpec> writes_;   // sorted by var, unique
+};
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_OPERATION_H_

@@ -1,0 +1,57 @@
+#include "core/random_history.h"
+
+#include <algorithm>
+#include <string>
+
+namespace redo::core {
+
+History RandomHistory(const RandomHistoryOptions& options, Rng& rng) {
+  REDO_CHECK_GT(options.num_vars, 0u);
+  REDO_CHECK_GT(options.max_writes, 0u);
+  History h(options.num_vars);
+
+  for (size_t i = 0; i < options.num_ops; ++i) {
+    const bool blind = rng.Chance(options.blind_write_probability);
+    const size_t num_reads =
+        blind ? 0
+              : static_cast<size_t>(rng.Below(
+                    std::min(options.max_reads, options.num_vars) + 1));
+    const size_t num_writes = 1 + static_cast<size_t>(rng.Below(
+                                      std::min(options.max_writes,
+                                               options.num_vars)));
+
+    // Sample distinct variables for the read and write sets.
+    std::vector<VarId> vars(options.num_vars);
+    for (VarId v = 0; v < options.num_vars; ++v) vars[v] = v;
+    rng.Shuffle(vars);
+    std::vector<VarId> read_set(vars.begin(),
+                                vars.begin() + static_cast<ptrdiff_t>(num_reads));
+    rng.Shuffle(vars);
+    std::vector<VarId> write_vars(
+        vars.begin(), vars.begin() + static_cast<ptrdiff_t>(num_writes));
+
+    std::vector<WriteSpec> writes;
+    for (VarId w : write_vars) {
+      WriteSpec spec;
+      spec.var = w;
+      // Distinct large constants make written values almost surely
+      // unique across the execution.
+      spec.constant = rng.Range(1, 1'000'000'000);
+      if (!read_set.empty()) {
+        // One or two affine terms with small coefficients.
+        const size_t terms = 1 + rng.Below(std::min<size_t>(2, read_set.size()));
+        for (size_t t = 0; t < terms; ++t) {
+          spec.terms.push_back(AffineTerm{
+              static_cast<uint32_t>(rng.Below(read_set.size())),
+              rng.Range(1, 3)});
+        }
+      }
+      writes.push_back(std::move(spec));
+    }
+    h.Append(Operation("R" + std::to_string(i), std::move(read_set),
+                       std::move(writes)));
+  }
+  return h;
+}
+
+}  // namespace redo::core

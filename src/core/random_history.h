@@ -1,0 +1,38 @@
+// Random history generation for property tests and benchmarks.
+//
+// Histories are sampled over a small variable universe with tunable
+// read/write set sizes and blind-write probability (blind writes are
+// what make variables unexposed, so the knob controls how much
+// installation-order flexibility the theory predicts).
+
+#ifndef REDO_CORE_RANDOM_HISTORY_H_
+#define REDO_CORE_RANDOM_HISTORY_H_
+
+#include <cstddef>
+
+#include "core/history.h"
+#include "util/rng.h"
+
+namespace redo::core {
+
+/// Knobs for random history generation.
+struct RandomHistoryOptions {
+  size_t num_ops = 8;
+  size_t num_vars = 4;
+  /// Maximum read-set size (actual size uniform in [0, max], further
+  /// forced to 0 for blind writes).
+  size_t max_reads = 2;
+  /// Maximum write-set size (actual size uniform in [1, max]).
+  size_t max_writes = 2;
+  /// Probability that an operation is a blind write (empty read set).
+  double blind_write_probability = 0.3;
+};
+
+/// Samples a history. Written values are affine in the read values with
+/// distinct random constants, so distinct executions produce distinct
+/// values almost surely (keeping recoverability tests non-vacuous).
+History RandomHistory(const RandomHistoryOptions& options, Rng& rng);
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_RANDOM_HISTORY_H_

@@ -1,0 +1,64 @@
+#include "core/recovery.h"
+
+#include <algorithm>
+
+namespace redo::core {
+
+RecoveryOutcome Recover(const History& history, const Log& log,
+                        const Bitset& checkpoint, const State& crash_state,
+                        RecoveryPolicy* policy) {
+  REDO_CHECK_EQ(log.size(), history.size());
+  REDO_CHECK_EQ(checkpoint.universe_size(), history.size());
+
+  RecoveryOutcome outcome;
+  outcome.final_state = crash_state;
+
+  // unrecovered = operations(log) - checkpoint, examined in log order.
+  std::vector<OpId> unrecovered;
+  for (const LogEntry& e : log.entries()) {
+    if (!checkpoint.Test(e.op)) unrecovered.push_back(e.op);
+  }
+
+  // Fig. 6 main loop. `unrecovered` shrinks from the front; we keep an
+  // index rather than erasing.
+  for (size_t next = 0; next < unrecovered.size(); ++next) {
+    const OpId op = unrecovered[next];
+    const std::vector<OpId> remaining(unrecovered.begin() +
+                                          static_cast<ptrdiff_t>(next),
+                                      unrecovered.end());
+    policy->Analyze(outcome.final_state, log, remaining);
+    ++outcome.analyze_calls;
+    ++outcome.considered;
+    if (policy->ShouldRedo(op, outcome.final_state, log)) {
+      history.op(op).ApplyTo(&outcome.final_state);
+      policy->OnRedo(op, log);
+      outcome.redo_set.push_back(op);
+    }
+  }
+  return outcome;
+}
+
+bool LsnTagPolicy::ShouldRedo(OpId op, const State&, const Log& log) {
+  const Lsn op_lsn = log.LsnOf(op);
+  // Installed iff every written variable's tag is >= the op's LSN
+  // (§6.4: a write-graph node's variables are written atomically, so all
+  // tags advance together; §6.3 is the single-page special case).
+  for (VarId x : history_->op(op).write_set()) {
+    if (TagOf(x) < op_lsn) return true;  // some write not yet installed
+  }
+  return false;
+}
+
+void LsnTagPolicy::OnRedo(OpId op, const Log& log) {
+  const Lsn op_lsn = log.LsnOf(op);
+  for (VarId x : history_->op(op).write_set()) {
+    tags_[x] = std::max(TagOf(x), op_lsn);
+  }
+}
+
+Lsn LsnTagPolicy::TagOf(VarId x) const {
+  const auto it = tags_.find(x);
+  return it == tags_.end() ? kNullLsn : it->second;
+}
+
+}  // namespace redo::core

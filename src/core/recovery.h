@@ -1,0 +1,122 @@
+// The abstract redo recovery procedure (§4.3-4.4, Figure 6).
+//
+//   procedure recover(state, log, checkpoint)
+//     unrecovered = operations(log) - checkpoint
+//     analysis = null
+//     while unrecovered is not empty
+//       O = minimal operation in unrecovered          (log order)
+//       analysis = analyze(state, log, unrecovered, analysis)
+//       state = if redo(O, state, log, analysis) then O(state) else state
+//       unrecovered = unrecovered - {O}
+//
+// The redo test and analysis function are supplied by a RecoveryPolicy.
+// The paper's "analysis value" threads through the policy's internal
+// state; the typical single-analysis-pass-at-start case is a policy
+// whose Analyze is a no-op after the first call.
+
+#ifndef REDO_CORE_RECOVERY_H_
+#define REDO_CORE_RECOVERY_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/history.h"
+#include "core/log.h"
+#include "core/state.h"
+#include "core/types.h"
+#include "util/bitset.h"
+
+namespace redo::core {
+
+/// The redo test + analysis function of a recovery procedure (§4.3-4.4).
+/// A policy instance is single-use: construct fresh for each recovery.
+class RecoveryPolicy {
+ public:
+  virtual ~RecoveryPolicy() = default;
+
+  /// The analysis phase, invoked once per loop iteration with the current
+  /// state and remaining unrecovered operations (Fig. 6). Policies with a
+  /// single analysis pass do their work on the first call only.
+  virtual void Analyze(const State& state, const Log& log,
+                       const std::vector<OpId>& unrecovered) {
+    (void)state;
+    (void)log;
+    (void)unrecovered;
+  }
+
+  /// The redo test: should `op` be replayed against `state`?
+  virtual bool ShouldRedo(OpId op, const State& state, const Log& log) = 0;
+
+  /// Invoked after `op` has been replayed (redo test returned true).
+  /// Lets stateful policies (LSN tags) track the effect of the replay.
+  virtual void OnRedo(OpId op, const Log& log) {
+    (void)op;
+    (void)log;
+  }
+};
+
+/// What a recovery execution did.
+struct RecoveryOutcome {
+  State final_state;            ///< state when recover() terminated
+  std::vector<OpId> redo_set;   ///< operations replayed, in replay order
+  size_t considered = 0;        ///< log records examined
+  size_t analyze_calls = 0;     ///< analysis phases performed
+};
+
+/// Runs the Figure 6 procedure from `crash_state`.
+RecoveryOutcome Recover(const History& history, const Log& log,
+                        const Bitset& checkpoint, const State& crash_state,
+                        RecoveryPolicy* policy);
+
+// ---- Built-in model-level policies ----
+
+/// Redo everything not checkpointed (logical and physical recovery, §6.1
+/// and §6.2: all operations logged since the last checkpoint replay).
+class RedoAllPolicy : public RecoveryPolicy {
+ public:
+  bool ShouldRedo(OpId, const State&, const Log&) override { return true; }
+};
+
+/// Redo exactly the operations outside a given installed set (a test
+/// oracle that makes the recovery invariant hold by construction when
+/// `installed` is an explaining installation-graph prefix).
+class OracleInstalledPolicy : public RecoveryPolicy {
+ public:
+  explicit OracleInstalledPolicy(Bitset installed)
+      : installed_(std::move(installed)) {}
+
+  bool ShouldRedo(OpId op, const State&, const Log&) override {
+    return !installed_.Test(op);
+  }
+
+ private:
+  Bitset installed_;
+};
+
+/// LSN-tag-based redo test (§6.3 physiological and §6.4 generalized):
+/// every variable (page) carries the LSN of the last operation that
+/// wrote it; an operation is installed iff every variable in its write
+/// set is tagged with an LSN >= the operation's LSN. Replaying an
+/// operation re-tags its write set.
+class LsnTagPolicy : public RecoveryPolicy {
+ public:
+  /// `tags` carries the stable state's per-variable LSN tags at crash;
+  /// variables absent from the map are tagged kNullLsn.
+  explicit LsnTagPolicy(const History* history, std::map<VarId, Lsn> tags)
+      : history_(history), tags_(std::move(tags)) {}
+
+  bool ShouldRedo(OpId op, const State&, const Log& log) override;
+  void OnRedo(OpId op, const Log& log) override;
+
+  /// Current tag of a variable.
+  Lsn TagOf(VarId x) const;
+
+ private:
+  const History* history_;
+  std::map<VarId, Lsn> tags_;
+};
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_RECOVERY_H_

@@ -1,0 +1,133 @@
+#include "core/replay.h"
+
+#include <algorithm>
+
+namespace redo::core {
+
+bool IsApplicable(const History& history, const StateGraph& state_graph,
+                  OpId op, const State& state) {
+  const std::vector<VarId>& read_set = history.op(op).read_set();
+  const std::vector<Value>& expected = state_graph.ReadsOf(op);
+  REDO_CHECK_EQ(read_set.size(), expected.size());
+  for (size_t i = 0; i < read_set.size(); ++i) {
+    if (state.Get(read_set[i]) != expected[i]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+Status ReplayInOrder(const History& history, const StateGraph& state_graph,
+                     const std::vector<OpId>& order, const Bitset& installed,
+                     State* state) {
+  for (OpId op : order) {
+    if (installed.Test(op)) continue;
+    if (!IsApplicable(history, state_graph, op, *state)) {
+      return Status::FailedPrecondition(
+          "operation " + history.op(op).name() +
+          " not applicable during replay");
+    }
+    history.op(op).ApplyTo(state);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ReplayUninstalled(const History& history, const ConflictGraph& conflict,
+                         const StateGraph& state_graph, const Bitset& installed,
+                         State* state) {
+  const std::vector<OpId> order = conflict.dag().TopologicalOrder();
+  return ReplayInOrder(history, state_graph, order, installed, state);
+}
+
+Status ReplayUninstalledRandomOrder(const History& history,
+                                    const ConflictGraph& conflict,
+                                    const StateGraph& state_graph,
+                                    const Bitset& installed, State* state,
+                                    Rng& rng) {
+  const std::vector<OpId> order = conflict.dag().RandomTopologicalOrder(rng);
+  return ReplayInOrder(history, state_graph, order, installed, state);
+}
+
+void ReplayExactly(const History& history, const std::vector<OpId>& order,
+                   State* state) {
+  for (OpId op : order) history.op(op).ApplyTo(state);
+}
+
+namespace {
+
+// Enumerates subsets of {0..n-1} as masks; for each subset, draws
+// conflict-consistent linearizations of the *subset* (the conflict graph
+// restricted to chosen ops) and replays them.
+bool SearchRecoveryWitness(const History& history, const ConflictGraph& conflict,
+                           const StateGraph& state_graph, const State& state,
+                           size_t orders_per_subset, Bitset* witness_out) {
+  const size_t n = history.size();
+  REDO_CHECK_LE(n, 20u) << "brute-force recoverability is exponential";
+  const State target = state_graph.FinalState();
+  Rng rng(0x5eed5eedULL);
+
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    Bitset subset(n);
+    std::vector<OpId> members;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        subset.Set(i);
+        members.push_back(static_cast<OpId>(i));
+      }
+    }
+    // Build the restriction of the conflict graph's *partial order* to
+    // `members` (paths through non-members still order members, so use
+    // reachability, not direct edges). Replay orders are the
+    // conflict-consistent linearizations of the subset.
+    Dag restricted(members.size());
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = 0; b < members.size(); ++b) {
+        if (a != b && conflict.Precedes(members[a], members[b])) {
+          restricted.AddEdge(static_cast<uint32_t>(a), static_cast<uint32_t>(b));
+        }
+      }
+    }
+    for (size_t trial = 0; trial < orders_per_subset; ++trial) {
+      const std::vector<uint32_t> local_order =
+          trial == 0 ? restricted.TopologicalOrder()
+                     : restricted.RandomTopologicalOrder(rng);
+      State replayed = state;
+      for (uint32_t local : local_order) {
+        history.op(members[local]).ApplyTo(&replayed);
+      }
+      if (replayed == target) {
+        if (witness_out != nullptr) *witness_out = subset;
+        return true;
+      }
+      if (members.size() <= 1) break;  // only one order exists
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsPotentiallyRecoverable(const History& history,
+                              const ConflictGraph& conflict,
+                              const StateGraph& state_graph, const State& state,
+                              size_t orders_per_subset) {
+  return SearchRecoveryWitness(history, conflict, state_graph, state,
+                               orders_per_subset, nullptr);
+}
+
+std::optional<Bitset> FindRecoveryWitness(const History& history,
+                                          const ConflictGraph& conflict,
+                                          const StateGraph& state_graph,
+                                          const State& state,
+                                          size_t orders_per_subset) {
+  Bitset witness;
+  if (SearchRecoveryWitness(history, conflict, state_graph, state,
+                            orders_per_subset, &witness)) {
+    return witness;
+  }
+  return std::nullopt;
+}
+
+}  // namespace redo::core

@@ -1,0 +1,81 @@
+// Replaying operations (§3.3) and potential recoverability (§3.4).
+//
+// An operation O is *applicable* to a state S if the variables in O's
+// read set have the same values in S as in the state determined by O's
+// predecessors in the conflict graph — equivalently, the values O read
+// during the original execution. Replaying an applicable operation
+// rewrites exactly the values it originally wrote.
+//
+// Theorem 3 (Potential Recoverability): if S is explained by a prefix
+// sigma of the installation graph, replaying the operations outside
+// sigma in any order consistent with the conflict graph recovers the
+// final state. ReplayUninstalled is that replay; the property tests
+// exercise it over random conflict-consistent orders.
+
+#ifndef REDO_CORE_REPLAY_H_
+#define REDO_CORE_REPLAY_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/conflict_graph.h"
+#include "core/history.h"
+#include "core/state_graph.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace redo::core {
+
+/// True if `op` is applicable to `state`: every read-set variable has the
+/// value the operation read in the original execution (§3.3).
+bool IsApplicable(const History& history, const StateGraph& state_graph,
+                  OpId op, const State& state);
+
+/// Replays the operations *outside* `installed` against `*state`, in a
+/// deterministic order consistent with the conflict graph. Verifies
+/// applicability before each replay and fails with FailedPrecondition on
+/// the first inapplicable operation (leaving `*state` partially
+/// replayed — callers treat that as "not recoverable this way").
+Status ReplayUninstalled(const History& history, const ConflictGraph& conflict,
+                         const StateGraph& state_graph, const Bitset& installed,
+                         State* state);
+
+/// Same, but replays in a random conflict-consistent order drawn from
+/// `rng` (Theorem 3 guarantees any such order works when the starting
+/// state is explained by `installed`).
+Status ReplayUninstalledRandomOrder(const History& history,
+                                    const ConflictGraph& conflict,
+                                    const StateGraph& state_graph,
+                                    const Bitset& installed, State* state,
+                                    Rng& rng);
+
+/// Replays exactly the operations listed in `order` (which the caller
+/// asserts is conflict-consistent), without applicability checks. This
+/// models a recovery procedure blindly redoing a chosen set; the result
+/// only matches the final state when the recovery invariant held.
+void ReplayExactly(const History& history, const std::vector<OpId>& order,
+                   State* state);
+
+/// Brute-force test of the §3 definition: S is *potentially recoverable*
+/// if some subset of operations, replayed in some conflict-consistent
+/// order, takes S to the final state determined by the conflict graph.
+/// Tries every subset and, for each, up to `orders_per_subset`
+/// conflict-consistent linearizations. Exponential: requires
+/// history.size() <= 20; meant for scenario-scale models and tests.
+bool IsPotentiallyRecoverable(const History& history,
+                              const ConflictGraph& conflict,
+                              const StateGraph& state_graph, const State& state,
+                              size_t orders_per_subset = 16);
+
+/// Like IsPotentiallyRecoverable but returns the witness subset (ops that
+/// were replayed), if any.
+std::optional<Bitset> FindRecoveryWitness(const History& history,
+                                          const ConflictGraph& conflict,
+                                          const StateGraph& state_graph,
+                                          const State& state,
+                                          size_t orders_per_subset = 16);
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_REPLAY_H_

@@ -1,0 +1,84 @@
+#include "core/scenarios.h"
+
+namespace redo::core {
+
+namespace {
+// Variable naming used throughout: var 0 is "x", var 1 is "y".
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+}  // namespace
+
+Scenario Scenario::Make(std::string label, History history, State initial) {
+  ConflictGraph conflict = ConflictGraph::Generate(history);
+  InstallationGraph installation = InstallationGraph::Derive(conflict);
+  StateGraph state_graph = StateGraph::Generate(history, conflict, initial);
+  return Scenario{std::move(label), std::move(history), std::move(initial),
+                  std::move(conflict), std::move(installation),
+                  std::move(state_graph)};
+}
+
+Scenario MakeScenario1() {
+  History h(2);
+  h.Append(Operation::AddConst("A: x<-y+1", kX, kY, 1));
+  h.Append(Operation::Assign("B: y<-2", kY, 2));
+  return Scenario::Make("Scenario 1 (Fig. 1): A then B", std::move(h),
+                        State(2, 0));
+}
+
+Scenario MakeScenario2() {
+  History h(2);
+  h.Append(Operation::Assign("B: y<-2", kY, 2));
+  h.Append(Operation::AddConst("A: x<-y+1", kX, kY, 1));
+  return Scenario::Make("Scenario 2 (Fig. 2): B then A", std::move(h),
+                        State(2, 0));
+}
+
+Scenario MakeScenario3() {
+  History h(2);
+  h.Append(Operation::DoubleIncrement("C: <x<-x+1; y<-y+1>", kX, 1, kY, 1));
+  h.Append(Operation::AddConst("D: x<-y+1", kX, kY, 1));
+  return Scenario::Make("Scenario 3 (Fig. 3): C then D", std::move(h),
+                        State(2, 0));
+}
+
+Scenario MakeFigure4() {
+  History h(2);
+  h.Append(Operation::Increment("O: x<-x+1", kX, 1));
+  h.Append(Operation::AddConst("P: y<-x+10", kY, kX, 10));
+  h.Append(Operation::Increment("Q: x<-x+100", kX, 100));
+  return Scenario::Make("Figure 4/5/7: O, P, Q", std::move(h), State(2, 0));
+}
+
+Scenario MakeFigure8() {
+  // Abstract page contents as integers: page x starts "full" at 1000;
+  // the split moves "half" (copies a function of x into the new page y),
+  // then the removal rewrites x without touching y.
+  History h(2);
+  h.Append(Operation::AddConst("P: y<-split(x)", kY, kX, -500));
+  h.Append(Operation::Increment("Q: x<-remove(x)", kX, -500));
+  State initial(2, 0);
+  initial.Set(kX, 1000);
+  return Scenario::Make("Figure 8 (§6.4): B-tree split P, Q", std::move(h),
+                        std::move(initial));
+}
+
+Scenario MakeSection5Efg() {
+  // The paper uses +1 for all three constants; we use distinct constants
+  // so that unrecoverable states are not accidentally recoverable through
+  // value coincidences (the structure — E reads y writes x, F reads x
+  // writes y, G reads and writes x — is exactly the paper's).
+  History h(2);
+  h.Append(Operation::AddConst("E: x<-y+1", kX, kY, 1));
+  h.Append(Operation::AddConst("F: y<-x+10", kY, kX, 10));
+  h.Append(Operation::Increment("G: x<-x+100", kX, 100));
+  return Scenario::Make("§5: E, F, G", std::move(h), State(2, 0));
+}
+
+Scenario MakeSection5Hj() {
+  History h(2);
+  h.Append(Operation::DoubleIncrement("H: <x<-x+1; y<-y+1>", kX, 1, kY, 1));
+  h.Append(Operation::Assign("J: y<-0", kY, 0));
+  return Scenario::Make("§5: H, J", std::move(h), State(2, 0));
+}
+
+}  // namespace redo::core

@@ -1,0 +1,70 @@
+// The paper's worked examples as ready-made model instances.
+//
+// Each scenario bundles a history, its graphs, and the crash states the
+// paper discusses, so tests, examples, and benchmarks reproduce the
+// figures from one authoritative definition.
+
+#ifndef REDO_CORE_SCENARIOS_H_
+#define REDO_CORE_SCENARIOS_H_
+
+#include <string>
+
+#include "core/conflict_graph.h"
+#include "core/history.h"
+#include "core/installation_graph.h"
+#include "core/state.h"
+#include "core/state_graph.h"
+
+namespace redo::core {
+
+/// A fully-derived model instance.
+struct Scenario {
+  std::string label;
+  History history;
+  State initial;
+  ConflictGraph conflict;
+  InstallationGraph installation;
+  StateGraph state_graph;
+
+  /// Builds all graphs for (history, initial).
+  static Scenario Make(std::string label, History history, State initial);
+};
+
+/// Figure 1 / Scenario 1: A: x<-y+1 then B: y<-2, x=y=0 initially.
+/// Installing B's write but not A's leaves an unrecoverable state (the
+/// read-write edge A->B was violated).
+Scenario MakeScenario1();
+
+/// Figure 2 / Scenario 2: B: y<-2 then A: x<-y+1. Installing A's write
+/// but not B's is recoverable by replaying B (only a write-read edge
+/// B->A was violated; such edges are not in the installation graph).
+Scenario MakeScenario2();
+
+/// Figure 3 / Scenario 3: C: <x<-x+1; y<-y+1> then D: x<-y+1.
+/// Installing only C's write to y (not x) is recoverable by replaying D:
+/// C's write to x is unexposed (D overwrites x before anything reads it).
+Scenario MakeScenario3();
+
+/// Figure 4/5/7: O (reads+writes x), P (reads x, writes y), Q (reads+
+/// writes x). Concretely O: x<-x+1, P: y<-x+10, Q: x<-x+100, from
+/// x=y=0. Conflict edges O->P (WR), O->Q (WW|WR|RW), P->Q (RW); the
+/// installation graph drops O->P, making {P} an extra prefix.
+Scenario MakeFigure4();
+
+/// Figure 8 / §6.4: a two-page B-tree split in the abstract model.
+/// P reads old page x and writes new page y (move half); Q reads and
+/// writes x (remove the moved half). The installation graph edge P->Q
+/// forces the cache manager to write the new page before the old one.
+Scenario MakeFigure8();
+
+/// §5's E,F,G example: E: x<-y+1; F: y<-x+1; G: x<-x+1. E and G cannot
+/// be installed without F: x and y must be written atomically.
+Scenario MakeSection5Efg();
+
+/// §5's H,J example: H: <x<-x+1; y<-y+1> then J: y<-0 (blind). H's
+/// write to y is unexposed after H, so installing H needs only x.
+Scenario MakeSection5Hj();
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_SCENARIOS_H_

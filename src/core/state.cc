@@ -1,0 +1,18 @@
+#include "core/state.h"
+
+#include <sstream>
+
+namespace redo::core {
+
+std::string State::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << values_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace redo::core

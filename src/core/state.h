@@ -1,0 +1,65 @@
+// System states (§2.1): a state is a function mapping each variable to a
+// value.
+
+#ifndef REDO_CORE_STATE_H_
+#define REDO_CORE_STATE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/logging.h"
+
+namespace redo::core {
+
+/// A total function from the dense variable universe {0..num_vars-1} to
+/// values. Value-semantic; equality is pointwise.
+class State {
+ public:
+  State() = default;
+
+  /// A state over `num_vars` variables, every variable = `fill`.
+  explicit State(size_t num_vars, Value fill = 0)
+      : values_(num_vars, fill) {}
+
+  /// A state with explicit per-variable values.
+  explicit State(std::vector<Value> values) : values_(std::move(values)) {}
+
+  /// Number of variables in the universe.
+  size_t num_vars() const { return values_.size(); }
+
+  /// Reads variable x.
+  Value Get(VarId x) const {
+    REDO_CHECK_LT(x, values_.size());
+    return values_[x];
+  }
+
+  /// Writes variable x.
+  void Set(VarId x, Value v) {
+    REDO_CHECK_LT(x, values_.size());
+    values_[x] = v;
+  }
+
+  /// Pointwise equality over the whole universe.
+  friend bool operator==(const State& a, const State& b) {
+    return a.values_ == b.values_;
+  }
+
+  /// True if the two states agree on every variable in `vars`.
+  bool AgreesWith(const State& other, const std::vector<VarId>& vars) const {
+    for (VarId x : vars) {
+      if (Get(x) != other.Get(x)) return false;
+    }
+    return true;
+  }
+
+  /// "[v0, v1, ...]" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_STATE_H_

@@ -1,0 +1,73 @@
+#include "core/state_graph.h"
+
+#include <sstream>
+
+namespace redo::core {
+
+StateGraph StateGraph::Generate(const History& history,
+                                const ConflictGraph& conflict,
+                                const State& initial) {
+  REDO_CHECK_EQ(history.size(), conflict.size());
+  StateGraph g;
+  g.initial_ = initial;
+  g.writes_.resize(history.size());
+  g.reads_.resize(history.size());
+  g.writers_of_var_.resize(history.num_vars());
+
+  State current = initial;
+  for (OpId i = 0; i < history.size(); ++i) {
+    const Operation& op = history.op(i);
+    g.reads_[i] = op.ReadFrom(current);
+    const std::vector<Value> written = op.Evaluate(g.reads_[i]);
+    const std::vector<WriteSpec>& specs = op.writes();
+    for (size_t w = 0; w < specs.size(); ++w) {
+      g.writes_[i].push_back(WritePair{specs[w].var, written[w]});
+      current.Set(specs[w].var, written[w]);
+      g.writers_of_var_[specs[w].var].push_back(i);
+    }
+  }
+  return g;
+}
+
+State StateGraph::DeterminedState(const Bitset& ops) const {
+  REDO_CHECK_EQ(ops.universe_size(), writes_.size());
+  State out = initial_;
+  for (VarId x = 0; x < writers_of_var_.size(); ++x) {
+    // Writers are stored in WW-chain order; the last one inside `ops`
+    // provides x's determined value.
+    const std::vector<OpId>& writers = writers_of_var_[x];
+    for (auto it = writers.rbegin(); it != writers.rend(); ++it) {
+      if (ops.Test(*it)) {
+        for (const WritePair& wp : writes_[*it]) {
+          if (wp.var == x) {
+            out.Set(x, wp.value);
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+State StateGraph::FinalState() const {
+  Bitset all(writes_.size());
+  for (size_t i = 0; i < writes_.size(); ++i) all.Set(static_cast<uint32_t>(i));
+  return DeterminedState(all);
+}
+
+std::string StateGraph::DebugString() const {
+  std::ostringstream out;
+  for (size_t n = 0; n < writes_.size(); ++n) {
+    out << "node O" << n << " writes{";
+    for (size_t i = 0; i < writes_[n].size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "<" << writes_[n][i].var << "," << writes_[n][i].value << ">";
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace redo::core

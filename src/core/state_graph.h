@@ -1,0 +1,92 @@
+// State graphs (§2.4).
+//
+// A state graph relabels each conflict-graph node n with
+//   ops(n)    — here the singleton {O_n}, and
+//   writes(n) — the variable-value pairs O_n wrote when the sequence was
+//               executed (x, value of x in S_n).
+// Nodes writing a common variable are totally ordered (they lie on the
+// WW chain of that variable), so "the last value written to x" by any
+// prefix is well-defined, and every prefix *determines* a state
+// (Lemma 2: the prefix {O_1..O_i} determines S_i).
+//
+// The state graph depends only on the conflict graph (the paper's
+// "conflict state graph"), which our Lemma-1/Lemma-2 property tests
+// verify by regenerating it from permuted sequences.
+
+#ifndef REDO_CORE_STATE_GRAPH_H_
+#define REDO_CORE_STATE_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/conflict_graph.h"
+#include "core/history.h"
+#include "core/state.h"
+#include "util/bitset.h"
+
+namespace redo::core {
+
+/// A variable-value pair in writes(n).
+struct WritePair {
+  VarId var;
+  Value value;
+
+  friend bool operator==(const WritePair&, const WritePair&) = default;
+};
+
+/// The conflict state graph of (history, initial state).
+class StateGraph {
+ public:
+  /// Generates the state graph by executing `history` from `initial`.
+  static StateGraph Generate(const History& history, const ConflictGraph& conflict,
+                             const State& initial);
+
+  size_t size() const { return writes_.size(); }
+  size_t num_vars() const { return initial_.num_vars(); }
+  const State& initial_state() const { return initial_; }
+
+  /// writes(n): the variable-value pairs node n wrote.
+  const std::vector<WritePair>& WritesOf(OpId n) const {
+    REDO_CHECK_LT(n, writes_.size());
+    return writes_[n];
+  }
+
+  /// The values node n's operation read (aligned with its read set).
+  /// Used by the applicability test (§3.3).
+  const std::vector<Value>& ReadsOf(OpId n) const {
+    REDO_CHECK_LT(n, reads_.size());
+    return reads_[n];
+  }
+
+  /// The state determined by the prefix induced by `ops` (§2.4): each
+  /// variable maps to the last value written to it by a node in `ops`
+  /// (WW-chain order), or to its initial value if no node in `ops`
+  /// writes it. `ops` need not be a conflict-graph prefix — installation
+  /// graph prefixes use the same determination rule (§3.1).
+  State DeterminedState(const Bitset& ops) const;
+
+  /// The state determined by the entire graph (the "final state", §2.4).
+  State FinalState() const;
+
+  /// Structural equality of labels (used by conflict-state-graph
+  /// uniqueness tests). Node ids must correspond.
+  friend bool operator==(const StateGraph& a, const StateGraph& b) {
+    return a.initial_ == b.initial_ && a.writes_ == b.writes_;
+  }
+
+  std::string DebugString() const;
+
+ private:
+  StateGraph() = default;
+
+  State initial_;
+  std::vector<std::vector<WritePair>> writes_;  // per node, sorted by var
+  std::vector<std::vector<Value>> reads_;       // per node, read-set aligned
+  // For each variable, the nodes writing it in WW-chain order (which for
+  // a generated graph is sequence order).
+  std::vector<std::vector<OpId>> writers_of_var_;
+};
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_STATE_GRAPH_H_

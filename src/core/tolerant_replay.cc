@@ -1,0 +1,103 @@
+#include "core/tolerant_replay.h"
+
+#include <algorithm>
+
+#include "core/replay.h"
+
+namespace redo::core {
+
+namespace {
+
+TolerantReplayOutcome ReplayInOrder(const History& history,
+                                    const StateGraph& state_graph,
+                                    const std::vector<uint32_t>& order,
+                                    const Bitset& installed,
+                                    const State& start) {
+  TolerantReplayOutcome outcome;
+  outcome.final_state = start;
+  for (OpId op : order) {
+    if (installed.Test(op)) continue;
+    if (!IsApplicable(history, state_graph, op, outcome.final_state)) {
+      outcome.inapplicable_replays.push_back(op);
+    }
+    history.op(op).ApplyTo(&outcome.final_state);
+  }
+  outcome.exact = outcome.final_state == state_graph.FinalState();
+  return outcome;
+}
+
+}  // namespace
+
+TolerantReplayOutcome ReplayToleratingUnexposedWrites(
+    const History& history, const ConflictGraph& conflict,
+    const StateGraph& state_graph, const Bitset& installed,
+    const State& start) {
+  return ReplayInOrder(history, state_graph, conflict.dag().TopologicalOrder(),
+                       installed, start);
+}
+
+TolerantReplayOutcome ReplayToleratingUnexposedWritesRandomOrder(
+    const History& history, const ConflictGraph& conflict,
+    const StateGraph& state_graph, const Bitset& installed, const State& start,
+    Rng& rng) {
+  return ReplayInOrder(history, state_graph,
+                       conflict.dag().RandomTopologicalOrder(rng), installed,
+                       start);
+}
+
+bool WritesShadowedAfter(const History& history, const ConflictGraph& conflict,
+                         OpId u) {
+  for (VarId y : history.op(u).write_set()) {
+    // Accessors of y other than u.
+    std::vector<OpId> followers;
+    for (OpId o = 0; o < history.size(); ++o) {
+      if (o == u || !history.op(o).Accesses(y)) continue;
+      if (conflict.Precedes(o, u)) continue;  // predecessors replay first
+      if (!conflict.Precedes(u, o)) return false;  // (b) incomparable accessor
+      followers.push_back(o);
+    }
+    if (followers.empty()) return false;  // (a) u would be y's final writer
+    // (c) minimal followers must blind-write y.
+    for (OpId candidate : followers) {
+      bool minimal = true;
+      for (OpId other : followers) {
+        if (other != candidate && conflict.Precedes(other, candidate)) {
+          minimal = false;
+          break;
+        }
+      }
+      if (!minimal) continue;
+      const Operation& op = history.op(candidate);
+      if (!op.Writes(y) || op.Reads(y)) return false;
+    }
+  }
+  return true;
+}
+
+TolerantInstallationGraph DeriveTolerantInstallationDag(
+    const History& history, const ConflictGraph& conflict,
+    const InstallationGraph& installation) {
+  TolerantInstallationGraph out;
+  out.dag = Dag(installation.size());
+  // Cache the harmlessness verdicts (one per source op).
+  std::vector<int> harmless(history.size(), -1);
+  auto is_harmless = [&](OpId u) {
+    if (harmless[u] < 0) {
+      harmless[u] = WritesShadowedAfter(history, conflict, u) ? 1 : 0;
+    }
+    return harmless[u] == 1;
+  };
+
+  for (const auto& [edge, kinds] : conflict.edges()) {
+    if (!installation.dag().HasEdge(edge.first, edge.second)) continue;
+    const bool solely_rw = (kinds & (kWriteWrite | kWriteRead)) == 0;
+    if (solely_rw && is_harmless(edge.first)) {
+      ++out.extra_removed_edges;
+      continue;  // the §7 extension drops this ordering requirement
+    }
+    out.dag.AddEdge(edge.first, edge.second);
+  }
+  return out;
+}
+
+}  // namespace redo::core

@@ -1,0 +1,86 @@
+// §7 extension: replaying operations that are NOT applicable.
+//
+// The paper closes by noting "interesting examples in which operations
+// can be replayed even when they are not applicable and write different
+// values during recovery. The key is that these writes are to the
+// unexposed portion of the state" (referencing Lomet & Tuttle's logical
+// logging work). This module mechanizes that extension:
+//
+//  - ReplayToleratingUnexposedWrites replays the uninstalled operations
+//    in conflict order *without* the applicability gate, recording which
+//    replays were inapplicable (and therefore wrote garbage).
+//
+//  - WritesShadowedAfter(u) is the static harmlessness condition: every
+//    variable u writes is blind-overwritten by the conflict-wise first
+//    following accessor, no accessor of it is incomparable with u, and
+//    its final writer follows u — so u's garbage can never be read and
+//    never survives.
+//
+//  - DeriveTolerantInstallationDag drops, beyond the installation
+//    graph's WR removals, those read-write edges u -> v whose violation
+//    only makes a harmless u inapplicable. Prefixes of this smaller
+//    graph are *more* installed-sets than the paper's theory admits, yet
+//    tolerant replay still recovers the final state — the extension's
+//    payoff, validated by the property tests.
+
+#ifndef REDO_CORE_TOLERANT_REPLAY_H_
+#define REDO_CORE_TOLERANT_REPLAY_H_
+
+#include <vector>
+
+#include "core/conflict_graph.h"
+#include "core/history.h"
+#include "core/installation_graph.h"
+#include "core/state_graph.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace redo::core {
+
+/// What a tolerant replay did.
+struct TolerantReplayOutcome {
+  State final_state{0};
+  /// Ops that were replayed while inapplicable (their reads differed
+  /// from the original execution, so they wrote garbage values).
+  std::vector<OpId> inapplicable_replays;
+  /// True if final_state equals the conflict-graph-determined state.
+  bool exact = false;
+};
+
+/// Replays the operations outside `installed` against `start`, in a
+/// deterministic conflict-consistent order, with no applicability gate.
+TolerantReplayOutcome ReplayToleratingUnexposedWrites(
+    const History& history, const ConflictGraph& conflict,
+    const StateGraph& state_graph, const Bitset& installed, const State& start);
+
+/// Randomized-order variant.
+TolerantReplayOutcome ReplayToleratingUnexposedWritesRandomOrder(
+    const History& history, const ConflictGraph& conflict,
+    const StateGraph& state_graph, const Bitset& installed, const State& start,
+    Rng& rng);
+
+/// The static harmlessness condition for operation u: for every variable
+/// y in u's write set,
+///   (a) some operation accesses y after u (u is not y's final writer),
+///   (b) every accessor of y other than u is comparable with u in the
+///       conflict order (no racy reader can slip before the shadow), and
+///   (c) every minimal accessor of y following u writes y without
+///       reading it (a blind overwrite shadows u's garbage).
+bool WritesShadowedAfter(const History& history, const ConflictGraph& conflict,
+                         OpId u);
+
+/// The installation graph further weakened by the §7 extension: RW edges
+/// u -> v are dropped when WritesShadowedAfter(u) holds (installing v
+/// before u merely makes u's replay inapplicable, which is harmless).
+/// Returns the DAG plus how many extra edges were dropped.
+struct TolerantInstallationGraph {
+  Dag dag;
+  size_t extra_removed_edges = 0;
+};
+TolerantInstallationGraph DeriveTolerantInstallationDag(
+    const History& history, const ConflictGraph& conflict,
+    const InstallationGraph& installation);
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_TOLERANT_REPLAY_H_

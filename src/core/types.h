@@ -1,0 +1,47 @@
+// Fundamental identifier and value types of the formal model (§2.1).
+//
+// The paper models a recoverable system over an abstract set of variables
+// and values. We use dense 32-bit variable ids (in a concrete deployment
+// a variable is a page; the checker maps PageId -> VarId) and 64-bit
+// integer values (the checker maps page contents to values by hash; the
+// theory only ever *compares* values for equality).
+
+#ifndef REDO_CORE_TYPES_H_
+#define REDO_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace redo::core {
+
+/// Identifies a variable of the recoverable system. Dense: a model
+/// instance with `num_vars` variables uses ids 0 .. num_vars-1.
+using VarId = uint32_t;
+
+/// The value of a variable. The theory needs only equality; affine
+/// operations additionally use integer arithmetic.
+using Value = int64_t;
+
+/// Identifies an operation by its index in the generating operation
+/// sequence (History). Node ids of the conflict / installation / state
+/// graphs coincide with OpIds because those graphs have one node per
+/// operation.
+using OpId = uint32_t;
+
+/// Identifies a node of a write graph. Write-graph nodes are created by
+/// Collapse operations, so their ids are not OpIds.
+using WriteNodeId = uint32_t;
+
+/// A log sequence number (§6.3). LSNs increase monotonically with each
+/// logged operation.
+using Lsn = uint64_t;
+
+/// Sentinel for "no LSN yet" (a page never written by a logged op).
+inline constexpr Lsn kNullLsn = 0;
+
+/// Sentinel OpId.
+inline constexpr OpId kInvalidOpId = std::numeric_limits<OpId>::max();
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_TYPES_H_

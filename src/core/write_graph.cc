@@ -1,0 +1,459 @@
+#include "core/write_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace redo::core {
+
+namespace {
+
+void SortUnique(std::vector<VarId>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+void AddEdgeUnique(std::vector<WriteNodeId>* edges, WriteNodeId id) {
+  if (std::find(edges->begin(), edges->end(), id) == edges->end()) {
+    edges->push_back(id);
+  }
+}
+
+void RemoveEdge(std::vector<WriteNodeId>* edges, WriteNodeId id) {
+  edges->erase(std::remove(edges->begin(), edges->end(), id), edges->end());
+}
+
+}  // namespace
+
+WriteGraph WriteGraph::FromInstallationGraph(
+    const History& history, const InstallationGraph& installation,
+    const StateGraph& state_graph) {
+  REDO_CHECK_EQ(history.size(), installation.size());
+  WriteGraph g;
+  g.num_vars_ = history.num_vars();
+  g.nodes_.resize(history.size());
+  for (OpId i = 0; i < history.size(); ++i) {
+    WriteGraphNode& n = g.nodes_[i];
+    n.ops = {i};
+    n.writes = state_graph.WritesOf(i);
+    n.reads = history.op(i).read_set();
+  }
+  for (uint32_t u = 0; u < installation.size(); ++u) {
+    for (uint32_t v : installation.dag().OutEdges(u)) {
+      g.nodes_[u].out.push_back(v);
+      g.nodes_[v].in.push_back(u);
+    }
+  }
+  return g;
+}
+
+WriteNodeId WriteGraph::AddInitialNode(const State& initial) {
+  REDO_CHECK_EQ(initial.num_vars(), num_vars_ == 0 ? initial.num_vars() : num_vars_);
+  if (num_vars_ == 0) num_vars_ = initial.num_vars();
+  const WriteNodeId id = static_cast<WriteNodeId>(nodes_.size());
+  WriteGraphNode n;
+  n.installed = true;
+  for (VarId x = 0; x < initial.num_vars(); ++x) {
+    n.writes.push_back(WritePair{x, initial.Get(x)});
+  }
+  nodes_.push_back(std::move(n));
+  for (WriteNodeId other = 0; other < id; ++other) {
+    if (!nodes_[other].alive) continue;
+    nodes_[id].out.push_back(other);
+    nodes_[other].in.push_back(id);
+  }
+  return id;
+}
+
+std::vector<WriteNodeId> WriteGraph::AliveNodes() const {
+  std::vector<WriteNodeId> out;
+  for (WriteNodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].alive) out.push_back(i);
+  }
+  return out;
+}
+
+size_t WriteGraph::NumAlive() const { return AliveNodes().size(); }
+
+bool WriteGraph::Reaches(WriteNodeId a, WriteNodeId b) const {
+  REDO_CHECK(nodes_[a].alive && nodes_[b].alive);
+  if (a == b) return false;
+  std::vector<WriteNodeId> stack = {a};
+  std::set<WriteNodeId> visited = {a};
+  while (!stack.empty()) {
+    const WriteNodeId cur = stack.back();
+    stack.pop_back();
+    for (WriteNodeId next : nodes_[cur].out) {
+      if (next == b) return true;
+      if (visited.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::vector<WriteNodeId> WriteGraph::InstallFrontier() const {
+  std::vector<WriteNodeId> frontier;
+  for (WriteNodeId i = 0; i < nodes_.size(); ++i) {
+    const WriteGraphNode& n = nodes_[i];
+    if (!n.alive || n.installed) continue;
+    bool ready = true;
+    for (WriteNodeId p : n.in) {
+      if (!nodes_[p].installed) {
+        ready = false;
+        break;
+      }
+    }
+    if (ready) frontier.push_back(i);
+  }
+  return frontier;
+}
+
+Status WriteGraph::InstallNode(WriteNodeId n) {
+  if (n >= nodes_.size() || !nodes_[n].alive) {
+    return Status::InvalidArgument("install: node not alive");
+  }
+  if (nodes_[n].installed) {
+    return Status::FailedPrecondition("install: node already installed");
+  }
+  for (WriteNodeId p : nodes_[n].in) {
+    if (!nodes_[p].installed) {
+      return Status::FailedPrecondition(
+          "install: predecessor not installed (write-order constraint)");
+    }
+  }
+  nodes_[n].installed = true;
+  return Status::Ok();
+}
+
+Status WriteGraph::AddEdge(WriteNodeId from, WriteNodeId to) {
+  if (from >= nodes_.size() || to >= nodes_.size() || !nodes_[from].alive ||
+      !nodes_[to].alive) {
+    return Status::InvalidArgument("add-edge: node not alive");
+  }
+  if (nodes_[to].installed) {
+    return Status::FailedPrecondition("add-edge: target already installed");
+  }
+  if (from == to || Reaches(to, from)) {
+    return Status::FailedPrecondition("add-edge: would create a cycle");
+  }
+  AddEdgeUnique(&nodes_[from].out, to);
+  AddEdgeUnique(&nodes_[to].in, from);
+  return Status::Ok();
+}
+
+Result<WriteNodeId> WriteGraph::CollapseNodes(
+    const std::vector<WriteNodeId>& group) {
+  if (group.empty()) return Status::InvalidArgument("collapse: empty group");
+  std::set<WriteNodeId> members(group.begin(), group.end());
+  if (members.size() != group.size()) {
+    return Status::InvalidArgument("collapse: duplicate members");
+  }
+  for (WriteNodeId m : group) {
+    if (m >= nodes_.size() || !nodes_[m].alive) {
+      return Status::InvalidArgument("collapse: node not alive");
+    }
+  }
+
+  // Build the merged labels. Writes: for each variable, keep the value
+  // of the member that every other member writing it precedes (§5.1,
+  // conditions (i) and (ii)).
+  WriteGraphNode merged;
+  std::set<VarId> written_vars;
+  for (WriteNodeId m : group) {
+    merged.ops.insert(merged.ops.end(), nodes_[m].ops.begin(),
+                      nodes_[m].ops.end());
+    merged.reads.insert(merged.reads.end(), nodes_[m].reads.begin(),
+                        nodes_[m].reads.end());
+    merged.installed = merged.installed || nodes_[m].installed;
+    for (const WritePair& wp : nodes_[m].writes) written_vars.insert(wp.var);
+  }
+  std::sort(merged.ops.begin(), merged.ops.end());
+  SortUnique(&merged.reads);
+  for (VarId x : written_vars) {
+    std::vector<WriteNodeId> writers;
+    for (WriteNodeId m : group) {
+      for (const WritePair& wp : nodes_[m].writes) {
+        if (wp.var == x) writers.push_back(m);
+      }
+    }
+    // The latest writer: every other writer is ordered before it in the
+    // old graph.
+    WriteNodeId latest = kInvalidOpId;
+    for (WriteNodeId s : writers) {
+      bool all_before = true;
+      for (WriteNodeId t : writers) {
+        if (t != s && !Reaches(t, s)) {
+          all_before = false;
+          break;
+        }
+      }
+      if (all_before) {
+        latest = s;
+        break;
+      }
+    }
+    if (latest == kInvalidOpId) {
+      return Status::FailedPrecondition(
+          "collapse: writers of a variable are not totally ordered");
+    }
+    for (const WritePair& wp : nodes_[latest].writes) {
+      if (wp.var == x) merged.writes.push_back(wp);
+    }
+  }
+  std::sort(merged.writes.begin(), merged.writes.end(),
+            [](const WritePair& a, const WritePair& b) { return a.var < b.var; });
+
+  // External edges of the merged node.
+  for (WriteNodeId m : group) {
+    for (WriteNodeId p : nodes_[m].in) {
+      if (!members.count(p)) AddEdgeUnique(&merged.in, p);
+    }
+    for (WriteNodeId s : nodes_[m].out) {
+      if (!members.count(s)) AddEdgeUnique(&merged.out, s);
+    }
+  }
+
+  // Acyclicity: a cycle appears iff some external node is both reachable
+  // from the group and reaches the group. Check on the *old* graph: for
+  // each external successor s of the group, can s reach a group member?
+  for (WriteNodeId s : merged.out) {
+    bool reaches_group = false;
+    for (WriteNodeId m : group) {
+      if (s == m || Reaches(s, m)) {
+        reaches_group = true;
+        break;
+      }
+    }
+    if (reaches_group) {
+      return Status::FailedPrecondition("collapse: result would be cyclic");
+    }
+  }
+
+  // Installed-prefix preservation: if the merged node is installed, all
+  // its external predecessors must be installed; if it is uninstalled,
+  // no installed node may have it as a predecessor (which cannot happen
+  // if the graph was a valid write graph, since merged-uninstalled means
+  // every member was uninstalled).
+  if (merged.installed) {
+    for (WriteNodeId p : merged.in) {
+      if (!nodes_[p].installed) {
+        return Status::FailedPrecondition(
+            "collapse: installed result would follow an uninstalled node");
+      }
+    }
+  }
+
+  // Commit.
+  const WriteNodeId merged_id = static_cast<WriteNodeId>(nodes_.size());
+  for (WriteNodeId m : group) {
+    nodes_[m].alive = false;
+  }
+  ReplaceEdges(group, merged_id);
+  // ReplaceEdges rewired the neighbors; merged.in/out computed above are
+  // already the external adjacency.
+  nodes_.push_back(std::move(merged));
+  return merged_id;
+}
+
+void WriteGraph::ReplaceEdges(const std::vector<WriteNodeId>& group,
+                              WriteNodeId merged_id) {
+  std::set<WriteNodeId> members(group.begin(), group.end());
+  for (WriteNodeId m : group) {
+    for (WriteNodeId p : nodes_[m].in) {
+      if (members.count(p)) continue;
+      RemoveEdge(&nodes_[p].out, m);
+      AddEdgeUnique(&nodes_[p].out, merged_id);
+    }
+    for (WriteNodeId s : nodes_[m].out) {
+      if (members.count(s)) continue;
+      RemoveEdge(&nodes_[s].in, m);
+      AddEdgeUnique(&nodes_[s].in, merged_id);
+    }
+    nodes_[m].in.clear();
+    nodes_[m].out.clear();
+  }
+}
+
+Status WriteGraph::RemoveWrite(WriteNodeId n, VarId x) {
+  if (n >= nodes_.size() || !nodes_[n].alive) {
+    return Status::InvalidArgument("remove-write: node not alive");
+  }
+  WriteGraphNode& node_n = nodes_[n];
+  const auto wit = std::find_if(node_n.writes.begin(), node_n.writes.end(),
+                                [x](const WritePair& wp) { return wp.var == x; });
+  if (wit == node_n.writes.end()) {
+    return Status::NotFound("remove-write: node does not write the variable");
+  }
+
+  // Is there a node following n that writes x at all / blindly?
+  bool overwriter_follows = false;
+  bool blind_overwriter_follows = false;
+  for (WriteNodeId f = 0; f < nodes_.size(); ++f) {
+    if (!nodes_[f].alive || f == n) continue;
+    const bool writes_x =
+        std::any_of(nodes_[f].writes.begin(), nodes_[f].writes.end(),
+                    [x](const WritePair& wp) { return wp.var == x; });
+    if (!writes_x || !Reaches(n, f)) continue;
+    overwriter_follows = true;
+    const bool reads_x = std::binary_search(nodes_[f].reads.begin(),
+                                            nodes_[f].reads.end(), x);
+    if (!reads_x) {
+      blind_overwriter_follows = true;
+      break;
+    }
+  }
+  // The value being removed must be shadowed by a following writer —
+  // otherwise x's final value would never reach the stable state. (The
+  // paper's §5.1 condition speaks only of readers; a later writer is
+  // implicit in its cache-manager scenario, and without one the removal
+  // demonstrably breaks Corollary 5.)
+  if (!overwriter_follows) {
+    return Status::FailedPrecondition(
+        "remove-write: no following writer shadows the removed value");
+  }
+
+  for (WriteNodeId m = 0; m < nodes_.size(); ++m) {
+    if (!nodes_[m].alive) continue;
+    const bool reads_x =
+        std::binary_search(nodes_[m].reads.begin(), nodes_[m].reads.end(), x);
+    if (!reads_x) continue;
+    if (nodes_[m].installed) continue;
+    // A node's own read counts as ordered before its write (§2.1: an
+    // operation atomically reads, then writes) — this is what licenses
+    // the paper's H,J example, where H's write to y is removed even
+    // though H itself reads y, because J blind-writes y after H.
+    if ((m == n || Reaches(m, n)) && blind_overwriter_follows) continue;
+    return Status::FailedPrecondition(
+        "remove-write: an uninstalled reader still needs the value");
+  }
+
+  node_n.writes.erase(wit);
+  return Status::Ok();
+}
+
+Bitset WriteGraph::InstalledOps(size_t num_ops) const {
+  Bitset installed(num_ops);
+  for (const WriteGraphNode& n : nodes_) {
+    if (!n.alive || !n.installed) continue;
+    for (OpId op : n.ops) installed.Set(op);
+  }
+  return installed;
+}
+
+State WriteGraph::DeterminedInstalledState(const State& initial) const {
+  State out = initial;
+  for (VarId x = 0; x < initial.num_vars(); ++x) {
+    // The latest installed writer of x.
+    std::vector<WriteNodeId> writers;
+    for (WriteNodeId i = 0; i < nodes_.size(); ++i) {
+      if (!nodes_[i].alive || !nodes_[i].installed) continue;
+      for (const WritePair& wp : nodes_[i].writes) {
+        if (wp.var == x) writers.push_back(i);
+      }
+    }
+    if (writers.empty()) continue;
+    WriteNodeId latest = kInvalidOpId;
+    for (WriteNodeId s : writers) {
+      bool all_before = true;
+      for (WriteNodeId t : writers) {
+        if (t != s && !Reaches(t, s)) {
+          all_before = false;
+          break;
+        }
+      }
+      if (all_before) {
+        latest = s;
+        break;
+      }
+    }
+    REDO_CHECK_NE(latest, kInvalidOpId)
+        << "writers of var " << x << " are not totally ordered";
+    for (const WritePair& wp : nodes_[latest].writes) {
+      if (wp.var == x) out.Set(x, wp.value);
+    }
+  }
+  return out;
+}
+
+bool WriteGraph::InstalledIsPrefix() const {
+  for (WriteNodeId i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].alive || !nodes_[i].installed) continue;
+    for (WriteNodeId p : nodes_[i].in) {
+      if (!nodes_[p].installed) return false;
+    }
+  }
+  return true;
+}
+
+bool WriteGraph::Validate() const {
+  // Acyclicity via iterative DFS coloring over alive nodes.
+  std::vector<int> color(nodes_.size(), 0);  // 0 white, 1 gray, 2 black
+  for (WriteNodeId start = 0; start < nodes_.size(); ++start) {
+    if (!nodes_[start].alive || color[start] != 0) continue;
+    std::vector<std::pair<WriteNodeId, size_t>> stack = {{start, 0}};
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [v, next_child] = stack.back();
+      if (next_child < nodes_[v].out.size()) {
+        const WriteNodeId child = nodes_[v].out[next_child++];
+        REDO_CHECK(nodes_[child].alive) << "edge to dead node";
+        if (color[child] == 1) {
+          REDO_CHECK(false) << "write graph has a cycle";
+        }
+        if (color[child] == 0) {
+          color[child] = 1;
+          stack.push_back({child, 0});
+        }
+      } else {
+        color[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  REDO_CHECK(InstalledIsPrefix()) << "installed nodes are not a prefix";
+  // State-graph property: writers of a common variable pairwise ordered.
+  const std::vector<WriteNodeId> alive = AliveNodes();
+  for (VarId x = 0; x < num_vars_; ++x) {
+    std::vector<WriteNodeId> writers;
+    for (WriteNodeId i : alive) {
+      for (const WritePair& wp : nodes_[i].writes) {
+        if (wp.var == x) writers.push_back(i);
+      }
+    }
+    for (size_t a = 0; a < writers.size(); ++a) {
+      for (size_t b = a + 1; b < writers.size(); ++b) {
+        REDO_CHECK(Reaches(writers[a], writers[b]) ||
+                   Reaches(writers[b], writers[a]))
+            << "writers of var " << x << " are incomparable";
+      }
+    }
+  }
+  return true;
+}
+
+std::string WriteGraph::DebugString() const {
+  std::ostringstream out;
+  for (WriteNodeId i = 0; i < nodes_.size(); ++i) {
+    const WriteGraphNode& n = nodes_[i];
+    if (!n.alive) continue;
+    out << "n" << i << (n.installed ? " [installed]" : "") << " ops{";
+    for (size_t k = 0; k < n.ops.size(); ++k) {
+      if (k > 0) out << ",";
+      out << "O" << n.ops[k];
+    }
+    out << "} writes{";
+    for (size_t k = 0; k < n.writes.size(); ++k) {
+      if (k > 0) out << ", ";
+      out << "<" << n.writes[k].var << "," << n.writes[k].value << ">";
+    }
+    out << "} ->{";
+    for (size_t k = 0; k < n.out.size(); ++k) {
+      if (k > 0) out << ",";
+      out << "n" << n.out[k];
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace redo::core

@@ -1,0 +1,137 @@
+// Write graphs (§5): how systems accumulate the effects of multiple
+// operations and install them atomically.
+//
+// A write graph is a state graph whose nodes carry an `installed` flag
+// (installed nodes always form a prefix) and that evolves from the
+// installation state graph through four operations:
+//
+//   Install a node   — mark a node installed; all predecessors must
+//                      already be installed.
+//   Add an edge      — constrain order further; target must be
+//                      uninstalled and the graph must stay acyclic.
+//   Collapse nodes   — merge a set of nodes (how caches keep one copy of
+//                      a page, and how installing into stable state is
+//                      modeled); writes keep the graph-latest value per
+//                      variable; result must be acyclic and the
+//                      installed prefix must survive.
+//   Remove a write   — drop <x,v> from a node's writes; allowed only
+//                      when no uninstalled reader of x still needs it
+//                      (the unexposed-variable optimization).
+//
+// Corollary 5: the state determined by the installed prefix of a write
+// graph is potentially recoverable.
+
+#ifndef REDO_CORE_WRITE_GRAPH_H_
+#define REDO_CORE_WRITE_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.h"
+#include "core/installation_graph.h"
+#include "core/state.h"
+#include "core/state_graph.h"
+#include "core/types.h"
+#include "util/bitset.h"
+#include "util/status.h"
+
+namespace redo::core {
+
+/// A node of a write graph.
+struct WriteGraphNode {
+  std::vector<OpId> ops;          ///< ops(n), sorted
+  std::vector<WritePair> writes;  ///< writes(n), sorted by var, one per var
+  std::vector<VarId> reads;       ///< union of ops' read sets, sorted
+  bool installed = false;
+  bool alive = true;              ///< false once collapsed into another node
+  std::vector<WriteNodeId> out;   ///< direct successors (alive ids only)
+  std::vector<WriteNodeId> in;    ///< direct predecessors (alive ids only)
+};
+
+/// A mutable write graph. Node ids are stable; collapsed-away nodes stay
+/// in the array with alive=false.
+class WriteGraph {
+ public:
+  /// The simplest write graph (§5.1): one node per installation-graph
+  /// node, labeled with the variable-value pairs its operation writes;
+  /// edges are the installation-graph edges; nothing installed.
+  static WriteGraph FromInstallationGraph(const History& history,
+                                          const InstallationGraph& installation,
+                                          const StateGraph& state_graph);
+
+  /// Adds a synthetic *initial node* representing the stable state (§6:
+  /// "stable state is represented by a single write graph node, the
+  /// initial or minimum node"). It is installed, carries every variable's
+  /// initial value, and precedes every operation node. Returns its id.
+  WriteNodeId AddInitialNode(const State& initial);
+
+  // ---- The four §5.1 operations ----
+
+  /// Install a node. Fails unless every predecessor is installed.
+  Status InstallNode(WriteNodeId n);
+
+  /// Add an edge from -> to. Fails if `to` is installed or a cycle would
+  /// form.
+  Status AddEdge(WriteNodeId from, WriteNodeId to);
+
+  /// Collapse a set of (alive) nodes into a single new node. Fails if
+  /// the result would be cyclic or would break the installed-prefix
+  /// property. Returns the new node's id.
+  Result<WriteNodeId> CollapseNodes(const std::vector<WriteNodeId>& group);
+
+  /// Remove the write to `x` from node `n`. Fails unless every alive
+  /// node m reading x satisfies: m is installed, or m is ordered before
+  /// n and some node following n writes x without reading it.
+  Status RemoveWrite(WriteNodeId n, VarId x);
+
+  // ---- Queries ----
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const WriteGraphNode& node(WriteNodeId n) const {
+    REDO_CHECK_LT(n, nodes_.size());
+    return nodes_[n];
+  }
+  std::vector<WriteNodeId> AliveNodes() const;
+  size_t NumAlive() const;
+
+  /// True if there is a path a -> b among alive nodes.
+  bool Reaches(WriteNodeId a, WriteNodeId b) const;
+
+  /// Alive uninstalled nodes all of whose predecessors are installed —
+  /// the nodes a cache manager may install next.
+  std::vector<WriteNodeId> InstallFrontier() const;
+
+  /// The union of ops(n) over installed nodes, as a bitset over
+  /// `num_ops` operations. This is the installed set whose
+  /// installation-graph prefix explains the determined state.
+  Bitset InstalledOps(size_t num_ops) const;
+
+  /// The state determined by the installed nodes: each variable maps to
+  /// the value written by the graph-latest installed writer, or to its
+  /// value in `initial`. (With an initial node, `initial` is shadowed by
+  /// the node's writes.)
+  State DeterminedInstalledState(const State& initial) const;
+
+  /// Internal consistency: alive graph is acyclic, installed nodes form
+  /// a prefix, and nodes writing a common variable are totally ordered
+  /// (the state-graph property). CHECK-fails with a message on
+  /// violation; returns true otherwise. Called by tests after every
+  /// mutation sequence.
+  bool Validate() const;
+
+  std::string DebugString() const;
+
+ private:
+  WriteGraph() = default;
+
+  bool InstalledIsPrefix() const;
+  void ReplaceEdges(const std::vector<WriteNodeId>& group, WriteNodeId merged);
+
+  size_t num_vars_ = 0;
+  std::vector<WriteGraphNode> nodes_;
+};
+
+}  // namespace redo::core
+
+#endif  // REDO_CORE_WRITE_GRAPH_H_

@@ -1,0 +1,79 @@
+#include "engine/minidb.h"
+
+namespace redo::engine {
+
+MiniDb::MiniDb(const MiniDbOptions& options,
+               std::unique_ptr<methods::RecoveryMethod> method)
+    : disk_(options.num_pages),
+      pool_(&disk_, options.cache_capacity),
+      method_(std::move(method)) {
+  REDO_CHECK(options.cache_capacity == 0 || options.cache_capacity >= 2)
+      << "split redo needs two pages cached at once";
+  REDO_CHECK(method_ != nullptr);
+  REDO_CHECK(method_->allows_background_flush() || options.cache_capacity == 0)
+      << method_->name()
+      << " forbids background flushes; use an unbounded cache";
+  pool_.set_wal_hook([this](core::Lsn lsn) { return log_.Force(lsn); });
+}
+
+Result<core::Lsn> MiniDb::WriteSlot(storage::PageId page, uint32_t slot,
+                                    int64_t value) {
+  return Apply(MakeSlotWrite(page, slot, value));
+}
+
+Result<core::Lsn> MiniDb::BlindFormat(storage::PageId page, int64_t fill) {
+  return Apply(MakeBlindFormat(page, fill));
+}
+
+Result<core::Lsn> MiniDb::Apply(const SinglePageOp& op) {
+  methods::EngineContext context = ctx();
+  return method_->LogAndApply(context, op);
+}
+
+Result<methods::RecoveryMethod::SplitLsns> MiniDb::Split(const SplitOp& op) {
+  if (op.src == op.dst) {
+    return Status::InvalidArgument("split: src and dst must differ");
+  }
+  methods::EngineContext context = ctx();
+  return method_->LogAndApplySplit(context, op);
+}
+
+Result<int64_t> MiniDb::ReadSlot(storage::PageId page, uint32_t slot) {
+  Result<storage::Page*> cached = pool_.Fetch(page);
+  if (!cached.ok()) return cached.status();
+  if (slot >= storage::Page::NumSlots()) {
+    return Status::InvalidArgument("slot out of range");
+  }
+  return cached.value()->ReadSlot(slot);
+}
+
+Result<storage::Page*> MiniDb::FetchPage(storage::PageId page) {
+  return pool_.Fetch(page);
+}
+
+Status MiniDb::Checkpoint() {
+  methods::EngineContext context = ctx();
+  return method_->Checkpoint(context);
+}
+
+Status MiniDb::MaybeFlushPage(storage::PageId page) {
+  if (!method_->allows_background_flush()) return Status::Ok();
+  return pool_.FlushPageCascading(page);
+}
+
+Status MiniDb::FlushEverything() {
+  if (!method_->allows_background_flush()) return Status::Ok();
+  return pool_.FlushAll();
+}
+
+void MiniDb::Crash() {
+  pool_.Crash();
+  log_.Crash();
+}
+
+Status MiniDb::Recover() {
+  methods::EngineContext context = ctx();
+  return method_->Recover(context);
+}
+
+}  // namespace redo::engine

@@ -1,0 +1,106 @@
+// MiniDb: the simulated database engine.
+//
+// Ties together the stable disk, the buffer pool (cache manager), the
+// log manager, and a pluggable recovery method. Exposes the update
+// operations the workloads drive (slot writes, blind formats, splits),
+// checkpointing, and the crash/recover cycle. All state transitions flow
+// through the recovery method so each §6 technique controls its own
+// logging, checkpoint, and redo behavior.
+
+#ifndef REDO_ENGINE_MINIDB_H_
+#define REDO_ENGINE_MINIDB_H_
+
+#include <memory>
+
+#include "engine/ops.h"
+#include "engine/trace.h"
+#include "methods/method.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+#include "wal/log_manager.h"
+
+namespace redo::engine {
+
+struct MiniDbOptions {
+  size_t num_pages = 64;
+  /// Buffer pool capacity in pages; 0 = unbounded. Must be 0 or >= 2
+  /// (split redo touches two pages at once). Methods that forbid
+  /// background flushes (logical) require 0.
+  size_t cache_capacity = 0;
+};
+
+class MiniDb {
+ public:
+  MiniDb(const MiniDbOptions& options,
+         std::unique_ptr<methods::RecoveryMethod> method);
+
+  MiniDb(const MiniDb&) = delete;
+  MiniDb& operator=(const MiniDb&) = delete;
+
+  // ---- Updates (logged through the recovery method) ----
+
+  /// page[slot] <- value (reads the page: a physiological-style op).
+  Result<core::Lsn> WriteSlot(storage::PageId page, uint32_t slot,
+                              int64_t value);
+
+  /// Blind whole-page format: every slot <- fill (reads nothing).
+  Result<core::Lsn> BlindFormat(storage::PageId page, int64_t fill);
+
+  /// Generic single-page op (the B-tree uses this for its records).
+  Result<core::Lsn> Apply(const SinglePageOp& op);
+
+  /// Split: dst := upper half of src; src := lower half.
+  Result<methods::RecoveryMethod::SplitLsns> Split(const SplitOp& op);
+
+  // ---- Reads (through the cache) ----
+
+  Result<int64_t> ReadSlot(storage::PageId page, uint32_t slot);
+  Result<storage::Page*> FetchPage(storage::PageId page);
+
+  // ---- Lifecycle ----
+
+  /// Method-specific checkpoint.
+  Status Checkpoint();
+
+  /// Background cache-manager activity: flush one page / all pages
+  /// (no-ops for methods that forbid background flushes).
+  Status MaybeFlushPage(storage::PageId page);
+  Status FlushEverything();
+
+  /// The crash: volatile state (cache, unforced log tail) vanishes.
+  void Crash();
+
+  /// Post-crash recovery via the method.
+  Status Recover();
+
+  // ---- Introspection ----
+
+  storage::Disk& disk() { return disk_; }
+  const storage::Disk& disk() const { return disk_; }
+  storage::BufferPool& pool() { return pool_; }
+  wal::LogManager& log() { return log_; }
+  const wal::LogManager& log() const { return log_; }
+  methods::RecoveryMethod& method() { return *method_; }
+  const methods::RecoveryMethod& method() const { return *method_; }
+  size_t num_pages() const { return disk_.num_pages(); }
+
+  /// Attaches a trace recorder (owned by the caller); pass nullptr to
+  /// detach.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  TraceRecorder* trace() { return trace_; }
+
+  methods::EngineContext ctx() {
+    return methods::EngineContext{&disk_, &pool_, &log_, trace_};
+  }
+
+ private:
+  storage::Disk disk_;
+  storage::BufferPool pool_;
+  wal::LogManager log_;
+  std::unique_ptr<methods::RecoveryMethod> method_;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace redo::engine
+
+#endif  // REDO_ENGINE_MINIDB_H_

@@ -1,0 +1,325 @@
+#include "engine/ops.h"
+
+#include <sstream>
+
+#include "btree/node_format.h"
+
+namespace redo::engine {
+
+namespace {
+
+constexpr size_t kHalfSlots = Page::NumSlots() / 2;
+
+}  // namespace
+
+SinglePageOp MakeSlotWrite(PageId page, uint32_t slot, int64_t value) {
+  wal::PayloadWriter w;
+  w.U32(slot).I64(value);
+  return SinglePageOp{wal::RecordType::kSlotWrite, page, w.Take(),
+                      /*blind=*/false};
+}
+
+SinglePageOp MakeBlindFormat(PageId page, int64_t fill) {
+  wal::PayloadWriter w;
+  w.U32(0xffffffff).I64(fill);
+  return SinglePageOp{wal::RecordType::kSlotWrite, page, w.Take(),
+                      /*blind=*/true};
+}
+
+SinglePageOp MakeSplitRewrite(PageId page, SplitTransform transform) {
+  REDO_CHECK(transform == SplitTransform::kSlotHalf)
+      << "B-tree rewrites carry the new sibling id; use MakeBtreeSplitRewrite";
+  wal::PayloadWriter w;
+  w.U8(static_cast<uint8_t>(transform)).U32(0);
+  return SinglePageOp{wal::RecordType::kPageRewrite, page, w.Take(),
+                      /*blind=*/false};
+}
+
+bool SplitReadsDst(SplitTransform transform) {
+  return transform == SplitTransform::kSlotTransfer ||
+         transform == SplitTransform::kBtreeMerge;
+}
+
+SplitOp MakeSlotTransfer(PageId src, uint32_t src_slot, PageId dst,
+                         uint32_t dst_slot) {
+  REDO_CHECK_LT(src_slot, Page::NumSlots());
+  REDO_CHECK_LT(dst_slot, Page::NumSlots());
+  return SplitOp{SplitTransform::kSlotTransfer, src, dst, src_slot, dst_slot};
+}
+
+SinglePageOp MakeRewriteForSplit(const SplitOp& op) {
+  switch (op.transform) {
+    case SplitTransform::kSlotHalf:
+      return MakeSplitRewrite(op.src, op.transform);
+    case SplitTransform::kBtreeNode:
+      return MakeBtreeSplitRewrite(op.src, op.dst);
+    case SplitTransform::kSlotTransfer: {
+      // Zero the moved slot: encoded as a rewrite carrying the slot.
+      wal::PayloadWriter w;
+      w.U8(static_cast<uint8_t>(op.transform)).U32(op.arg0);
+      return SinglePageOp{wal::RecordType::kPageRewrite, op.src, w.Take(),
+                          /*blind=*/false};
+    }
+    case SplitTransform::kBtreeMerge: {
+      // Empty the merged-away right node (a blind re-format: its
+      // contents moved into dst).
+      wal::PayloadWriter w;
+      w.U8(static_cast<uint8_t>(op.transform)).U32(0);
+      return SinglePageOp{wal::RecordType::kPageRewrite, op.src, w.Take(),
+                          /*blind=*/true};
+    }
+  }
+  REDO_CHECK(false) << "unknown split transform";
+  return SinglePageOp{};
+}
+
+SinglePageOp MakeBtreeSplitRewrite(PageId page, PageId new_sibling) {
+  wal::PayloadWriter w;
+  w.U8(static_cast<uint8_t>(SplitTransform::kBtreeNode)).U32(new_sibling);
+  return SinglePageOp{wal::RecordType::kPageRewrite, page, w.Take(),
+                      /*blind=*/false};
+}
+
+SinglePageOp MakeBtreeInsert(PageId page, int64_t key, int64_t value) {
+  wal::PayloadWriter w;
+  w.I64(key).I64(value);
+  return SinglePageOp{wal::RecordType::kBtreeInsert, page, w.Take(),
+                      /*blind=*/false};
+}
+
+SinglePageOp MakeBtreeRemove(PageId page, int64_t key) {
+  wal::PayloadWriter w;
+  w.I64(key);
+  return SinglePageOp{wal::RecordType::kBtreeRemove, page, w.Take(),
+                      /*blind=*/false};
+}
+
+SinglePageOp MakeBtreeInit(PageId page, bool is_leaf, uint32_t aux) {
+  wal::PayloadWriter w;
+  w.U8(is_leaf ? 1 : 0).U32(aux);
+  return SinglePageOp{wal::RecordType::kBtreeInit, page, w.Take(),
+                      /*blind=*/true};
+}
+
+Status ApplySinglePageOp(const SinglePageOp& op, Page* page) {
+  wal::PayloadReader r(op.args);
+  switch (op.type) {
+    case wal::RecordType::kSlotWrite: {
+      Result<uint32_t> slot = r.U32();
+      if (!slot.ok()) return slot.status();
+      Result<int64_t> value = r.I64();
+      if (!value.ok()) return value.status();
+      if (slot.value() == 0xffffffff) {  // blind whole-page format
+        for (size_t i = 0; i < Page::NumSlots(); ++i) {
+          page->WriteSlot(i, value.value());
+        }
+        return Status::Ok();
+      }
+      if (slot.value() >= Page::NumSlots()) {
+        return Status::InvalidArgument("slot out of range");
+      }
+      page->WriteSlot(slot.value(), value.value());
+      return Status::Ok();
+    }
+    case wal::RecordType::kPageRewrite: {
+      Result<uint8_t> transform = r.U8();
+      if (!transform.ok()) return transform.status();
+      Result<uint32_t> aux = r.U32();
+      if (!aux.ok()) return aux.status();
+      switch (static_cast<SplitTransform>(transform.value())) {
+        case SplitTransform::kSlotHalf:
+          for (size_t i = kHalfSlots; i < Page::NumSlots(); ++i) {
+            page->WriteSlot(i, 0);
+          }
+          return Status::Ok();
+        case SplitTransform::kBtreeNode:
+          btree::SplitNodeLowerRewrite(page, aux.value());
+          return Status::Ok();
+        case SplitTransform::kSlotTransfer:
+          if (aux.value() >= Page::NumSlots()) {
+            return Status::InvalidArgument("transfer slot out of range");
+          }
+          page->WriteSlot(aux.value(), 0);
+          return Status::Ok();
+        case SplitTransform::kBtreeMerge: {
+          btree::NodeRef node(page);
+          node.InitLeaf(/*right_sibling=*/0);
+          return Status::Ok();
+        }
+      }
+      return Status::InvalidArgument("unknown split transform");
+    }
+    case wal::RecordType::kBtreeInsert: {
+      Result<int64_t> key = r.I64();
+      if (!key.ok()) return key.status();
+      Result<int64_t> value = r.I64();
+      if (!value.ok()) return value.status();
+      btree::NodeRef node(page);
+      if (!node.initialized()) {
+        return Status::InvalidArgument("btree insert into uninitialized node");
+      }
+      if (!node.Insert(key.value(), static_cast<uint64_t>(value.value()))) {
+        return Status::FailedPrecondition("btree node full");
+      }
+      return Status::Ok();
+    }
+    case wal::RecordType::kBtreeRemove: {
+      Result<int64_t> key = r.I64();
+      if (!key.ok()) return key.status();
+      btree::NodeRef node(page);
+      if (!node.initialized()) {
+        return Status::InvalidArgument("btree remove from uninitialized node");
+      }
+      node.Remove(key.value());  // removing an absent key is a no-op
+      return Status::Ok();
+    }
+    case wal::RecordType::kBtreeInit: {
+      Result<uint8_t> is_leaf = r.U8();
+      if (!is_leaf.ok()) return is_leaf.status();
+      Result<uint32_t> aux = r.U32();
+      if (!aux.ok()) return aux.status();
+      btree::NodeRef node(page);
+      if (is_leaf.value() != 0) {
+        node.InitLeaf(aux.value());
+      } else {
+        node.InitInternal(aux.value());
+      }
+      return Status::Ok();
+    }
+    default:
+      return Status::InvalidArgument("not a single-page op record type");
+  }
+}
+
+void ApplySplitToDst(const SplitOp& op, const Page& src, Page* dst) {
+  switch (op.transform) {
+    case SplitTransform::kSlotHalf: {
+      for (size_t i = 0; i < kHalfSlots; ++i) {
+        dst->WriteSlot(i, src.ReadSlot(kHalfSlots + i));
+      }
+      for (size_t i = kHalfSlots; i < Page::NumSlots(); ++i) {
+        dst->WriteSlot(i, 0);
+      }
+      return;
+    }
+    case SplitTransform::kBtreeNode:
+      btree::SplitNodeUpper(src, dst);
+      return;
+    case SplitTransform::kSlotTransfer:
+      // In-place single-slot update: dst keeps its other contents.
+      dst->WriteSlot(op.arg1, src.ReadSlot(op.arg0));
+      return;
+    case SplitTransform::kBtreeMerge: {
+      const btree::NodeRef from(src);
+      btree::NodeRef into(dst);
+      REDO_CHECK(from.initialized() && into.initialized());
+      REDO_CHECK(from.is_leaf() && into.is_leaf());
+      for (uint32_t i = 0; i < from.count(); ++i) {
+        REDO_CHECK(into.Insert(from.key(i), from.payload(i)));
+      }
+      into.set_aux(from.aux());  // bypass the emptied node in the chain
+      return;
+    }
+  }
+  REDO_CHECK(false) << "unknown split transform";
+}
+
+std::vector<uint8_t> EncodeSinglePageOp(const SinglePageOp& op) {
+  wal::PayloadWriter w;
+  w.U32(op.page).U8(op.blind ? 1 : 0);
+  w.Bytes(op.args.data(), op.args.size());
+  return w.Take();
+}
+
+Result<SinglePageOp> DecodeSinglePageOp(wal::RecordType type,
+                                        const std::vector<uint8_t>& payload) {
+  wal::PayloadReader r(payload);
+  Result<uint32_t> page = r.U32();
+  if (!page.ok()) return page.status();
+  Result<uint8_t> blind = r.U8();
+  if (!blind.ok()) return blind.status();
+  Result<std::vector<uint8_t>> args = r.Bytes(r.remaining());
+  if (!args.ok()) return args.status();
+  return SinglePageOp{type, page.value(), std::move(args).value(),
+                      blind.value() != 0};
+}
+
+std::vector<uint8_t> EncodeSplitOp(const SplitOp& op) {
+  wal::PayloadWriter w;
+  w.U8(static_cast<uint8_t>(op.transform)).U32(op.src).U32(op.dst);
+  w.U32(op.arg0).U32(op.arg1);
+  return w.Take();
+}
+
+Result<SplitOp> DecodeSplitOp(const std::vector<uint8_t>& payload) {
+  wal::PayloadReader r(payload);
+  Result<uint8_t> transform = r.U8();
+  if (!transform.ok()) return transform.status();
+  Result<uint32_t> src = r.U32();
+  if (!src.ok()) return src.status();
+  Result<uint32_t> dst = r.U32();
+  if (!dst.ok()) return dst.status();
+  Result<uint32_t> arg0 = r.U32();
+  if (!arg0.ok()) return arg0.status();
+  Result<uint32_t> arg1 = r.U32();
+  if (!arg1.ok()) return arg1.status();
+  return SplitOp{static_cast<SplitTransform>(transform.value()), src.value(),
+                 dst.value(), arg0.value(), arg1.value()};
+}
+
+std::vector<uint8_t> EncodePageImage(PageId page, const Page& image) {
+  wal::PayloadWriter w;
+  w.U32(page);
+  w.Bytes(image.bytes().data(), Page::kSize);
+  return w.Take();
+}
+
+Result<std::pair<PageId, Page>> DecodePageImage(
+    const std::vector<uint8_t>& payload) {
+  wal::PayloadReader r(payload);
+  Result<uint32_t> page = r.U32();
+  if (!page.ok()) return page.status();
+  Result<std::vector<uint8_t>> bytes = r.Bytes(Page::kSize);
+  if (!bytes.ok()) return bytes.status();
+  Page image;
+  std::memcpy(image.bytes().data(), bytes.value().data(), Page::kSize);
+  return std::make_pair(page.value(), image);
+}
+
+std::string DescribeRecord(const wal::LogRecord& record) {
+  std::ostringstream out;
+  out << "lsn=" << record.lsn << " ";
+  switch (record.type) {
+    case wal::RecordType::kSlotWrite:
+      out << "slot-write";
+      break;
+    case wal::RecordType::kPageImage:
+      out << "page-image";
+      break;
+    case wal::RecordType::kLogicalOp:
+      out << "logical-op";
+      break;
+    case wal::RecordType::kPageSplit:
+      out << "page-split";
+      break;
+    case wal::RecordType::kPageRewrite:
+      out << "page-rewrite";
+      break;
+    case wal::RecordType::kCheckpoint:
+      out << "checkpoint";
+      break;
+    case wal::RecordType::kBtreeInsert:
+      out << "btree-insert";
+      break;
+    case wal::RecordType::kBtreeRemove:
+      out << "btree-remove";
+      break;
+    case wal::RecordType::kBtreeInit:
+      out << "btree-init";
+      break;
+  }
+  out << " (" << record.payload.size() << "B)";
+  return out.str();
+}
+
+}  // namespace redo::engine

@@ -1,0 +1,131 @@
+// Engine-level operations: the deterministic page updates that the
+// recovery methods log and replay.
+//
+// Two shapes, mirroring the paper:
+//   - single-page operations (read-modify-write or blind-write one page):
+//     the physiological/physical/logical workhorse;
+//   - split operations (read one page, write another, then rewrite the
+//     source): §6.4's generalized log operations.
+//
+// Every operation is a pure deterministic function of the pages it
+// reads, so redo during recovery regenerates exactly the original
+// effects — the property the whole theory rests on.
+
+#ifndef REDO_ENGINE_OPS_H_
+#define REDO_ENGINE_OPS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+#include "wal/log_record.h"
+
+namespace redo::engine {
+
+using storage::Page;
+using storage::PageId;
+
+/// Cross-page transforms (the §6.4 class: read one page, write another,
+/// then rewrite the source). Pure functions of the page payloads.
+enum class SplitTransform : uint8_t {
+  kSlotHalf = 1,   ///< slot array: move the upper half of the int64 slots
+  kBtreeNode = 2,  ///< B-tree node: move the upper half of the entries
+  /// Slot transfer (a §7 "new class of logged operation"): move the
+  /// value of src[arg0] into dst[arg1]; the rewrite zeroes src[arg0].
+  /// Unlike splits, the destination write modifies one slot, so the
+  /// operation reads *both* pages (page-granularity read-modify-write).
+  kSlotTransfer = 3,
+  /// B-tree leaf merge — the split's inverse: append src's (the right
+  /// sibling's) entries into dst (the left node) and take over src's
+  /// right-sibling pointer; the rewrite empties src. Reads both pages.
+  kBtreeMerge = 4,
+};
+
+/// True if applying the transform to dst needs dst's prior contents
+/// (i.e. the logged operation reads the destination page too).
+bool SplitReadsDst(SplitTransform transform);
+
+/// A deterministic update of exactly one page.
+struct SinglePageOp {
+  wal::RecordType type = wal::RecordType::kSlotWrite;
+  PageId page = 0;
+  /// Type-specific arguments (encoded; see Encode/Decode helpers).
+  std::vector<uint8_t> args;
+  /// True if the update does not read the page's prior contents
+  /// (physical-style blind write). Slot writes and B-tree ops read.
+  bool blind = false;
+};
+
+/// Builds a slot write: page[slot] <- value (reads the page).
+SinglePageOp MakeSlotWrite(PageId page, uint32_t slot, int64_t value);
+
+/// Builds a blind whole-page format: every slot <- fill (reads nothing).
+SinglePageOp MakeBlindFormat(PageId page, int64_t fill);
+
+/// Builds the "remove the moved half" rewrite — the Q of §6.4 (reads and
+/// writes the source page). Slot-array transform only.
+SinglePageOp MakeSplitRewrite(PageId page, SplitTransform transform);
+
+/// B-tree variant of the split rewrite: also repoints the leaf's
+/// right-sibling at the new page.
+SinglePageOp MakeBtreeSplitRewrite(PageId page, PageId new_sibling);
+
+/// Builds a B-tree insert / remove of (key, value) on one node page.
+SinglePageOp MakeBtreeInsert(PageId page, int64_t key, int64_t value);
+SinglePageOp MakeBtreeRemove(PageId page, int64_t key);
+
+/// Formats a page as an empty B-tree node (blind write).
+SinglePageOp MakeBtreeInit(PageId page, bool is_leaf, uint32_t aux);
+
+/// Applies a single-page op to the page image. Deterministic; returns
+/// InvalidArgument on malformed args. Does NOT set the page LSN (the
+/// caller tags the page with the log record's LSN).
+Status ApplySinglePageOp(const SinglePageOp& op, Page* page);
+
+/// A generalized cross-page operation (§6.4): reads `src` (and, for
+/// kSlotTransfer, `dst`), writes `dst`. Deterministic in the payloads.
+struct SplitOp {
+  SplitTransform transform = SplitTransform::kSlotHalf;
+  PageId src = 0;
+  PageId dst = 0;
+  uint32_t arg0 = 0;  ///< kSlotTransfer: source slot
+  uint32_t arg1 = 0;  ///< kSlotTransfer: destination slot
+};
+
+/// Builds a slot transfer: dst[dst_slot] <- src[src_slot]; the paired
+/// rewrite (MakeRewriteForSplit) zeroes src[src_slot].
+SplitOp MakeSlotTransfer(PageId src, uint32_t src_slot, PageId dst,
+                         uint32_t dst_slot);
+
+/// The source rewrite a cross-page op implies (the Q of §6.4): drop the
+/// moved half (splits) or zero the moved slot (transfers).
+SinglePageOp MakeRewriteForSplit(const SplitOp& op);
+
+/// Computes dst from src (the P of §6.4). Split transforms overwrite
+/// dst entirely; kSlotTransfer updates one slot of dst in place, so
+/// `dst` must hold the page's prior contents on entry.
+void ApplySplitToDst(const SplitOp& op, const Page& src, Page* dst);
+
+// ---- Record payload (de)serialization ----
+
+std::vector<uint8_t> EncodeSinglePageOp(const SinglePageOp& op);
+Result<SinglePageOp> DecodeSinglePageOp(wal::RecordType type,
+                                        const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeSplitOp(const SplitOp& op);
+Result<SplitOp> DecodeSplitOp(const std::vector<uint8_t>& payload);
+
+/// Full page image records (physical logging and physiological new-page
+/// initialization): payload = page id + raw page bytes.
+std::vector<uint8_t> EncodePageImage(PageId page, const Page& image);
+Result<std::pair<PageId, Page>> DecodePageImage(
+    const std::vector<uint8_t>& payload);
+
+/// Short human-readable description of a record, for diagnostics.
+std::string DescribeRecord(const wal::LogRecord& record);
+
+}  // namespace redo::engine
+
+#endif  // REDO_ENGINE_OPS_H_

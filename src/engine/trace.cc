@@ -1,0 +1,57 @@
+#include "engine/trace.h"
+
+namespace redo::engine {
+
+void TraceRecorder::BeginEpoch(const storage::Disk& disk, core::Lsn min_lsn) {
+  epoch_min_lsn_ = min_lsn;
+  ops_.clear();
+  initial_versions_.clear();
+  version_of_hash_.clear();
+  producer_of_version_.clear();
+  initial_versions_.reserve(disk.num_pages());
+  for (storage::PageId p = 0; p < disk.num_pages(); ++p) {
+    initial_versions_.push_back(InternHash(disk.PeekPage(p).ContentHash()));
+  }
+}
+
+int64_t TraceRecorder::InternHash(uint64_t hash) {
+  // Version ids are hash-derived (sparse in int64 space) rather than
+  // dense: the checker builds formal operations whose written values are
+  // affine in the read versions, and sparse ids make a replay from wrong
+  // reads land on garbage instead of colliding with a real version.
+  // 47-bit ids keep the checker's affine arithmetic far from int64
+  // overflow even across sums of several read versions.
+  const int64_t version = static_cast<int64_t>(hash >> 17);
+  version_of_hash_.emplace(hash, version);
+  return version;
+}
+
+void TraceRecorder::OnLoggedOp(
+    core::Lsn lsn, std::string name, std::vector<storage::PageId> reads,
+    const std::vector<std::pair<storage::PageId, uint64_t>>& writes) {
+  TracedOp op;
+  op.lsn = lsn;
+  op.name = std::move(name);
+  op.reads = std::move(reads);
+  for (const auto& [page, hash] : writes) {
+    const int64_t version = InternHash(hash);
+    producer_of_version_.emplace(version, lsn);  // keeps the first producer
+    op.writes.push_back(TracedWrite{page, version});
+  }
+  ops_.push_back(std::move(op));
+}
+
+std::optional<int64_t> TraceRecorder::VersionOfHash(uint64_t hash) const {
+  const auto it = version_of_hash_.find(hash);
+  if (it == version_of_hash_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<core::Lsn> TraceRecorder::ProducerOfVersion(
+    int64_t version) const {
+  const auto it = producer_of_version_.find(version);
+  if (it == producer_of_version_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace redo::engine

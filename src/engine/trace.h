@@ -1,0 +1,87 @@
+// Execution trace capture for the recovery checker.
+//
+// The checker (src/checker) maps a concrete engine execution into the
+// paper's formal model: pages become variables, and page *versions*
+// (identified by content hash) become values. The trace records, for
+// every logged operation, which pages it read and which page versions it
+// produced, plus the version of every page at the start of the epoch.
+
+#ifndef REDO_ENGINE_TRACE_H_
+#define REDO_ENGINE_TRACE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "storage/disk.h"
+#include "storage/page.h"
+
+namespace redo::engine {
+
+/// Records page reads/writes of logged operations within one epoch (from
+/// the last BeginEpoch to the present).
+class TraceRecorder {
+ public:
+  /// One produced page version.
+  struct TracedWrite {
+    storage::PageId page;
+    int64_t version;  ///< dense version id (value in the formal model)
+  };
+
+  /// One logged operation.
+  struct TracedOp {
+    core::Lsn lsn;
+    std::string name;
+    std::vector<storage::PageId> reads;
+    std::vector<TracedWrite> writes;
+  };
+
+  /// Starts an epoch: snapshots every page's current content as its
+  /// initial version and clears recorded operations. `min_lsn` is the
+  /// first LSN that belongs to this epoch — the checker treats stable
+  /// log records below it as pre-epoch history absorbed into the initial
+  /// state (a post-checkpoint epoch boundary).
+  explicit TraceRecorder(const storage::Disk& disk) { BeginEpoch(disk, 1); }
+
+  void BeginEpoch(const storage::Disk& disk, core::Lsn min_lsn = 1);
+
+  /// First LSN of the current epoch.
+  core::Lsn epoch_min_lsn() const { return epoch_min_lsn_; }
+
+  /// Records a logged operation. `writes` pairs each written page with
+  /// its post-operation content hash; fresh hashes get fresh version
+  /// ids.
+  void OnLoggedOp(core::Lsn lsn, std::string name,
+                  std::vector<storage::PageId> reads,
+                  const std::vector<std::pair<storage::PageId, uint64_t>>& writes);
+
+  const std::vector<TracedOp>& ops() const { return ops_; }
+  size_t num_pages() const { return initial_versions_.size(); }
+
+  /// The version id of page `p` at epoch start.
+  int64_t initial_version(storage::PageId p) const {
+    return initial_versions_[p];
+  }
+
+  /// Version id for a content hash, if the trace has seen it.
+  std::optional<int64_t> VersionOfHash(uint64_t hash) const;
+
+  /// The LSN of the operation that produced `version`, or nullopt for
+  /// epoch-initial versions.
+  std::optional<core::Lsn> ProducerOfVersion(int64_t version) const;
+
+ private:
+  int64_t InternHash(uint64_t hash);
+
+  std::vector<TracedOp> ops_;
+  core::Lsn epoch_min_lsn_ = 1;
+  std::vector<int64_t> initial_versions_;
+  std::map<uint64_t, int64_t> version_of_hash_;
+  std::map<int64_t, core::Lsn> producer_of_version_;  // absent = initial
+};
+
+}  // namespace redo::engine
+
+#endif  // REDO_ENGINE_TRACE_H_

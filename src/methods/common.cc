@@ -1,0 +1,214 @@
+#include "methods/common.h"
+
+#include <algorithm>
+
+namespace redo::methods {
+
+Result<core::Lsn> RecoveryMethod::RedoScanStart(const EngineContext& ctx) const {
+  return internal_methods::ReadRedoScanStart(ctx);
+}
+
+namespace internal_methods {
+
+Status WriteCheckpointRecord(EngineContext& ctx, core::Lsn redo_start) {
+  // The checkpoint record consumes the next LSN itself; "nothing needs
+  // redo" must therefore point one past the record, not at it.
+  const core::Lsn record_lsn = ctx.log->last_lsn() + 1;
+  if (redo_start >= record_lsn) redo_start = record_lsn + 1;
+  wal::PayloadWriter w;
+  w.U64(redo_start);
+  const core::Lsn assigned =
+      ctx.log->Append(wal::RecordType::kCheckpoint, w.Take());
+  REDO_CHECK_EQ(assigned, record_lsn);
+  return ctx.log->ForceAll();
+}
+
+Result<core::Lsn> ReadRedoScanStart(const EngineContext& ctx) {
+  Result<std::optional<wal::LogRecord>> checkpoint =
+      ctx.log->LatestStableCheckpoint();
+  if (!checkpoint.ok()) return checkpoint.status();
+  if (!checkpoint.value().has_value()) return core::Lsn{1};
+  wal::PayloadReader r(checkpoint.value()->payload);
+  Result<uint64_t> redo_start = r.U64();
+  if (!redo_start.ok()) return redo_start.status();
+  return core::Lsn{redo_start.value()};
+}
+
+core::Lsn FuzzyRedoPoint(const EngineContext& ctx) {
+  core::Lsn redo_point = ctx.log->last_lsn() + 1;
+  for (const storage::DirtyPageEntry& entry : ctx.pool->DirtyPages()) {
+    redo_point = std::min(redo_point, entry.rec_lsn);
+  }
+  return redo_point;
+}
+
+Status RedoSinglePageOp(EngineContext& ctx, const engine::SinglePageOp& op,
+                        core::Lsn lsn) {
+  Result<storage::Page*> page = ctx.pool->Fetch(op.page);
+  if (!page.ok()) return page.status();
+  REDO_RETURN_IF_ERROR(engine::ApplySinglePageOp(op, page.value()));
+  return ctx.pool->MarkDirty(op.page, lsn);
+}
+
+Status RedoPageImage(EngineContext& ctx, storage::PageId page,
+                     const storage::Page& image, core::Lsn lsn) {
+  Result<storage::Page*> cached = ctx.pool->Fetch(page);
+  if (!cached.ok()) return cached.status();
+  *cached.value() = image;
+  return ctx.pool->MarkDirty(page, lsn);
+}
+
+Status TraceLoggedOp(EngineContext& ctx, core::Lsn lsn, std::string name,
+                     std::vector<storage::PageId> reads,
+                     const std::vector<storage::PageId>& writes) {
+  if (ctx.trace == nullptr) return Status::Ok();
+  std::vector<std::pair<storage::PageId, uint64_t>> writes_with_hash;
+  for (storage::PageId page : writes) {
+    Result<storage::Page*> cached = ctx.pool->Fetch(page);
+    if (!cached.ok()) return cached.status();
+    writes_with_hash.emplace_back(page, cached.value()->ContentHash());
+  }
+  ctx.trace->OnLoggedOp(lsn, std::move(name), std::move(reads),
+                        writes_with_hash);
+  return Status::Ok();
+}
+
+Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
+                   const std::map<storage::PageId, core::Lsn>* dpt,
+                   RecoveryMethod::RedoScanStats* stats) {
+  Result<core::Lsn> redo_start = ReadRedoScanStart(ctx);
+  if (!redo_start.ok()) return redo_start.status();
+  Result<std::vector<wal::LogRecord>> records =
+      ctx.log->StableRecords(redo_start.value());
+  if (!records.ok()) return records.status();
+
+  RecoveryMethod::RedoScanStats local_stats;
+  RecoveryMethod::RedoScanStats& s = stats != nullptr ? *stats : local_stats;
+  s = RecoveryMethod::RedoScanStats{};
+
+  // Skip test from the analysis-produced dirty page table: a record on a
+  // page outside the table, or older than the page's rec_lsn, is
+  // installed — decided without any page I/O.
+  auto analysis_says_installed = [dpt, &s](storage::PageId page,
+                                           core::Lsn lsn) {
+    if (dpt == nullptr) return false;
+    const auto it = dpt->find(page);
+    if (it == dpt->end() || lsn < it->second) {
+      ++s.skipped_without_fetch;
+      return true;
+    }
+    return false;
+  };
+  auto fetch = [&ctx, &s](storage::PageId page) {
+    ++s.page_fetches;
+    return ctx.pool->Fetch(page);
+  };
+
+  for (const wal::LogRecord& record : records.value()) {
+    if (record.type != wal::RecordType::kCheckpoint) ++s.scanned;
+    switch (record.type) {
+      case wal::RecordType::kCheckpoint:
+        break;
+      case wal::RecordType::kPageImage: {
+        Result<std::pair<storage::PageId, storage::Page>> decoded =
+            engine::DecodePageImage(record.payload);
+        if (!decoded.ok()) return decoded.status();
+        const auto& [page, image] = decoded.value();
+        if (analysis_says_installed(page, record.lsn)) break;
+        Result<storage::Page*> cached = fetch(page);
+        if (!cached.ok()) return cached.status();
+        if (cached.value()->lsn() >= record.lsn) break;  // installed
+        REDO_RETURN_IF_ERROR(RedoPageImage(ctx, page, image, record.lsn));
+        ++s.replayed;
+        break;
+      }
+      case wal::RecordType::kPageSplit: {
+        Result<engine::SplitOp> split = engine::DecodeSplitOp(record.payload);
+        if (!split.ok()) return split.status();
+        if (analysis_says_installed(split.value().dst, record.lsn)) break;
+        Result<storage::Page*> dst = fetch(split.value().dst);
+        if (!dst.ok()) return dst.status();
+        if (dst.value()->lsn() >= record.lsn) break;  // installed
+        Result<storage::Page*> src = fetch(split.value().src);
+        if (!src.ok()) return src.status();
+        // Copy src out: fetching one page may evict the other under a
+        // tiny cache capacity, invalidating the first pointer.
+        const storage::Page src_copy = *src.value();
+        dst = fetch(split.value().dst);
+        if (!dst.ok()) return dst.status();
+        engine::ApplySplitToDst(split.value(), src_copy, dst.value());
+        REDO_RETURN_IF_ERROR(
+            ctx.pool->MarkDirty(split.value().dst, record.lsn));
+        ++s.replayed;
+        if (add_split_constraints) {
+          // Same acyclicity rule as during normal operation.
+          if (ctx.pool->HasPendingOrderPath(split.value().src,
+                                            split.value().dst)) {
+            REDO_RETURN_IF_ERROR(
+                ctx.pool->FlushPageCascading(split.value().dst));
+          } else {
+            ctx.pool->AddWriteOrderConstraint(split.value().dst, record.lsn,
+                                              split.value().src);
+          }
+        }
+        break;
+      }
+      default: {  // single-page ops
+        Result<engine::SinglePageOp> op =
+            engine::DecodeSinglePageOp(record.type, record.payload);
+        if (!op.ok()) return op.status();
+        if (analysis_says_installed(op.value().page, record.lsn)) break;
+        Result<storage::Page*> cached = fetch(op.value().page);
+        if (!cached.ok()) return cached.status();
+        if (cached.value()->lsn() >= record.lsn) break;  // installed
+        REDO_RETURN_IF_ERROR(RedoSinglePageOp(ctx, op.value(), record.lsn));
+        ++s.replayed;
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteCheckpointRecordWithDpt(EngineContext& ctx, core::Lsn redo_start) {
+  const core::Lsn record_lsn = ctx.log->last_lsn() + 1;
+  if (redo_start >= record_lsn) redo_start = record_lsn + 1;
+  wal::PayloadWriter w;
+  w.U64(redo_start);
+  const std::vector<storage::DirtyPageEntry> dirty = ctx.pool->DirtyPages();
+  w.U32(static_cast<uint32_t>(dirty.size()));
+  for (const storage::DirtyPageEntry& entry : dirty) {
+    w.U32(entry.page);
+    w.U64(entry.rec_lsn);
+  }
+  const core::Lsn assigned =
+      ctx.log->Append(wal::RecordType::kCheckpoint, w.Take());
+  REDO_CHECK_EQ(assigned, record_lsn);
+  return ctx.log->ForceAll();
+}
+
+Result<std::map<storage::PageId, core::Lsn>> ReadCheckpointDpt(
+    const EngineContext& ctx) {
+  std::map<storage::PageId, core::Lsn> dpt;
+  Result<std::optional<wal::LogRecord>> checkpoint =
+      ctx.log->LatestStableCheckpoint();
+  if (!checkpoint.ok()) return checkpoint.status();
+  if (!checkpoint.value().has_value()) return dpt;
+  wal::PayloadReader r(checkpoint.value()->payload);
+  Result<uint64_t> redo_start = r.U64();
+  if (!redo_start.ok()) return redo_start.status();
+  if (r.AtEnd()) return dpt;  // a checkpoint without a DPT
+  Result<uint32_t> count = r.U32();
+  if (!count.ok()) return count.status();
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    Result<uint32_t> page = r.U32();
+    if (!page.ok()) return page.status();
+    Result<uint64_t> rec_lsn = r.U64();
+    if (!rec_lsn.ok()) return rec_lsn.status();
+    dpt.emplace(page.value(), rec_lsn.value());
+  }
+  return dpt;
+}
+
+}  // namespace internal_methods
+}  // namespace redo::methods

@@ -1,0 +1,69 @@
+// Shared helpers for the recovery-method implementations.
+
+#ifndef REDO_METHODS_COMMON_H_
+#define REDO_METHODS_COMMON_H_
+
+#include <map>
+
+#include "methods/method.h"
+
+namespace redo::methods {
+namespace internal_methods {
+
+/// Appends a checkpoint record carrying the redo-scan start LSN and
+/// forces the whole log.
+Status WriteCheckpointRecord(EngineContext& ctx, core::Lsn redo_start);
+
+/// Decodes the redo-scan start from the latest stable checkpoint record
+/// (1 if there is none).
+Result<core::Lsn> ReadRedoScanStart(const EngineContext& ctx);
+
+/// The fuzzy redo point (§6.3-style): the minimum rec_lsn of any dirty
+/// page, or last_lsn+1 when the cache is clean. Records below this LSN
+/// are fully installed.
+core::Lsn FuzzyRedoPoint(const EngineContext& ctx);
+
+/// Applies a decoded single-page op to the cached page and tags it with
+/// the record's LSN.
+Status RedoSinglePageOp(EngineContext& ctx, const engine::SinglePageOp& op,
+                        core::Lsn lsn);
+
+/// Overwrites the cached page with a logged full image (the image
+/// already carries its LSN).
+Status RedoPageImage(EngineContext& ctx, storage::PageId page,
+                     const storage::Page& image, core::Lsn lsn);
+
+/// Records a traced op if tracing is active. `reads`/`writes` are page
+/// ids; write hashes are taken from the current cached contents.
+Status TraceLoggedOp(EngineContext& ctx, core::Lsn lsn, std::string name,
+                     std::vector<storage::PageId> reads,
+                     const std::vector<storage::PageId>& writes);
+
+/// LSN-tag redo scan shared by the physiological and generalized-LSN
+/// methods: replays every stable record from the redo point whose target
+/// page carries an older LSN. `add_split_constraints` re-arms the §6.4
+/// write-order constraint when a split is redone.
+///
+/// With a non-null `dpt` (dirty page table, page -> rec_lsn, produced by
+/// an analysis pass), records whose target page is absent from the table
+/// or whose LSN precedes the page's rec_lsn are skipped *without
+/// fetching the page* — the ARIES-style analysis optimization. `stats`,
+/// if non-null, receives scan counters.
+Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
+                   const std::map<storage::PageId, core::Lsn>* dpt = nullptr,
+                   RecoveryMethod::RedoScanStats* stats = nullptr);
+
+/// Appends a checkpoint record carrying the redo-scan start AND the
+/// current dirty page table (for analysis-based recovery), then forces
+/// the log.
+Status WriteCheckpointRecordWithDpt(EngineContext& ctx, core::Lsn redo_start);
+
+/// Decodes the DPT stored in the latest stable checkpoint (empty if no
+/// checkpoint or a checkpoint without a DPT).
+Result<std::map<storage::PageId, core::Lsn>> ReadCheckpointDpt(
+    const EngineContext& ctx);
+
+}  // namespace internal_methods
+}  // namespace redo::methods
+
+#endif  // REDO_METHODS_COMMON_H_

@@ -1,0 +1,169 @@
+// Logical recovery (§6.1), System R style.
+//
+// The stable database is unchanged between checkpoints: the cache (and a
+// staging area) absorb all updates. A checkpoint quiesces, writes the
+// dirty cached pages to the staging area, and then "swings a pointer" —
+// one atomic action that makes the staged pages part of the stable
+// database and appends the checkpoint record, installing every operation
+// logged so far. Recovery starts from the checkpointed state and replays
+// every later logical record.
+//
+// In write-graph terms (§6.1): the stable state is one node; the staging
+// area + cache form a second node holding everything since the last
+// checkpoint; the pointer swing collapses the two nodes.
+
+#include "methods/common.h"
+#include "methods/method.h"
+
+namespace redo::methods {
+namespace {
+
+using engine::SinglePageOp;
+using engine::SplitOp;
+using storage::Page;
+using storage::PageId;
+
+class LogicalMethod : public RecoveryMethod {
+ public:
+  explicit LogicalMethod(size_t num_pages) : staging_(num_pages) {}
+
+  const char* name() const override { return "logical"; }
+
+  /// The stable database must not change between checkpoints.
+  bool allows_background_flush() const override { return false; }
+
+  RedoTestKind redo_test_kind() const override {
+    return RedoTestKind::kRedoAllSinceCheckpoint;
+  }
+
+  Result<core::Lsn> LogAndApply(EngineContext& ctx,
+                                const SinglePageOp& op) override {
+    wal::PayloadWriter w;
+    w.U16(static_cast<uint16_t>(op.type));
+    const std::vector<uint8_t> inner = engine::EncodeSinglePageOp(op);
+    w.Bytes(inner.data(), inner.size());
+    const core::Lsn lsn = ctx.log->Append(wal::RecordType::kLogicalOp, w.Take());
+    REDO_RETURN_IF_ERROR(internal_methods::RedoSinglePageOp(ctx, op, lsn));
+    std::vector<PageId> reads;
+    if (!op.blind) reads.push_back(op.page);
+    REDO_RETURN_IF_ERROR(internal_methods::TraceLoggedOp(
+        ctx, lsn, "logical-op@" + std::to_string(op.page), std::move(reads),
+        {op.page}));
+    return lsn;
+  }
+
+  Result<SplitLsns> LogAndApplySplit(EngineContext& ctx,
+                                     const SplitOp& op) override {
+    // A logical operation may read and write many pages: the whole split
+    // (new page AND source rewrite) is ONE record, replayed functionally.
+    const core::Lsn lsn =
+        ctx.log->Append(wal::RecordType::kPageSplit, engine::EncodeSplitOp(op));
+    REDO_RETURN_IF_ERROR(ApplyWholeSplit(ctx, op, lsn));
+    std::vector<PageId> split_reads = {op.src};
+    if (engine::SplitReadsDst(op.transform)) split_reads.push_back(op.dst);
+    REDO_RETURN_IF_ERROR(internal_methods::TraceLoggedOp(
+        ctx, lsn,
+        "logical-split@" + std::to_string(op.src) + "->" +
+            std::to_string(op.dst),
+        std::move(split_reads), {op.src, op.dst}));
+    return SplitLsns{lsn, lsn};
+  }
+
+  Status Checkpoint(EngineContext& ctx) override {
+    // Quiesce (trivial in the single-threaded simulation), then force the
+    // log: every operation the checkpoint installs must be stable first.
+    REDO_RETURN_IF_ERROR(ctx.log->ForceAll());
+
+    // Write dirty cached pages into the staging area (real I/O).
+    const std::vector<storage::DirtyPageEntry> dirty = ctx.pool->DirtyPages();
+    for (const storage::DirtyPageEntry& entry : dirty) {
+      Result<Page*> page = ctx.pool->Fetch(entry.page);
+      if (!page.ok()) return page.status();
+      REDO_RETURN_IF_ERROR(staging_.WritePage(entry.page, *page.value()));
+      staged_.push_back(entry.page);
+    }
+
+    // The pointer swing: one atomic action makes the staged pages part
+    // of the stable database and installs everything logged so far. (In
+    // System R this is a page-table pointer update; copying the staged
+    // pages into the main disk at the instant the checkpoint record
+    // commits is observationally equivalent.)
+    for (PageId page : staged_) {
+      REDO_RETURN_IF_ERROR(
+          ctx.disk->WritePage(page, staging_.PeekPage(page)));
+    }
+    staged_.clear();
+    REDO_RETURN_IF_ERROR(
+        internal_methods::WriteCheckpointRecord(ctx, ctx.log->last_lsn() + 1));
+
+    // Cached pages now match the stable database.
+    for (const storage::DirtyPageEntry& entry : dirty) {
+      ctx.pool->DropPage(entry.page);
+    }
+    return Status::Ok();
+  }
+
+  Status Recover(EngineContext& ctx) override {
+    // A crash voids any staging not committed by a checkpoint record.
+    staged_.clear();
+    Result<core::Lsn> redo_start = internal_methods::ReadRedoScanStart(ctx);
+    if (!redo_start.ok()) return redo_start.status();
+    Result<std::vector<wal::LogRecord>> records =
+        ctx.log->StableRecords(redo_start.value());
+    if (!records.ok()) return records.status();
+    for (const wal::LogRecord& record : records.value()) {
+      switch (record.type) {
+        case wal::RecordType::kCheckpoint:
+          break;
+        case wal::RecordType::kLogicalOp: {
+          wal::PayloadReader r(record.payload);
+          Result<uint16_t> inner_type = r.U16();
+          if (!inner_type.ok()) return inner_type.status();
+          Result<std::vector<uint8_t>> inner = r.Bytes(r.remaining());
+          if (!inner.ok()) return inner.status();
+          Result<SinglePageOp> op = engine::DecodeSinglePageOp(
+              static_cast<wal::RecordType>(inner_type.value()), inner.value());
+          if (!op.ok()) return op.status();
+          REDO_RETURN_IF_ERROR(
+              internal_methods::RedoSinglePageOp(ctx, op.value(), record.lsn));
+          break;
+        }
+        case wal::RecordType::kPageSplit: {
+          Result<SplitOp> split = engine::DecodeSplitOp(record.payload);
+          if (!split.ok()) return split.status();
+          REDO_RETURN_IF_ERROR(ApplyWholeSplit(ctx, split.value(), record.lsn));
+          break;
+        }
+        default:
+          return Status::Corruption("unexpected record type in logical log");
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  /// Applies both halves of a split functionally: dst := upper(src),
+  /// then src := lower(src). Atomic at the operation level.
+  Status ApplyWholeSplit(EngineContext& ctx, const SplitOp& op, core::Lsn lsn) {
+    Result<Page*> src = ctx.pool->Fetch(op.src);
+    if (!src.ok()) return src.status();
+    const Page src_copy = *src.value();
+    Result<Page*> dst = ctx.pool->Fetch(op.dst);
+    if (!dst.ok()) return dst.status();
+    engine::ApplySplitToDst(op, src_copy, dst.value());
+    REDO_RETURN_IF_ERROR(ctx.pool->MarkDirty(op.dst, lsn));
+    const SinglePageOp rewrite = engine::MakeRewriteForSplit(op);
+    return internal_methods::RedoSinglePageOp(ctx, rewrite, lsn);
+  }
+
+  storage::Disk staging_;       ///< survives crashes (it is stable storage)
+  std::vector<PageId> staged_;  ///< pages staged since the last checkpoint
+};
+
+}  // namespace
+
+std::unique_ptr<RecoveryMethod> MakeLogicalMethod(size_t num_pages) {
+  return std::make_unique<LogicalMethod>(num_pages);
+}
+
+}  // namespace redo::methods

@@ -1,0 +1,121 @@
+// The recovery-method interface.
+//
+// A recovery method owns the answers to four questions (§6): how an
+// operation is logged, how a checkpoint is taken, what the redo test is,
+// and how recovery proceeds after a crash. The four implementations —
+// logical (§6.1), physical (§6.2), physiological (§6.3), and
+// generalized-LSN (§6.4) — are interchangeable behind this interface, so
+// the same workloads, crash simulator, and checker run against all of
+// them.
+
+#ifndef REDO_METHODS_METHOD_H_
+#define REDO_METHODS_METHOD_H_
+
+#include <memory>
+
+#include "engine/ops.h"
+#include "engine/trace.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+#include "util/status.h"
+#include "wal/log_manager.h"
+
+namespace redo::methods {
+
+/// The engine components a method operates on. Non-owning.
+struct EngineContext {
+  storage::Disk* disk = nullptr;
+  storage::BufferPool* pool = nullptr;
+  wal::LogManager* log = nullptr;
+  engine::TraceRecorder* trace = nullptr;  ///< optional
+};
+
+class RecoveryMethod {
+ public:
+  virtual ~RecoveryMethod() = default;
+
+  virtual const char* name() const = 0;
+
+  /// False for methods (System R-style logical recovery) whose stable
+  /// state must not change between checkpoints: the cache manager never
+  /// spontaneously flushes.
+  virtual bool allows_background_flush() const { return true; }
+
+  /// Logs and applies a single-page operation. Returns its LSN.
+  virtual Result<core::Lsn> LogAndApply(EngineContext& ctx,
+                                        const engine::SinglePageOp& op) = 0;
+
+  /// The LSNs of the two halves of a split (§6.4's P and Q). For the
+  /// logical method both are the same record.
+  struct SplitLsns {
+    core::Lsn split_lsn;
+    core::Lsn rewrite_lsn;
+  };
+
+  /// Logs and applies a split: dst receives src's moved half, then src
+  /// is rewritten to drop it.
+  virtual Result<SplitLsns> LogAndApplySplit(EngineContext& ctx,
+                                             const engine::SplitOp& op) = 0;
+
+  /// Takes a checkpoint (method-specific mechanics).
+  virtual Status Checkpoint(EngineContext& ctx) = 0;
+
+  /// Runs crash recovery: rebuilds the cached state from the stable
+  /// state and the stable log.
+  virtual Status Recover(EngineContext& ctx) = 0;
+
+  /// Classification of the method's redo test, used by the checker to
+  /// instantiate the matching formal policy.
+  enum class RedoTestKind {
+    kRedoAllSinceCheckpoint,  ///< logical, physical
+    kLsnTag,                  ///< physiological, generalized
+  };
+  virtual RedoTestKind redo_test_kind() const = 0;
+
+  /// The LSN at which this method's recovery scan would start right now
+  /// (decoded from the latest stable checkpoint record; 1 if none).
+  Result<core::Lsn> RedoScanStart(const EngineContext& ctx) const;
+
+  /// What the last Recover() call did (methods that do not track this
+  /// return zeros).
+  struct RedoScanStats {
+    size_t scanned = 0;              ///< records examined
+    size_t replayed = 0;             ///< records redone
+    size_t skipped_without_fetch = 0;///< skipped by analysis, no page I/O
+    size_t page_fetches = 0;         ///< pool fetches the scan performed
+  };
+  virtual RedoScanStats last_scan_stats() const { return {}; }
+};
+
+/// Factory helpers. `aries_analysis` enables the §4.3-style analysis
+/// pass: checkpoints carry the dirty page table, and recovery first
+/// reconstructs it from the log so the redo scan can skip records
+/// without fetching their pages (the ARIES analysis/redo split).
+std::unique_ptr<RecoveryMethod> MakeLogicalMethod(size_t num_pages);
+std::unique_ptr<RecoveryMethod> MakePhysicalMethod();
+std::unique_ptr<RecoveryMethod> MakePhysiologicalMethod(
+    bool aries_analysis = false);
+std::unique_ptr<RecoveryMethod> MakeGeneralizedLsnMethod();
+
+/// §6.2 notes that "both whole and partial page logging have been
+/// used": this variant logs only the bytes an update changes (a blind
+/// slot poke) instead of the full after-image, falling back to images
+/// for whole-page changes (splits, formats). Same redo-all recovery.
+std::unique_ptr<RecoveryMethod> MakePartialPhysicalMethod();
+
+/// Enumerates the methods for matrix tests/benches.
+/// kPhysiologicalAnalysis is kPhysiological plus the analysis pass.
+enum class MethodKind {
+  kLogical,
+  kPhysical,
+  kPhysiological,
+  kGeneralized,
+  kPhysiologicalAnalysis,
+  kPhysicalPartial,
+};
+std::unique_ptr<RecoveryMethod> MakeMethod(MethodKind kind, size_t num_pages);
+const char* MethodKindName(MethodKind kind);
+
+}  // namespace redo::methods
+
+#endif  // REDO_METHODS_METHOD_H_

@@ -1,0 +1,115 @@
+// Physical recovery (§6.2): log the exact bytes each operation leaves
+// behind (whole-page after-images). Physical operations only write —
+// they never read — so the conflict graph has only write-write edges,
+// every uninstalled variable is unexposed, and recovery simply replays
+// every record since the last checkpoint.
+//
+// Checkpointing flushes the cache (making the replayed records' effects
+// present in the stable state) and then writes the checkpoint record,
+// atomically installing the operations by removing them from redo_set.
+
+#include "methods/common.h"
+#include "methods/method.h"
+
+namespace redo::methods {
+namespace {
+
+using engine::SinglePageOp;
+using engine::SplitOp;
+using storage::Page;
+using storage::PageId;
+
+class PhysicalMethod : public RecoveryMethod {
+ public:
+  const char* name() const override { return "physical"; }
+
+  RedoTestKind redo_test_kind() const override {
+    return RedoTestKind::kRedoAllSinceCheckpoint;
+  }
+
+  Result<core::Lsn> LogAndApply(EngineContext& ctx,
+                                const SinglePageOp& op) override {
+    // Apply in cache first, then log the resulting bytes.
+    Result<Page*> page = ctx.pool->Fetch(op.page);
+    if (!page.ok()) return page.status();
+    REDO_RETURN_IF_ERROR(engine::ApplySinglePageOp(op, page.value()));
+    return LogImage(ctx, op.page, "physical-image@");
+  }
+
+  Result<SplitLsns> LogAndApplySplit(EngineContext& ctx,
+                                     const SplitOp& op) override {
+    Result<Page*> src = ctx.pool->Fetch(op.src);
+    if (!src.ok()) return src.status();
+    const Page src_copy = *src.value();
+    Result<Page*> dst = ctx.pool->Fetch(op.dst);
+    if (!dst.ok()) return dst.status();
+    engine::ApplySplitToDst(op, src_copy, dst.value());
+    Result<core::Lsn> split_lsn = LogImage(ctx, op.dst, "physical-image@");
+    if (!split_lsn.ok()) return split_lsn.status();
+
+    const SinglePageOp rewrite = engine::MakeRewriteForSplit(op);
+    src = ctx.pool->Fetch(op.src);
+    if (!src.ok()) return src.status();
+    REDO_RETURN_IF_ERROR(engine::ApplySinglePageOp(rewrite, src.value()));
+    Result<core::Lsn> rewrite_lsn = LogImage(ctx, op.src, "physical-image@");
+    if (!rewrite_lsn.ok()) return rewrite_lsn.status();
+    return SplitLsns{split_lsn.value(), rewrite_lsn.value()};
+  }
+
+  Status Checkpoint(EngineContext& ctx) override {
+    // §6.2: make the cached values stable, then atomically shift every
+    // logged operation out of redo_set with the checkpoint record.
+    REDO_RETURN_IF_ERROR(ctx.log->ForceAll());
+    REDO_RETURN_IF_ERROR(ctx.pool->FlushAll());
+    return internal_methods::WriteCheckpointRecord(ctx,
+                                                   ctx.log->last_lsn() + 1);
+  }
+
+  Status Recover(EngineContext& ctx) override {
+    Result<core::Lsn> redo_start = internal_methods::ReadRedoScanStart(ctx);
+    if (!redo_start.ok()) return redo_start.status();
+    Result<std::vector<wal::LogRecord>> records =
+        ctx.log->StableRecords(redo_start.value());
+    if (!records.ok()) return records.status();
+    // Redo everything, unconditionally, in log order.
+    for (const wal::LogRecord& record : records.value()) {
+      if (record.type == wal::RecordType::kCheckpoint) continue;
+      if (record.type != wal::RecordType::kPageImage) {
+        return Status::Corruption("physical log contains a non-image record");
+      }
+      Result<std::pair<PageId, Page>> decoded =
+          engine::DecodePageImage(record.payload);
+      if (!decoded.ok()) return decoded.status();
+      REDO_RETURN_IF_ERROR(internal_methods::RedoPageImage(
+          ctx, decoded.value().first, decoded.value().second, record.lsn));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  /// Tags the cached page with the upcoming LSN, logs its full image,
+  /// marks it dirty, and traces a blind write.
+  Result<core::Lsn> LogImage(EngineContext& ctx, PageId page_id,
+                             const char* prefix) {
+    Result<Page*> page = ctx.pool->Fetch(page_id);
+    if (!page.ok()) return page.status();
+    const core::Lsn lsn = ctx.log->last_lsn() + 1;
+    page.value()->set_lsn(lsn);
+    const core::Lsn assigned = ctx.log->Append(
+        wal::RecordType::kPageImage,
+        engine::EncodePageImage(page_id, *page.value()));
+    REDO_CHECK_EQ(assigned, lsn);
+    REDO_RETURN_IF_ERROR(ctx.pool->MarkDirty(page_id, lsn));
+    REDO_RETURN_IF_ERROR(internal_methods::TraceLoggedOp(
+        ctx, lsn, prefix + std::to_string(page_id), /*reads=*/{}, {page_id}));
+    return lsn;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RecoveryMethod> MakePhysicalMethod() {
+  return std::make_unique<PhysicalMethod>();
+}
+
+}  // namespace redo::methods

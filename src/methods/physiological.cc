@@ -1,0 +1,159 @@
+// Physiological recovery (§6.3): each logged operation reads and writes
+// exactly one page ("physical" page id, "logical" intra-page action).
+// Pages carry the LSN of their last updater; the redo test compares the
+// page LSN against the record LSN; writing a page to disk atomically
+// installs its operations and removes them from redo_set.
+//
+// A split cannot be logged as one multi-page operation here, so the new
+// page's contents are logged *physically* (a full page image) — exactly
+// the cost §6.4's generalized operations eliminate.
+
+#include "methods/common.h"
+#include "methods/method.h"
+
+namespace redo::methods {
+namespace {
+
+using engine::SinglePageOp;
+using engine::SplitOp;
+using storage::Page;
+using storage::PageId;
+
+class PhysiologicalMethod : public RecoveryMethod {
+ public:
+  explicit PhysiologicalMethod(bool aries_analysis)
+      : aries_analysis_(aries_analysis) {}
+
+  const char* name() const override {
+    return aries_analysis_ ? "physio-aries" : "physiological";
+  }
+
+  RedoTestKind redo_test_kind() const override { return RedoTestKind::kLsnTag; }
+
+  Result<core::Lsn> LogAndApply(EngineContext& ctx,
+                                const SinglePageOp& op) override {
+    const core::Lsn lsn = ctx.log->Append(
+        op.type, engine::EncodeSinglePageOp(op));
+    REDO_RETURN_IF_ERROR(internal_methods::RedoSinglePageOp(ctx, op, lsn));
+    std::vector<PageId> reads;
+    if (!op.blind) reads.push_back(op.page);
+    REDO_RETURN_IF_ERROR(internal_methods::TraceLoggedOp(
+        ctx, lsn, "physio-op@" + std::to_string(op.page), std::move(reads),
+        {op.page}));
+    return lsn;
+  }
+
+  Result<SplitLsns> LogAndApplySplit(EngineContext& ctx,
+                                     const SplitOp& op) override {
+    // Compute the new page's contents from the source, then log it as a
+    // full page image (a blind single-page write).
+    Result<Page*> src = ctx.pool->Fetch(op.src);
+    if (!src.ok()) return src.status();
+    const Page src_copy = *src.value();
+    Result<Page*> dst = ctx.pool->Fetch(op.dst);
+    if (!dst.ok()) return dst.status();
+    engine::ApplySplitToDst(op, src_copy, dst.value());
+
+    const core::Lsn image_lsn_placeholder = ctx.log->last_lsn() + 1;
+    dst.value()->set_lsn(image_lsn_placeholder);
+    const core::Lsn split_lsn = ctx.log->Append(
+        wal::RecordType::kPageImage,
+        engine::EncodePageImage(op.dst, *dst.value()));
+    REDO_CHECK_EQ(split_lsn, image_lsn_placeholder);
+    REDO_RETURN_IF_ERROR(ctx.pool->MarkDirty(op.dst, split_lsn));
+    REDO_RETURN_IF_ERROR(internal_methods::TraceLoggedOp(
+        ctx, split_lsn, "physio-newpage@" + std::to_string(op.dst), {},
+        {op.dst}));
+
+    // The source rewrite is an ordinary physiological operation.
+    const SinglePageOp rewrite = engine::MakeRewriteForSplit(op);
+    const core::Lsn rewrite_lsn =
+        ctx.log->Append(rewrite.type, engine::EncodeSinglePageOp(rewrite));
+    REDO_RETURN_IF_ERROR(
+        internal_methods::RedoSinglePageOp(ctx, rewrite, rewrite_lsn));
+    REDO_RETURN_IF_ERROR(internal_methods::TraceLoggedOp(
+        ctx, rewrite_lsn, "physio-rewrite@" + std::to_string(op.src), {op.src},
+        {op.src}));
+    return SplitLsns{split_lsn, rewrite_lsn};
+  }
+
+  Status Checkpoint(EngineContext& ctx) override {
+    // Fuzzy checkpoint: no page flushing; record where redo must start.
+    // The analysis variant also records the dirty page table so recovery
+    // can rebuild it (the ARIES begin-checkpoint payload).
+    if (aries_analysis_) {
+      return internal_methods::WriteCheckpointRecordWithDpt(
+          ctx, internal_methods::FuzzyRedoPoint(ctx));
+    }
+    return internal_methods::WriteCheckpointRecord(
+        ctx, internal_methods::FuzzyRedoPoint(ctx));
+  }
+
+  Status Recover(EngineContext& ctx) override {
+    if (!aries_analysis_) {
+      return internal_methods::LsnRedoScan(ctx, /*add_split_constraints=*/false,
+                                           nullptr, &last_stats_);
+    }
+    // Analysis pass (§4.3): start from the checkpoint's DPT and extend
+    // it with every page a post-checkpoint record dirties. The redo scan
+    // then skips installed records without page I/O.
+    Result<std::map<storage::PageId, core::Lsn>> dpt =
+        internal_methods::ReadCheckpointDpt(ctx);
+    if (!dpt.ok()) return dpt.status();
+    Result<std::optional<wal::LogRecord>> checkpoint =
+        ctx.log->LatestStableCheckpoint();
+    if (!checkpoint.ok()) return checkpoint.status();
+    const core::Lsn analysis_from =
+        checkpoint.value().has_value() ? checkpoint.value()->lsn + 1 : 1;
+    Result<std::vector<wal::LogRecord>> tail =
+        ctx.log->StableRecords(analysis_from);
+    if (!tail.ok()) return tail.status();
+    for (const wal::LogRecord& record : tail.value()) {
+      std::vector<storage::PageId> written;
+      switch (record.type) {
+        case wal::RecordType::kCheckpoint:
+          continue;
+        case wal::RecordType::kPageImage: {
+          Result<std::pair<storage::PageId, storage::Page>> decoded =
+              engine::DecodePageImage(record.payload);
+          if (!decoded.ok()) return decoded.status();
+          written.push_back(decoded.value().first);
+          break;
+        }
+        case wal::RecordType::kPageSplit: {
+          Result<engine::SplitOp> split =
+              engine::DecodeSplitOp(record.payload);
+          if (!split.ok()) return split.status();
+          written.push_back(split.value().dst);
+          break;
+        }
+        default: {
+          Result<engine::SinglePageOp> op =
+              engine::DecodeSinglePageOp(record.type, record.payload);
+          if (!op.ok()) return op.status();
+          written.push_back(op.value().page);
+          break;
+        }
+      }
+      for (storage::PageId page : written) {
+        dpt.value().emplace(page, record.lsn);  // keeps the earliest rec_lsn
+      }
+    }
+    return internal_methods::LsnRedoScan(ctx, /*add_split_constraints=*/false,
+                                         &dpt.value(), &last_stats_);
+  }
+
+  RedoScanStats last_scan_stats() const override { return last_stats_; }
+
+ private:
+  const bool aries_analysis_;
+  RedoScanStats last_stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecoveryMethod> MakePhysiologicalMethod(bool aries_analysis) {
+  return std::make_unique<PhysiologicalMethod>(aries_analysis);
+}
+
+}  // namespace redo::methods

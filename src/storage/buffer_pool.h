@@ -1,0 +1,148 @@
+// The cache manager (buffer pool).
+//
+// This is where the theory's write graph meets a real system structure:
+// the pool accumulates the effects of many operations per page, decides
+// when pages move to stable storage, enforces the write-ahead-log rule
+// (an operation's log record must be stable before its page is), and
+// enforces *write-order constraints* — the installation-graph edges that
+// §6.4's generalized operations impose (write the new B-tree page before
+// overwriting the old one).
+
+#ifndef REDO_STORAGE_BUFFER_POOL_H_
+#define REDO_STORAGE_BUFFER_POOL_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace redo::storage {
+
+/// Buffer pool counters.
+struct BufferPoolStats {
+  uint64_t fetches = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t flushes = 0;
+  uint64_t evictions = 0;
+  uint64_t wal_forces = 0;
+  uint64_t ordered_cascades = 0;  ///< flushes forced by write-order edges
+};
+
+/// An entry of the dirty page table.
+struct DirtyPageEntry {
+  PageId page;
+  core::Lsn rec_lsn;   ///< LSN that first dirtied the page since last flush
+  core::Lsn page_lsn;  ///< current page LSN in cache
+};
+
+/// A single-copy page cache over a Disk.
+///
+/// Single-threaded by design (the simulation is discrete-event); no pin
+/// counts are needed because callers never hold page pointers across
+/// calls that may evict.
+class BufferPool {
+ public:
+  /// `capacity` = maximum cached pages; 0 means unbounded.
+  BufferPool(Disk* disk, size_t capacity);
+
+  /// The write-ahead-log hook: invoked with a page's LSN before the page
+  /// is written to disk; must make the log stable up to that LSN.
+  using WalHook = std::function<Status(core::Lsn)>;
+  void set_wal_hook(WalHook hook) { wal_hook_ = std::move(hook); }
+
+  /// Returns a mutable pointer to the cached copy of `id`, reading it
+  /// from disk on a miss (evicting if at capacity). The pointer is valid
+  /// until the next Fetch/Flush/Evict/Crash call.
+  Result<Page*> Fetch(PageId id);
+
+  /// Marks a cached page dirty; `lsn` is the logged operation that
+  /// updated it. Sets the page LSN. The page must be cached.
+  Status MarkDirty(PageId id, core::Lsn lsn);
+
+  /// Writes a dirty page to disk (honoring the WAL hook). Fails with
+  /// FailedPrecondition if a write-order constraint requires another
+  /// page to reach disk first — use FlushPageCascading to satisfy
+  /// constraints recursively. Flushing a clean or uncached page is a
+  /// no-op.
+  Status FlushPage(PageId id);
+
+  /// Flushes `id` after recursively flushing every page a write-order
+  /// constraint requires first.
+  Status FlushPageCascading(PageId id);
+
+  /// Flushes every dirty page (in constraint-respecting order).
+  Status FlushAll();
+
+  /// Requires: the version of `before` tagged `before_lsn` (or newer)
+  /// must be on disk before `after` may next be flushed. This is how
+  /// the engine enforces an installation-graph edge between two pages
+  /// (§6.4's "careful write order").
+  void AddWriteOrderConstraint(PageId before, core::Lsn before_lsn,
+                               PageId after);
+
+  /// True if unsatisfied constraints already require `from` to reach
+  /// disk (transitively) before `to`. Adding the edge to -> from would
+  /// then create a cycle — the write graph's Add-an-edge precondition
+  /// (§5.1) — which the caller must resolve by flushing first.
+  bool HasPendingOrderPath(PageId from, PageId to) const;
+
+  /// Discards every cached page and all constraints — the crash.
+  void Crash();
+
+  /// Discards one cached page without writing it (drops dirty data;
+  /// used by tests and by the logical method's quiesce logic).
+  void DropPage(PageId id);
+
+  /// True if `id` is currently cached.
+  bool IsCached(PageId id) const { return frames_.count(id) != 0; }
+
+  /// True if `id` is cached and dirty.
+  bool IsDirty(PageId id) const;
+
+  /// The dirty page table (unordered).
+  std::vector<DirtyPageEntry> DirtyPages() const;
+
+  size_t num_cached() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+ private:
+  struct Frame {
+    Page page;
+    bool dirty = false;
+    core::Lsn rec_lsn = core::kNullLsn;
+    uint64_t last_use = 0;
+  };
+
+  struct OrderConstraint {
+    PageId before;
+    core::Lsn before_lsn;
+    PageId after;
+  };
+
+  /// Pages that must be flushed before `id` can be (unsatisfied
+  /// constraints only).
+  std::vector<PageId> BlockingPages(PageId id) const;
+
+  /// Evicts the least-recently-used page (flushing if dirty).
+  Status EvictOne();
+
+  Status FlushFrame(PageId id, Frame* frame);
+
+  Disk* disk_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::vector<OrderConstraint> constraints_;
+  WalHook wal_hook_;
+  uint64_t use_clock_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace redo::storage
+
+#endif  // REDO_STORAGE_BUFFER_POOL_H_

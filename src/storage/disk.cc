@@ -1,0 +1,34 @@
+#include "storage/disk.h"
+
+namespace redo::storage {
+
+Result<Page> Disk::ReadPage(PageId id) const {
+  if (id >= pages_.size()) {
+    return Status::NotFound("disk: page " + std::to_string(id) +
+                            " out of range");
+  }
+  ++const_cast<Disk*>(this)->stats_.reads;
+  return pages_[id];
+}
+
+const Page& Disk::PeekPage(PageId id) const {
+  REDO_CHECK_LT(id, pages_.size());
+  return pages_[id];
+}
+
+Status Disk::WritePage(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::NotFound("disk: page " + std::to_string(id) +
+                            " out of range");
+  }
+  Page to_write = page;
+  if (write_fault_hook_ && !write_fault_hook_(id, &to_write)) {
+    return Status::Unavailable("disk: write dropped by fault injector");
+  }
+  pages_[id] = to_write;
+  ++stats_.writes;
+  stats_.bytes_written += Page::kSize;
+  return Status::Ok();
+}
+
+}  // namespace redo::storage

@@ -1,0 +1,65 @@
+// Simulated stable storage.
+//
+// The paper's crash model: stable state survives a crash, volatile state
+// does not, and page writes are atomic (a crash never leaves a page
+// half-written). The Disk simulates exactly that, plus I/O accounting
+// for the benchmarks and an optional fault injector that drops or tears
+// writes so the checker's corruption detection can be exercised.
+
+#ifndef REDO_STORAGE_DISK_H_
+#define REDO_STORAGE_DISK_H_
+
+#include <functional>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace redo::storage {
+
+/// Per-disk I/O counters (reset with ResetStats).
+struct DiskStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes_written = 0;
+};
+
+/// A stable array of pages with atomic page writes.
+class Disk {
+ public:
+  /// A disk with `num_pages` zeroed pages.
+  explicit Disk(size_t num_pages) : pages_(num_pages) {}
+
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Reads a page (copies it out, as a real I/O would).
+  Result<Page> ReadPage(PageId id) const;
+
+  /// Direct const access for checkers/verifiers that inspect the stable
+  /// state without modeling I/O cost.
+  const Page& PeekPage(PageId id) const;
+
+  /// Atomically writes a page. With a fault hook installed, the hook may
+  /// drop the write (returning kUnavailable) to simulate a crash cutting
+  /// off I/O, or corrupt it to simulate a torn write.
+  Status WritePage(PageId id, const Page& page);
+
+  /// A write-fault hook: invoked per write; may mutate the page about to
+  /// be written (torn write) or veto it entirely (return false).
+  using WriteFaultHook = std::function<bool(PageId, Page*)>;
+  void set_write_fault_hook(WriteFaultHook hook) {
+    write_fault_hook_ = std::move(hook);
+  }
+
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats{}; }
+
+ private:
+  std::vector<Page> pages_;
+  DiskStats stats_;
+  WriteFaultHook write_fault_hook_;
+};
+
+}  // namespace redo::storage
+
+#endif  // REDO_STORAGE_DISK_H_

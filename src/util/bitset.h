@@ -1,0 +1,139 @@
+// A compact dynamic bitset used for operation sets (installed sets,
+// redo sets, prefix membership) in the formal model.
+//
+// std::vector<bool> would work but offers no word-level operations;
+// prefix checks and exposed-variable computation iterate these sets
+// heavily, so we keep an explicit word array with set-algebra helpers.
+
+#ifndef REDO_UTIL_BITSET_H_
+#define REDO_UTIL_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace redo {
+
+/// Fixed-universe bitset over {0, ..., size-1}.
+class Bitset {
+ public:
+  Bitset() = default;
+
+  /// Creates an empty set over a universe of `size` elements.
+  explicit Bitset(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  /// Number of elements in the universe (not the cardinality).
+  size_t universe_size() const { return size_; }
+
+  /// Adds element i.
+  void Set(size_t i) {
+    REDO_CHECK_LT(i, size_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+
+  /// Removes element i.
+  void Reset(size_t i) {
+    REDO_CHECK_LT(i, size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  /// Membership test.
+  bool Test(size_t i) const {
+    REDO_CHECK_LT(i, size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Cardinality.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+    return n;
+  }
+
+  /// True if no element is set.
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Adds every element of `other` (same universe required).
+  Bitset& UnionWith(const Bitset& other) {
+    REDO_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  /// Intersects with `other`.
+  Bitset& IntersectWith(const Bitset& other) {
+    REDO_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  /// Removes every element of `other`.
+  Bitset& SubtractWith(const Bitset& other) {
+    REDO_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return *this;
+  }
+
+  /// True if this set is a subset of `other`.
+  bool IsSubsetOf(const Bitset& other) const {
+    REDO_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Set equality.
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Lists the members in increasing order.
+  std::vector<uint32_t> ToVector() const {
+    std::vector<uint32_t> out;
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        out.push_back(static_cast<uint32_t>(wi * 64 + static_cast<size_t>(bit)));
+        w &= w - 1;
+      }
+    }
+    return out;
+  }
+
+  /// Builds a set from listed members.
+  static Bitset FromVector(size_t size, const std::vector<uint32_t>& members) {
+    Bitset s(size);
+    for (uint32_t m : members) s.Set(m);
+    return s;
+  }
+
+  /// Returns the complement set.
+  Bitset Complement() const {
+    Bitset out(size_);
+    for (size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+    // Clear the tail bits beyond the universe.
+    if (size_ % 64 != 0 && !out.words_.empty()) {
+      out.words_.back() &= (uint64_t{1} << (size_ % 64)) - 1;
+    }
+    return out;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace redo
+
+#endif  // REDO_UTIL_BITSET_H_

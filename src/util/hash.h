@@ -1,0 +1,69 @@
+// Stable 64-bit hashing utilities.
+//
+// The recovery checker identifies page contents by hash (a page version's
+// "value" in the formal model), so hashes must be deterministic across
+// runs and platforms. We use FNV-1a with a final avalanche mix.
+
+#ifndef REDO_UTIL_HASH_H_
+#define REDO_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace redo {
+
+/// Incremental 64-bit hasher. Deterministic across runs and platforms.
+class Hasher64 {
+ public:
+  /// Absorbs raw bytes.
+  Hasher64& Update(const void* data, size_t size) {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      state_ ^= bytes[i];
+      state_ *= 0x100000001b3ULL;  // FNV prime
+    }
+    return *this;
+  }
+
+  /// Absorbs an integral value in a fixed little-endian layout.
+  template <typename T>
+  Hasher64& UpdateValue(T value) {
+    uint8_t buf[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf[i] = static_cast<uint8_t>(static_cast<uint64_t>(value) >> (8 * i));
+    }
+    return Update(buf, sizeof(T));
+  }
+
+  /// Finishes and returns the 64-bit digest.
+  uint64_t Digest() const {
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+/// Hashes a span of bytes in one call.
+inline uint64_t HashBytes(std::span<const uint8_t> bytes) {
+  return Hasher64().Update(bytes.data(), bytes.size()).Digest();
+}
+
+/// Hashes a string.
+inline uint64_t HashString(std::string_view s) {
+  return Hasher64().Update(s.data(), s.size()).Digest();
+}
+
+/// Mixes two 64-bit hashes (order-sensitive).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Hasher64().UpdateValue(a).UpdateValue(b).Digest();
+}
+
+}  // namespace redo
+
+#endif  // REDO_UTIL_HASH_H_

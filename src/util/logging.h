@@ -1,0 +1,74 @@
+// Lightweight assertion and logging macros for the igraph-redo library.
+//
+// The library is a simulation/verification framework: internal invariant
+// violations indicate bugs, not recoverable runtime conditions, so CHECK
+// aborts with a diagnostic rather than throwing.
+
+#ifndef REDO_UTIL_LOGGING_H_
+#define REDO_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace redo {
+namespace internal_logging {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used as the right-hand side of the CHECK macros so callers can stream
+/// extra context: `REDO_CHECK(ok) << "context " << value;`
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed arguments when a check passes.
+class NullMessage {
+ public:
+  template <typename T>
+  NullMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace redo
+
+/// Aborts with a diagnostic when `condition` is false. Always enabled:
+/// the simulators in this library rely on CHECK to surface model
+/// violations during property tests, including in release builds.
+/// The `while` form never loops (the FatalMessage destructor aborts); it
+/// exists so callers can stream context after the macro.
+#define REDO_CHECK(condition)                                         \
+  while (!(condition))                                                \
+  ::redo::internal_logging::FatalMessage(__FILE__, __LINE__, #condition)
+
+#define REDO_CHECK_EQ(a, b) REDO_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define REDO_CHECK_NE(a, b) REDO_CHECK((a) != (b))
+#define REDO_CHECK_LT(a, b) REDO_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define REDO_CHECK_LE(a, b) REDO_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define REDO_CHECK_GT(a, b) REDO_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define REDO_CHECK_GE(a, b) REDO_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // REDO_UTIL_LOGGING_H_

@@ -1,0 +1,26 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace redo {
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  REDO_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(std::min<ptrdiff_t>(
+      it - cdf_.begin(), static_cast<ptrdiff_t>(cdf_.size()) - 1));
+}
+
+}  // namespace redo

@@ -1,0 +1,25 @@
+#include "util/status.h"
+
+namespace redo {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+  }
+  return "Unknown";
+}
+
+}  // namespace redo

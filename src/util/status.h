@@ -1,0 +1,129 @@
+// Status / StatusOr-style result types.
+//
+// The formal-model layer (src/core) uses value semantics and CHECKs,
+// because a model violation there is a bug in the caller. The substrate
+// layers (storage, wal, engine, methods) model *operational* failures —
+// unknown page, write-order violation, log corruption — that callers and
+// tests want to observe, so those APIs return Status / Result.
+
+#ifndef REDO_UTIL_STATUS_H_
+#define REDO_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace redo {
+
+/// Coarse failure categories for substrate operations.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,          // page / record / key absent
+  kInvalidArgument,   // malformed request
+  kFailedPrecondition,  // e.g. WAL or write-order constraint would be violated
+  kCorruption,        // deserialization failure, torn data
+  kOutOfRange,        // LSN / offset beyond the log or page
+  kUnavailable,       // component is crashed / quiesced
+};
+
+/// Returns a short stable name for a code ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// An error-or-success value without a payload.
+class Status {
+ public:
+  /// Success.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Failure with a human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    REDO_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or a Status. Accessing the value of a failed Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Success. Implicit so `return value;` works.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure. Implicit so `return Status::NotFound(...);` works.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    REDO_CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The failure status; Status::Ok() when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    REDO_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    REDO_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    REDO_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace redo
+
+/// Propagates a failed Status out of the current function.
+#define REDO_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::redo::Status redo_status_ = (expr);      \
+    if (!redo_status_.ok()) return redo_status_; \
+  } while (false)
+
+#endif  // REDO_UTIL_STATUS_H_

@@ -1,0 +1,69 @@
+#include "wal/log_manager.h"
+
+#include <algorithm>
+
+namespace redo::wal {
+
+core::Lsn LogManager::Append(RecordType type, std::vector<uint8_t> payload) {
+  LogRecord record;
+  record.lsn = ++last_lsn_;
+  record.type = type;
+  record.payload = std::move(payload);
+  volatile_tail_.push_back(std::move(record));
+  ++stats_.appends;
+  return last_lsn_;
+}
+
+Status LogManager::Force(core::Lsn upto) {
+  ++stats_.forces;
+  size_t moved = 0;
+  for (const LogRecord& record : volatile_tail_) {
+    if (record.lsn > upto) break;
+    const std::vector<uint8_t> encoded = EncodeRecord(record);
+    stable_bytes_.insert(stable_bytes_.end(), encoded.begin(), encoded.end());
+    stable_lsn_ = record.lsn;
+    ++moved;
+  }
+  volatile_tail_.erase(volatile_tail_.begin(),
+                       volatile_tail_.begin() + static_cast<ptrdiff_t>(moved));
+  stats_.forced_records += moved;
+  stats_.stable_bytes = stable_bytes_.size();
+  return Status::Ok();
+}
+
+void LogManager::Crash() {
+  volatile_tail_.clear();
+  // LSNs of lost records are reusable: the WAL rule guarantees no page
+  // on disk carries them.
+  last_lsn_ = stable_lsn_;
+}
+
+Result<std::vector<LogRecord>> LogManager::StableRecords(core::Lsn from) const {
+  std::vector<LogRecord> out;
+  size_t offset = 0;
+  while (offset < stable_bytes_.size()) {
+    Result<LogRecord> record = DecodeRecord(stable_bytes_, &offset);
+    if (!record.ok()) return record.status();
+    if (record.value().lsn >= from) out.push_back(std::move(record).value());
+  }
+  return out;
+}
+
+Result<std::optional<LogRecord>> LogManager::LatestStableCheckpoint() const {
+  Result<std::vector<LogRecord>> records = StableRecords(1);
+  if (!records.ok()) return records.status();
+  std::optional<LogRecord> latest;
+  for (LogRecord& record : records.value()) {
+    if (record.type == RecordType::kCheckpoint) latest = std::move(record);
+  }
+  return latest;
+}
+
+void LogManager::CorruptStableTail(size_t drop_bytes) {
+  const size_t keep = stable_bytes_.size() > drop_bytes
+                          ? stable_bytes_.size() - drop_bytes
+                          : 0;
+  stable_bytes_.resize(keep);
+}
+
+}  // namespace redo::wal

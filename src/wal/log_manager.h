@@ -1,0 +1,78 @@
+// The log manager: a volatile log tail over a stable log.
+//
+// Appends go to the volatile tail. Force(lsn) moves records up to lsn to
+// stable storage (serialized + checksummed, modeling the disk format).
+// A crash discards the volatile tail; stable records survive and can be
+// scanned by recovery. The write-ahead-log protocol is enforced by the
+// buffer pool calling Force before flushing a page (§7: "the write-ahead
+// log protocol requires an operation's log record be forced to disk
+// before the operation's effects are written to disk").
+
+#ifndef REDO_WAL_LOG_MANAGER_H_
+#define REDO_WAL_LOG_MANAGER_H_
+
+#include <optional>
+#include <vector>
+
+#include "wal/log_record.h"
+
+namespace redo::wal {
+
+/// Log manager counters.
+struct LogStats {
+  uint64_t appends = 0;
+  uint64_t forces = 0;
+  uint64_t forced_records = 0;
+  uint64_t stable_bytes = 0;
+};
+
+class LogManager {
+ public:
+  LogManager() = default;
+
+  /// Appends a record to the volatile tail; assigns and returns its LSN
+  /// (monotonically increasing from 1).
+  core::Lsn Append(RecordType type, std::vector<uint8_t> payload);
+
+  /// Makes every record with lsn <= `upto` stable. Forcing beyond the
+  /// last appended LSN is allowed (forces everything).
+  Status Force(core::Lsn upto);
+
+  /// Forces the entire log.
+  Status ForceAll() { return Force(last_lsn_); }
+
+  /// LSN of the last appended record (0 if none).
+  core::Lsn last_lsn() const { return last_lsn_; }
+
+  /// LSN of the last *stable* record (0 if none).
+  core::Lsn stable_lsn() const { return stable_lsn_; }
+
+  /// Discards the volatile tail (the crash). Stable records survive.
+  void Crash();
+
+  /// Scans stable records with lsn >= `from`, in LSN order, decoding
+  /// them from the stable byte image (verifying checksums — recovery
+  /// must never trust a torn tail).
+  Result<std::vector<LogRecord>> StableRecords(core::Lsn from) const;
+
+  /// The latest stable checkpoint record, if any.
+  Result<std::optional<LogRecord>> LatestStableCheckpoint() const;
+
+  const LogStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LogStats{}; }
+
+  /// Test hook: truncates the stable byte image to simulate a torn tail
+  /// (a crash mid-force). Recovery must stop at the damage.
+  void CorruptStableTail(size_t drop_bytes);
+
+ private:
+  core::Lsn last_lsn_ = 0;
+  core::Lsn stable_lsn_ = 0;
+  std::vector<LogRecord> volatile_tail_;  // records with lsn > stable_lsn_
+  std::vector<uint8_t> stable_bytes_;     // serialized stable records
+  LogStats stats_;
+};
+
+}  // namespace redo::wal
+
+#endif  // REDO_WAL_LOG_MANAGER_H_

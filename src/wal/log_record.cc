@@ -1,0 +1,124 @@
+#include "wal/log_record.h"
+
+#include "util/hash.h"
+
+namespace redo::wal {
+
+namespace {
+
+void AppendLittleEndian(std::vector<uint8_t>* out, uint64_t v, size_t width) {
+  for (size_t i = 0; i < width; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint64_t ReadLittleEndian(const uint8_t* data, size_t width) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < width; ++i) {
+    v |= static_cast<uint64_t>(data[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t RecordChecksum(const LogRecord& record) {
+  Hasher64 h;
+  h.UpdateValue<uint64_t>(record.lsn);
+  h.UpdateValue<uint16_t>(static_cast<uint16_t>(record.type));
+  h.Update(record.payload.data(), record.payload.size());
+  return h.Digest();
+}
+
+}  // namespace
+
+PayloadWriter& PayloadWriter::U8(uint8_t v) {
+  bytes_.push_back(v);
+  return *this;
+}
+PayloadWriter& PayloadWriter::U16(uint16_t v) {
+  AppendLittleEndian(&bytes_, v, 2);
+  return *this;
+}
+PayloadWriter& PayloadWriter::U32(uint32_t v) {
+  AppendLittleEndian(&bytes_, v, 4);
+  return *this;
+}
+PayloadWriter& PayloadWriter::U64(uint64_t v) {
+  AppendLittleEndian(&bytes_, v, 8);
+  return *this;
+}
+PayloadWriter& PayloadWriter::Bytes(const uint8_t* data, size_t size) {
+  bytes_.insert(bytes_.end(), data, data + size);
+  return *this;
+}
+
+Result<uint8_t> PayloadReader::U8() {
+  if (remaining() < 1) return Status::Corruption("payload underrun");
+  return bytes_[offset_++];
+}
+Result<uint16_t> PayloadReader::U16() {
+  if (remaining() < 2) return Status::Corruption("payload underrun");
+  const uint16_t v =
+      static_cast<uint16_t>(ReadLittleEndian(bytes_.data() + offset_, 2));
+  offset_ += 2;
+  return v;
+}
+Result<uint32_t> PayloadReader::U32() {
+  if (remaining() < 4) return Status::Corruption("payload underrun");
+  const uint32_t v =
+      static_cast<uint32_t>(ReadLittleEndian(bytes_.data() + offset_, 4));
+  offset_ += 4;
+  return v;
+}
+Result<uint64_t> PayloadReader::U64() {
+  if (remaining() < 8) return Status::Corruption("payload underrun");
+  const uint64_t v = ReadLittleEndian(bytes_.data() + offset_, 8);
+  offset_ += 8;
+  return v;
+}
+Result<int64_t> PayloadReader::I64() {
+  Result<uint64_t> v = U64();
+  if (!v.ok()) return v.status();
+  return static_cast<int64_t>(v.value());
+}
+Result<std::vector<uint8_t>> PayloadReader::Bytes(size_t size) {
+  if (remaining() < size) return Status::Corruption("payload underrun");
+  std::vector<uint8_t> out(bytes_.begin() + static_cast<ptrdiff_t>(offset_),
+                           bytes_.begin() + static_cast<ptrdiff_t>(offset_ + size));
+  offset_ += size;
+  return out;
+}
+
+std::vector<uint8_t> EncodeRecord(const LogRecord& record) {
+  std::vector<uint8_t> out;
+  AppendLittleEndian(&out, record.payload.size(), 4);
+  AppendLittleEndian(&out, static_cast<uint16_t>(record.type), 2);
+  AppendLittleEndian(&out, record.lsn, 8);
+  out.insert(out.end(), record.payload.begin(), record.payload.end());
+  AppendLittleEndian(&out, RecordChecksum(record), 8);
+  return out;
+}
+
+Result<LogRecord> DecodeRecord(const std::vector<uint8_t>& bytes,
+                               size_t* offset) {
+  constexpr size_t kHeader = 4 + 2 + 8;
+  if (bytes.size() - *offset < kHeader) {
+    return Status::Corruption("log record header truncated");
+  }
+  const uint8_t* p = bytes.data() + *offset;
+  const uint32_t payload_size = static_cast<uint32_t>(ReadLittleEndian(p, 4));
+  LogRecord record;
+  record.type = static_cast<RecordType>(ReadLittleEndian(p + 4, 2));
+  record.lsn = ReadLittleEndian(p + 6, 8);
+  if (bytes.size() - *offset < kHeader + payload_size + 8) {
+    return Status::Corruption("log record body truncated");
+  }
+  record.payload.assign(p + kHeader, p + kHeader + payload_size);
+  const uint64_t stored = ReadLittleEndian(p + kHeader + payload_size, 8);
+  if (stored != RecordChecksum(record)) {
+    return Status::Corruption("log record checksum mismatch");
+  }
+  *offset += kHeader + payload_size + 8;
+  return record;
+}
+
+}  // namespace redo::wal

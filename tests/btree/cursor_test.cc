@@ -1,0 +1,119 @@
+// B-tree cursor and statistics.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "btree/btree.h"
+#include "btree/node_format.h"
+#include "util/rng.h"
+
+namespace redo::btree {
+namespace {
+
+using engine::MiniDb;
+
+std::unique_ptr<MiniDb> MakeDb() {
+  engine::MiniDbOptions options;
+  options.num_pages = 64;
+  return std::make_unique<MiniDb>(
+      options, methods::MakeMethod(methods::MethodKind::kGeneralized, 64));
+}
+
+TEST(CursorTest, EmptyTreeSeekIsEnd) {
+  auto db = MakeDb();
+  Btree tree = Btree::Create(db.get()).value();
+  Btree::Cursor cursor = tree.Seek(0).value();
+  EXPECT_FALSE(cursor.Valid());
+  EXPECT_TRUE(cursor.Next().ok()) << "Next past the end is a no-op";
+}
+
+TEST(CursorTest, SeekFindsFirstKeyAtOrAbove) {
+  auto db = MakeDb();
+  Btree tree = Btree::Create(db.get()).value();
+  for (const int64_t k : {10, 20, 30}) {
+    ASSERT_TRUE(tree.Insert(k, k * 10).ok());
+  }
+  EXPECT_EQ(tree.Seek(5).value().key(), 10);
+  EXPECT_EQ(tree.Seek(10).value().key(), 10);
+  EXPECT_EQ(tree.Seek(11).value().key(), 20);
+  EXPECT_EQ(tree.Seek(30).value().key(), 30);
+  EXPECT_FALSE(tree.Seek(31).value().Valid());
+}
+
+TEST(CursorTest, FullScanCrossesLeafBoundaries) {
+  auto db = MakeDb();
+  Btree tree = Btree::Create(db.get()).value();
+  const int n = static_cast<int>(NodeRef::Capacity()) * 3;
+  Rng rng(5);
+  std::map<int64_t, int64_t> reference;
+  for (int i = 0; i < n; ++i) {
+    const int64_t key = rng.Range(0, n * 4);
+    reference[key] = i;
+    ASSERT_TRUE(tree.Insert(key, i).ok());
+  }
+  ASSERT_GE(tree.Height().value(), 2u);
+
+  Btree::Cursor cursor = tree.Seek(INT64_MIN).value();
+  auto it = reference.begin();
+  while (cursor.Valid()) {
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(cursor.key(), it->first);
+    EXPECT_EQ(cursor.value(), it->second);
+    ++it;
+    ASSERT_TRUE(cursor.Next().ok());
+  }
+  EXPECT_EQ(it, reference.end()) << "cursor must visit every entry";
+}
+
+TEST(CursorTest, MidRangeIteration) {
+  auto db = MakeDb();
+  Btree tree = Btree::Create(db.get()).value();
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree.Insert(k * 2, k).ok());  // even keys 0..198
+  }
+  Btree::Cursor cursor = tree.Seek(51).value();
+  std::vector<int64_t> seen;
+  while (cursor.Valid() && cursor.key() <= 60) {
+    seen.push_back(cursor.key());
+    ASSERT_TRUE(cursor.Next().ok());
+  }
+  EXPECT_EQ(seen, (std::vector<int64_t>{52, 54, 56, 58, 60}));
+}
+
+TEST(StatsTest, SingleLeafTree) {
+  auto db = MakeDb();
+  Btree tree = Btree::Create(db.get()).value();
+  ASSERT_TRUE(tree.Insert(1, 1).ok());
+  ASSERT_TRUE(tree.Insert(2, 2).ok());
+  const Btree::Stats stats = tree.ComputeStats().value();
+  EXPECT_EQ(stats.height, 1u);
+  EXPECT_EQ(stats.leaf_nodes, 1u);
+  EXPECT_EQ(stats.internal_nodes, 0u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.leaf_fill, 0.0);
+}
+
+TEST(StatsTest, MultiLevelTreeCounts) {
+  auto db = MakeDb();
+  Btree tree = Btree::Create(db.get()).value();
+  const int n = static_cast<int>(NodeRef::Capacity()) * 4;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(i, i).ok());
+  }
+  const Btree::Stats stats = tree.ComputeStats().value();
+  EXPECT_EQ(stats.height, 2u);
+  EXPECT_GE(stats.leaf_nodes, 4u);
+  EXPECT_EQ(stats.internal_nodes, 1u);
+  EXPECT_EQ(stats.entries, static_cast<size_t>(n));
+  EXPECT_EQ(stats.entries, tree.Size().value());
+  EXPECT_GT(stats.leaf_fill, 0.4);
+  EXPECT_LE(stats.leaf_fill, 1.0);
+  // Page accounting: meta + leaves + internals = allocated.
+  EXPECT_EQ(stats.leaf_nodes + stats.internal_nodes + 1,
+            tree.AllocatedPages().value());
+}
+
+}  // namespace
+}  // namespace redo::btree

@@ -1,0 +1,139 @@
+// The crash-recover-verify loop across all methods and many seeds: the
+// §6 claim that every method maintains the recovery invariant, validated
+// by both the formal checker and the byte-level oracle.
+
+#include "checker/crash_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace redo::checker {
+namespace {
+
+using methods::MethodKind;
+
+struct MatrixParam {
+  MethodKind method;
+  uint64_t seed;
+};
+
+class CrashSimMatrixTest : public ::testing::TestWithParam<MatrixParam> {};
+
+std::vector<MatrixParam> MatrixParams() {
+  std::vector<MatrixParam> params;
+  for (const MethodKind kind :
+       {MethodKind::kLogical, MethodKind::kPhysical, MethodKind::kPhysiological,
+        MethodKind::kGeneralized, MethodKind::kPhysiologicalAnalysis,
+        MethodKind::kPhysicalPartial}) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      params.push_back(MatrixParam{kind, seed});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, CrashSimMatrixTest, ::testing::ValuesIn(MatrixParams()),
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      std::string name = methods::MethodKindName(info.param.method);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "Seed" + std::to_string(info.param.seed);
+    });
+
+TEST_P(CrashSimMatrixTest, InvariantHoldsAndRecoveryIsExact) {
+  CrashSimOptions options;
+  options.workload.num_pages = 12;
+  options.ops_per_segment = 120;
+  options.crashes = 3;
+  const CrashSimResult result =
+      RunCrashSim(GetParam().method, options, GetParam().seed);
+  EXPECT_TRUE(result.ok) << result.ToString();
+  EXPECT_EQ(result.crashes, 3u);
+  EXPECT_EQ(result.checker_runs, 3u);
+  EXPECT_GT(result.recovered_pages_verified, 0u);
+}
+
+TEST(CrashSimTest, TinyCacheStressesEvictionPaths) {
+  CrashSimOptions options;
+  options.workload.num_pages = 10;
+  options.cache_capacity = 2;  // constant eviction traffic
+  options.ops_per_segment = 150;
+  options.crashes = 2;
+  for (const MethodKind kind : {MethodKind::kPhysical, MethodKind::kPhysiological,
+                                MethodKind::kGeneralized, MethodKind::kPhysiologicalAnalysis,
+        MethodKind::kPhysicalPartial}) {
+    const CrashSimResult result = RunCrashSim(kind, options, 77);
+    EXPECT_TRUE(result.ok)
+        << methods::MethodKindName(kind) << ": " << result.ToString();
+  }
+}
+
+TEST(CrashSimTest, HeavySplitsExerciseWriteOrdering) {
+  CrashSimOptions options;
+  options.workload.num_pages = 8;
+  options.workload.split_probability = 0.25;
+  options.workload.flush_probability = 0.25;
+  options.ops_per_segment = 120;
+  options.crashes = 3;
+  const CrashSimResult result =
+      RunCrashSim(MethodKind::kGeneralized, options, 1234);
+  EXPECT_TRUE(result.ok) << result.ToString();
+}
+
+TEST(CrashSimTest, NoCheckpointsEver) {
+  CrashSimOptions options;
+  options.workload.num_pages = 8;
+  options.workload.checkpoint_probability = 0.0;
+  options.ops_per_segment = 100;
+  options.crashes = 2;
+  for (const MethodKind kind :
+       {MethodKind::kLogical, MethodKind::kPhysical, MethodKind::kPhysiological,
+        MethodKind::kGeneralized, MethodKind::kPhysiologicalAnalysis,
+        MethodKind::kPhysicalPartial}) {
+    const CrashSimResult result = RunCrashSim(kind, options, 5);
+    EXPECT_TRUE(result.ok)
+        << methods::MethodKindName(kind) << ": " << result.ToString();
+  }
+}
+
+TEST(CrashSimTest, FrequentCheckpointsKeepRedoShort) {
+  CrashSimOptions options;
+  options.workload.num_pages = 8;
+  options.workload.checkpoint_probability = 0.2;
+  options.ops_per_segment = 100;
+  options.crashes = 2;
+  const CrashSimResult result =
+      RunCrashSim(MethodKind::kPhysiological, options, 6);
+  EXPECT_TRUE(result.ok) << result.ToString();
+}
+
+TEST(CrashSimTest, CrashesDuringRecoveryAreSurvivable) {
+  CrashSimOptions options;
+  options.workload.num_pages = 10;
+  options.cache_capacity = 3;  // recovery itself evicts and flushes
+  options.ops_per_segment = 120;
+  options.crashes = 2;
+  options.recovery_crashes = 3;
+  for (const MethodKind kind :
+       {MethodKind::kLogical, MethodKind::kPhysical, MethodKind::kPhysiological,
+        MethodKind::kGeneralized, MethodKind::kPhysiologicalAnalysis,
+        MethodKind::kPhysicalPartial}) {
+    const CrashSimResult result = RunCrashSim(kind, options, 21);
+    EXPECT_TRUE(result.ok)
+        << methods::MethodKindName(kind) << ": " << result.ToString();
+    EXPECT_EQ(result.checker_runs, 2u * (1 + 3))
+        << "checker must run after every re-crash too";
+  }
+}
+
+TEST(CrashSimTest, DeterministicInSeed) {
+  CrashSimOptions options;
+  options.workload.num_pages = 8;
+  options.ops_per_segment = 60;
+  options.crashes = 2;
+  const CrashSimResult a = RunCrashSim(MethodKind::kGeneralized, options, 9);
+  const CrashSimResult b = RunCrashSim(MethodKind::kGeneralized, options, 9);
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+}  // namespace
+}  // namespace redo::checker

@@ -1,0 +1,136 @@
+#include "core/conflict_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random_history.h"
+#include "core/scenarios.h"
+
+namespace redo::core {
+namespace {
+
+TEST(ConflictGraphTest, Scenario1HasOnlyReadWriteEdge) {
+  // A: x<-y+1 then B: y<-2. A reads y, B is y's following write.
+  const Scenario s = MakeScenario1();
+  EXPECT_EQ(s.conflict.EdgeKinds(0, 1), kReadWrite);
+  EXPECT_EQ(s.conflict.EdgeKinds(1, 0), 0);
+  EXPECT_EQ(s.conflict.dag().NumEdges(), 1u);
+}
+
+TEST(ConflictGraphTest, Scenario2HasOnlyWriteReadEdge) {
+  // B: y<-2 then A: x<-y+1. B writes y, A reads it.
+  const Scenario s = MakeScenario2();
+  EXPECT_EQ(s.conflict.EdgeKinds(0, 1), kWriteRead);
+  EXPECT_EQ(s.conflict.dag().NumEdges(), 1u);
+}
+
+TEST(ConflictGraphTest, Scenario3MixedEdge) {
+  // C: <x<-x+1; y<-y+1> then D: x<-y+1. C->D: WR on y, RW+WW on x.
+  const Scenario s = MakeScenario3();
+  EXPECT_EQ(s.conflict.EdgeKinds(0, 1), kWriteWrite | kWriteRead | kReadWrite);
+}
+
+TEST(ConflictGraphTest, Figure4EdgesMatchPaper) {
+  // O (r/w x), P (r x, w y), Q (r/w x).
+  const Scenario s = MakeFigure4();
+  EXPECT_EQ(s.conflict.EdgeKinds(0, 1), kWriteRead);                  // O->P
+  EXPECT_EQ(s.conflict.EdgeKinds(0, 2),
+            kWriteWrite | kWriteRead | kReadWrite);                   // O->Q
+  EXPECT_EQ(s.conflict.EdgeKinds(1, 2), kReadWrite);                  // P->Q
+  EXPECT_EQ(s.conflict.dag().NumEdges(), 3u);
+}
+
+TEST(ConflictGraphTest, BlindWritesCreateOnlyWriteWriteChains) {
+  // Physical recovery (§6.2): blind writes conflict only write-write.
+  History h(1);
+  h.Append(Operation::Assign("W1", 0, 1));
+  h.Append(Operation::Assign("W2", 0, 2));
+  h.Append(Operation::Assign("W3", 0, 3));
+  const ConflictGraph g = ConflictGraph::Generate(h);
+  EXPECT_EQ(g.EdgeKinds(0, 1), kWriteWrite);
+  EXPECT_EQ(g.EdgeKinds(1, 2), kWriteWrite);
+  EXPECT_EQ(g.EdgeKinds(0, 2), 0) << "only the preceding write conflicts";
+  EXPECT_TRUE(g.Precedes(0, 2)) << "but the order is implied transitively";
+}
+
+TEST(ConflictGraphTest, IndependentOpsHaveNoEdges) {
+  History h(2);
+  h.Append(Operation::Assign("W0", 0, 1));
+  h.Append(Operation::Assign("W1", 1, 1));
+  const ConflictGraph g = ConflictGraph::Generate(h);
+  EXPECT_EQ(g.dag().NumEdges(), 0u);
+  EXPECT_FALSE(g.Precedes(0, 1));
+}
+
+TEST(ConflictGraphTest, ReadersDoNotConflictWithEachOther) {
+  History h(2);
+  h.Append(Operation::Assign("W", 0, 1));
+  h.Append(Operation::AddConst("R1", 1, 0, 0));
+  History h2 = h;  // two readers of var 0
+  h2.Append(Operation::AddConst("R2", 1, 0, 5));
+  const ConflictGraph g = ConflictGraph::Generate(h2);
+  EXPECT_EQ(g.EdgeKinds(0, 1), kWriteRead);
+  EXPECT_EQ(g.EdgeKinds(0, 2), kWriteRead);
+  // R1 and R2 both write var 1: WW edge, but no read conflict on var 0.
+  EXPECT_EQ(g.EdgeKinds(1, 2), kWriteWrite);
+}
+
+TEST(ConflictGraphTest, ReadWriteEdgeGoesToFollowingWriteOnly) {
+  History h(2);
+  h.Append(Operation::AddConst("R", 1, 0, 0));  // reads var0
+  h.Append(Operation::Assign("W1", 0, 1));      // var0's next write
+  h.Append(Operation::Assign("W2", 0, 2));      // a later write
+  const ConflictGraph g = ConflictGraph::Generate(h);
+  EXPECT_EQ(g.EdgeKinds(0, 1), kReadWrite);
+  EXPECT_EQ(g.EdgeKinds(0, 2), 0);
+}
+
+TEST(ConflictGraphTest, LogOrderConsistency) {
+  const Scenario s = MakeFigure4();
+  // Sequence order is always consistent with the conflict graph.
+  for (const auto& [edge, kinds] : s.conflict.edges()) {
+    (void)kinds;
+    EXPECT_LT(edge.first, edge.second);
+  }
+}
+
+// Lemma 1: any total order of the operations consistent with the
+// conflict graph regenerates the same conflict graph.
+TEST(ConflictGraphTest, Lemma1OnRandomHistories) {
+  Rng rng(0x1e44a1);
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomHistoryOptions opts;
+    opts.num_ops = 3 + rng.Below(8);
+    opts.num_vars = 1 + rng.Below(4);
+    opts.blind_write_probability = 0.4;
+    const History h = RandomHistory(opts, rng);
+    const ConflictGraph g = ConflictGraph::Generate(h);
+
+    const std::vector<uint32_t> order = g.dag().RandomTopologicalOrder(rng);
+    const History permuted = h.Permuted(order);
+    const ConflictGraph g2 = ConflictGraph::Generate(permuted);
+
+    // Map new ids back: new node j is original order[j].
+    ASSERT_EQ(g2.size(), g.size());
+    size_t edge_count = 0;
+    for (uint32_t a = 0; a < g2.size(); ++a) {
+      for (uint32_t b = 0; b < g2.size(); ++b) {
+        if (a == b) continue;
+        EXPECT_EQ(g2.EdgeKinds(a, b), g.EdgeKinds(order[a], order[b]))
+            << "trial " << trial << " edge " << a << "->" << b;
+        if (g2.EdgeKinds(a, b) != 0) ++edge_count;
+      }
+    }
+    EXPECT_EQ(edge_count, g.edges().size());
+  }
+}
+
+TEST(ConflictGraphTest, DebugStringNamesKinds) {
+  const Scenario s = MakeFigure4();
+  const std::string d = s.conflict.DebugString();
+  EXPECT_NE(d.find("WW"), std::string::npos);
+  EXPECT_NE(d.find("WR"), std::string::npos);
+  EXPECT_NE(d.find("RW"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace redo::core

@@ -1,0 +1,172 @@
+#include "core/dag.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace redo::core {
+namespace {
+
+// Diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+Dag Diamond() {
+  Dag d(4);
+  d.AddEdge(0, 1);
+  d.AddEdge(0, 2);
+  d.AddEdge(1, 3);
+  d.AddEdge(2, 3);
+  return d;
+}
+
+TEST(DagTest, AddEdgeIsIdempotent) {
+  Dag d(2);
+  d.AddEdge(0, 1);
+  d.AddEdge(0, 1);
+  EXPECT_EQ(d.NumEdges(), 1u);
+  EXPECT_TRUE(d.HasEdge(0, 1));
+  EXPECT_FALSE(d.HasEdge(1, 0));
+}
+
+TEST(DagTest, HasPathFollowsChains) {
+  Dag d(4);
+  d.AddEdge(0, 1);
+  d.AddEdge(1, 2);
+  EXPECT_TRUE(d.HasPath(0, 2));
+  EXPECT_FALSE(d.HasPath(2, 0));
+  EXPECT_FALSE(d.HasPath(0, 3));
+  EXPECT_FALSE(d.HasPath(0, 0)) << "a node does not reach itself";
+}
+
+TEST(DagTest, IsAcyclicDetectsCycles) {
+  Dag d(3);
+  d.AddEdge(0, 1);
+  d.AddEdge(1, 2);
+  EXPECT_TRUE(d.IsAcyclic());
+  d.AddEdge(2, 0);
+  EXPECT_FALSE(d.IsAcyclic());
+}
+
+TEST(DagTest, AncestorsOfDiamond) {
+  const std::vector<Bitset> anc = Diamond().Ancestors();
+  EXPECT_TRUE(anc[0].Empty());
+  EXPECT_EQ(anc[1].ToVector(), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(anc[2].ToVector(), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(anc[3].ToVector(), (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(DagTest, DescendantsMirrorAncestors) {
+  const Dag d = Diamond();
+  const std::vector<Bitset> anc = d.Ancestors();
+  const std::vector<Bitset> desc = d.Descendants();
+  for (uint32_t u = 0; u < d.size(); ++u) {
+    for (uint32_t v = 0; v < d.size(); ++v) {
+      EXPECT_EQ(anc[v].Test(u), desc[u].Test(v));
+    }
+  }
+}
+
+TEST(DagTest, PrefixChecksClosure) {
+  const Dag d = Diamond();
+  EXPECT_TRUE(d.IsPrefix(Bitset::FromVector(4, {})));
+  EXPECT_TRUE(d.IsPrefix(Bitset::FromVector(4, {0})));
+  EXPECT_TRUE(d.IsPrefix(Bitset::FromVector(4, {0, 1})));
+  EXPECT_TRUE(d.IsPrefix(Bitset::FromVector(4, {0, 1, 2, 3})));
+  EXPECT_FALSE(d.IsPrefix(Bitset::FromVector(4, {1})));
+  EXPECT_FALSE(d.IsPrefix(Bitset::FromVector(4, {0, 1, 3})));
+}
+
+TEST(DagTest, PrefixClosureAddsAncestors) {
+  const Dag d = Diamond();
+  const Bitset closed = d.PrefixClosure(Bitset::FromVector(4, {3}));
+  EXPECT_EQ(closed.ToVector(), (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  const Dag d = Diamond();
+  const std::vector<uint32_t> order = d.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<size_t> pos(4);
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+  // Deterministic: smallest-id-first gives 0,1,2,3 for the diamond.
+  EXPECT_EQ(order, (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(DagTest, RandomTopologicalOrderIsValidAndVaries) {
+  const Dag d = Diamond();
+  Rng rng(1);
+  std::set<std::vector<uint32_t>> seen;
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<uint32_t> order = d.RandomTopologicalOrder(rng);
+    std::vector<size_t> pos(4);
+    for (size_t k = 0; k < order.size(); ++k) pos[order[k]] = k;
+    EXPECT_LT(pos[0], pos[1]);
+    EXPECT_LT(pos[2], pos[3]);
+    seen.insert(order);
+  }
+  EXPECT_EQ(seen.size(), 2u) << "the diamond has exactly two linearizations";
+}
+
+TEST(DagTest, ForEachTopologicalOrderEnumeratesAll) {
+  const Dag d = Diamond();
+  size_t count = 0;
+  const size_t visited = d.ForEachTopologicalOrder(
+      100, [&count](const std::vector<uint32_t>&) { ++count; });
+  EXPECT_EQ(visited, 2u);
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(DagTest, ForEachTopologicalOrderHonorsLimit) {
+  Dag d(4);  // no edges: 24 orders
+  EXPECT_EQ(d.ForEachTopologicalOrder(5, [](const std::vector<uint32_t>&) {}),
+            5u);
+}
+
+TEST(DagTest, PrefixCountChain) {
+  Dag d(3);
+  d.AddEdge(0, 1);
+  d.AddEdge(1, 2);
+  EXPECT_EQ(d.CountPrefixes(100), 4u);  // {}, {0}, {01}, {012}
+}
+
+TEST(DagTest, PrefixCountAntichain) {
+  Dag d(3);
+  EXPECT_EQ(d.CountPrefixes(100), 8u);  // all subsets
+}
+
+TEST(DagTest, PrefixCountDiamond) {
+  // {}, {0}, {01}, {02}, {012}, {0123}
+  EXPECT_EQ(Diamond().CountPrefixes(100), 6u);
+}
+
+TEST(DagTest, PrefixCountHonorsCap) {
+  Dag d(10);  // 1024 prefixes
+  EXPECT_EQ(d.CountPrefixes(100), 100u);
+}
+
+TEST(DagTest, ForEachPrefixVisitsOnlyPrefixes) {
+  const Dag d = Diamond();
+  size_t count = 0;
+  d.ForEachPrefix(100, [&](const Bitset& p) {
+    EXPECT_TRUE(d.IsPrefix(p));
+    ++count;
+  });
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(DagDeathTest, SelfEdgeAborts) {
+  Dag d(2);
+  EXPECT_DEATH(d.AddEdge(1, 1), "self edge");
+}
+
+TEST(DagTest, EmptyGraph) {
+  Dag d(0);
+  EXPECT_TRUE(d.IsAcyclic());
+  EXPECT_TRUE(d.TopologicalOrder().empty());
+  EXPECT_EQ(d.CountPrefixes(10), 1u);  // the empty prefix
+}
+
+}  // namespace
+}  // namespace redo::core

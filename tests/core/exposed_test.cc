@@ -1,0 +1,181 @@
+#include "core/exposed.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random_history.h"
+#include "core/scenarios.h"
+
+namespace redo::core {
+namespace {
+
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+
+TEST(ExposedTest, EverythingExposedWhenAllInstalled) {
+  const Scenario s = MakeFigure4();
+  const Bitset all = Bitset::FromVector(3, {0, 1, 2});
+  const Bitset exposed = ExposedVars(s.history, s.conflict, all);
+  EXPECT_TRUE(exposed.Test(kX));
+  EXPECT_TRUE(exposed.Test(kY));
+}
+
+TEST(ExposedTest, ReaderMinimalMakesExposed) {
+  // Nothing installed in Fig. 4: minimal uninstalled accessor of x is O,
+  // which reads x -> exposed. y's only accessor P reads x not y; P
+  // blind-writes y -> unexposed... but P is not minimal on y? P is the
+  // only y-accessor, so it is minimal, and it writes y without reading
+  // it: y is unexposed.
+  const Scenario s = MakeFigure4();
+  const Bitset none(3);
+  EXPECT_TRUE(IsExposed(s.history, s.conflict, none, kX));
+  EXPECT_FALSE(IsExposed(s.history, s.conflict, none, kY));
+}
+
+TEST(ExposedTest, Scenario3YExposedXUnexposed) {
+  // Installed {C}: D reads y (exposed) and blind-writes x w.r.t. x
+  // (D's read set is {y}), so x is unexposed.
+  const Scenario s = MakeScenario3();
+  const Bitset installed = Bitset::FromVector(2, {0});
+  EXPECT_FALSE(IsExposed(s.history, s.conflict, installed, kX));
+  EXPECT_TRUE(IsExposed(s.history, s.conflict, installed, kY));
+}
+
+TEST(ExposedTest, Section5HjYUnexposedAfterH) {
+  // Installed {H}: J blind-writes y -> y unexposed; x has no uninstalled
+  // accessor -> exposed.
+  const Scenario s = MakeSection5Hj();
+  const Bitset installed = Bitset::FromVector(2, {0});
+  EXPECT_TRUE(IsExposed(s.history, s.conflict, installed, kX));
+  EXPECT_FALSE(IsExposed(s.history, s.conflict, installed, kY));
+}
+
+TEST(ExposedTest, UntouchedVariableIsExposed) {
+  History h(3);
+  h.Append(Operation::Assign("W", 0, 1));
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  const Bitset none(1);
+  EXPECT_TRUE(IsExposed(h, cg, none, 2)) << "never-accessed vars are exposed";
+}
+
+TEST(ExposedTest, PhysicalOpsLeaveUninstalledVarsUnexposed) {
+  // §6.2: physical operations never read, so every variable written by
+  // an uninstalled op is unexposed — its stable value is irrelevant.
+  History h(2);
+  h.Append(Operation::Assign("W1", 0, 1));
+  h.Append(Operation::Assign("W2", 1, 2));
+  h.Append(Operation::Assign("W3", 0, 3));
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  const Bitset none(3);
+  EXPECT_FALSE(IsExposed(h, cg, none, 0));
+  EXPECT_FALSE(IsExposed(h, cg, none, 1));
+}
+
+TEST(ExposedTest, GrowingConflictGraphNeverReexposes) {
+  // §2.3: if the conflict graph grows and the installed set does not,
+  // unexposed variables stay unexposed.
+  Rng rng(0x9e0);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomHistoryOptions opts;
+    opts.num_ops = 10;
+    opts.num_vars = 3;
+    opts.blind_write_probability = 0.5;
+    const History full = RandomHistory(opts, rng);
+    const size_t installed_len = rng.Below(4);
+
+    // Installed set: the first `installed_len` ops (fixed as the history
+    // grows).
+    std::vector<bool> was_unexposed(full.num_vars(), false);
+    for (size_t len = installed_len; len <= full.size(); ++len) {
+      History prefix_history(full.num_vars());
+      for (size_t i = 0; i < len; ++i) prefix_history.Append(full.op(static_cast<OpId>(i)));
+      const ConflictGraph cg = ConflictGraph::Generate(prefix_history);
+      Bitset installed(len);
+      for (size_t i = 0; i < installed_len; ++i) installed.Set(i);
+      for (VarId x = 0; x < full.num_vars(); ++x) {
+        const bool exposed = IsExposed(prefix_history, cg, installed, x);
+        if (was_unexposed[x]) {
+          EXPECT_FALSE(exposed)
+              << "var " << x << " flipped back to exposed at length " << len;
+        }
+        if (!exposed) was_unexposed[x] = true;
+      }
+    }
+  }
+}
+
+TEST(ExposedTest, InstallingCanFlipExposureBothWays) {
+  // §2.3: growing the installed set can flip a variable back and forth.
+  // Concrete witness: W1 writes x blind; R reads x; W2 writes x blind.
+  History h(1);
+  h.Append(Operation::Assign("W1", 0, 1));
+  h.Append(Operation::Increment("R", 0, 0));  // reads and writes x
+  h.Append(Operation::Assign("W2", 0, 9));
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+
+  EXPECT_FALSE(IsExposed(h, cg, Bitset::FromVector(3, {}), 0))
+      << "minimal accessor W1 blind-writes x";
+  EXPECT_TRUE(IsExposed(h, cg, Bitset::FromVector(3, {0}), 0))
+      << "minimal accessor R reads x";
+  EXPECT_FALSE(IsExposed(h, cg, Bitset::FromVector(3, {0, 1}), 0))
+      << "minimal accessor W2 blind-writes x";
+  EXPECT_TRUE(IsExposed(h, cg, Bitset::FromVector(3, {0, 1, 2}), 0));
+}
+
+TEST(ExplainTest, Scenario3CrashStateExplainedByC) {
+  // Stable state after installing only C's write to y: x=0, y=1.
+  const Scenario s = MakeScenario3();
+  State crash(2, 0);
+  crash.Set(kY, 1);
+  const ExplainResult r =
+      PrefixExplains(s.history, s.conflict, s.installation, s.state_graph,
+                     Bitset::FromVector(2, {0}), crash);
+  EXPECT_TRUE(r.explains) << r.ToString();
+}
+
+TEST(ExplainTest, MismatchOnExposedVariableIsReported) {
+  const Scenario s = MakeScenario3();
+  State crash(2, 0);
+  crash.Set(kY, 999);  // wrong exposed value
+  const ExplainResult r =
+      PrefixExplains(s.history, s.conflict, s.installation, s.state_graph,
+                     Bitset::FromVector(2, {0}), crash);
+  EXPECT_FALSE(r.explains);
+  ASSERT_EQ(r.mismatches.size(), 1u);
+  EXPECT_EQ(r.mismatches[0].var, kY);
+  EXPECT_EQ(r.mismatches[0].expected, 1);
+  EXPECT_EQ(r.mismatches[0].actual, 999);
+  EXPECT_NE(r.ToString().find("var1"), std::string::npos);
+}
+
+TEST(ExplainTest, NonPrefixIsRejected) {
+  const Scenario s = MakeScenario1();
+  const ExplainResult r =
+      PrefixExplains(s.history, s.conflict, s.installation, s.state_graph,
+                     Bitset::FromVector(2, {1}), State(2, 0));
+  EXPECT_FALSE(r.explains);
+  EXPECT_TRUE(r.not_a_prefix);
+}
+
+TEST(ExplainTest, FindExplainingPrefixLocatesWitness) {
+  const Scenario s = MakeScenario3();
+  State crash(2, 0);
+  crash.Set(kY, 1);
+  const auto prefix = FindExplainingPrefix(s.history, s.conflict,
+                                           s.installation, s.state_graph,
+                                           crash, 1024);
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_TRUE(prefix->Test(0));
+}
+
+TEST(ExplainTest, FindExplainingPrefixFailsOnGarbageState) {
+  const Scenario s = MakeScenario1();
+  State garbage(2, 0);
+  garbage.Set(kX, 123456);
+  garbage.Set(kY, 654321);
+  EXPECT_FALSE(FindExplainingPrefix(s.history, s.conflict, s.installation,
+                                    s.state_graph, garbage, 1024)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace redo::core

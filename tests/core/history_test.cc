@@ -1,0 +1,85 @@
+#include "core/history.h"
+
+#include <gtest/gtest.h>
+
+namespace redo::core {
+namespace {
+
+History AbHistory() {
+  History h(2);
+  h.Append(Operation::AddConst("A", 0, 1, 1));  // x <- y + 1
+  h.Append(Operation::Assign("B", 1, 2));       // y <- 2
+  return h;
+}
+
+TEST(HistoryTest, AppendAssignsSequentialIds) {
+  History h(2);
+  EXPECT_EQ(h.Append(Operation::Assign("B", 1, 2)), 0u);
+  EXPECT_EQ(h.Append(Operation::Assign("B2", 1, 3)), 1u);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.op(0).name(), "B");
+}
+
+TEST(HistoryTest, ExecuteProducesStateSequence) {
+  const History h = AbHistory();
+  const std::vector<State> states = h.Execute(State(2, 0));
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0].Get(0), 0);
+  EXPECT_EQ(states[1].Get(0), 1);  // A: x = y+1 = 1
+  EXPECT_EQ(states[1].Get(1), 0);
+  EXPECT_EQ(states[2].Get(1), 2);  // B: y = 2
+  EXPECT_EQ(states[2].Get(0), 1);
+}
+
+TEST(HistoryTest, FinalStateMatchesLastExecuteState) {
+  const History h = AbHistory();
+  EXPECT_TRUE(h.FinalState(State(2, 0)) == h.Execute(State(2, 0)).back());
+}
+
+TEST(HistoryTest, ExecutionDependsOnInitialState) {
+  const History h = AbHistory();
+  State initial(2, 0);
+  initial.Set(1, 10);
+  const State final = h.FinalState(initial);
+  EXPECT_EQ(final.Get(0), 11);  // A read y = 10
+  EXPECT_EQ(final.Get(1), 2);
+}
+
+TEST(HistoryTest, PermutedReordersOperations) {
+  const History h = AbHistory();
+  const History p = h.Permuted({1, 0});
+  EXPECT_EQ(p.op(0).name(), "B");
+  EXPECT_EQ(p.op(1).name(), "A");
+  // Different order, different semantics: B then A gives x = 3.
+  EXPECT_EQ(p.FinalState(State(2, 0)).Get(0), 3);
+}
+
+TEST(HistoryDeathTest, OperationOutsideUniverseAborts) {
+  History h(1);
+  EXPECT_DEATH(h.Append(Operation::Assign("B", 5, 2)), "outside the universe");
+}
+
+TEST(HistoryTest, EmptyHistoryExecutesToInitial) {
+  History h(3);
+  const std::vector<State> states = h.Execute(State(3, 7));
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0].Get(2), 7);
+}
+
+TEST(StateTest, EqualityAndAgreement) {
+  State a(3, 0), b(3, 0);
+  EXPECT_TRUE(a == b);
+  b.Set(1, 5);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a.AgreesWith(b, {0, 2}));
+  EXPECT_FALSE(a.AgreesWith(b, {1}));
+}
+
+TEST(StateTest, ToStringListsValues) {
+  State s(2, 0);
+  s.Set(1, 9);
+  EXPECT_EQ(s.ToString(), "[0, 9]");
+}
+
+}  // namespace
+}  // namespace redo::core

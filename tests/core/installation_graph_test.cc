@@ -1,0 +1,92 @@
+#include "core/installation_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random_history.h"
+#include "core/scenarios.h"
+
+namespace redo::core {
+namespace {
+
+TEST(InstallationGraphTest, Figure5DropsWriteReadEdge) {
+  const Scenario s = MakeFigure4();
+  // Conflict graph: O->P (WR), O->Q (WW|WR|RW), P->Q (RW).
+  // Installation graph: O->P removed; O->Q and P->Q remain.
+  EXPECT_FALSE(s.installation.dag().HasEdge(0, 1));
+  EXPECT_TRUE(s.installation.dag().HasEdge(0, 2));
+  EXPECT_TRUE(s.installation.dag().HasEdge(1, 2));
+  EXPECT_EQ(s.installation.removed_edges(), 1u);
+}
+
+TEST(InstallationGraphTest, Figure5AddsThePrefixContainingOnlyP) {
+  const Scenario s = MakeFigure4();
+  const Bitset only_p = Bitset::FromVector(3, {1});
+  EXPECT_TRUE(s.installation.IsPrefix(only_p));
+  EXPECT_FALSE(s.conflict.dag().IsPrefix(only_p))
+      << "{P} is the extra recoverable state of Fig. 5";
+}
+
+TEST(InstallationGraphTest, Figure5PrefixCounts) {
+  const Scenario s = MakeFigure4();
+  EXPECT_EQ(s.conflict.dag().CountPrefixes(100), 4u);      // total order OPQ
+  EXPECT_EQ(s.installation.dag().CountPrefixes(100), 5u);  // plus {P}
+}
+
+TEST(InstallationGraphTest, Scenario2BecomesEdgeless) {
+  const Scenario s = MakeScenario2();  // only a WR edge B->A
+  EXPECT_EQ(s.installation.dag().NumEdges(), 0u);
+  EXPECT_EQ(s.installation.removed_edges(), 1u);
+  // {A} (op id 1) is now a prefix: A's changes may be installed first.
+  EXPECT_TRUE(s.installation.IsPrefix(Bitset::FromVector(2, {1})));
+}
+
+TEST(InstallationGraphTest, Scenario1KeepsReadWriteEdge) {
+  const Scenario s = MakeScenario1();  // RW edge A->B
+  EXPECT_TRUE(s.installation.dag().HasEdge(0, 1));
+  EXPECT_FALSE(s.installation.IsPrefix(Bitset::FromVector(2, {1})))
+      << "B's changes must not be installed before A's";
+}
+
+TEST(InstallationGraphTest, Section5EfgIsAChain) {
+  const Scenario s = MakeSection5Efg();
+  EXPECT_TRUE(s.installation.dag().HasEdge(0, 1));  // E->F (RW on y)
+  EXPECT_TRUE(s.installation.dag().HasEdge(1, 2));  // F->G (RW on x)
+  EXPECT_TRUE(s.installation.dag().HasEdge(0, 2));  // E->G (WW on x)
+  // {E,G} is not a prefix: F must be installed between them.
+  EXPECT_FALSE(s.installation.IsPrefix(Bitset::FromVector(3, {0, 2})));
+}
+
+TEST(InstallationGraphTest, ConflictPrefixesAreInstallationPrefixes) {
+  Rng rng(0x1057a11);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomHistoryOptions opts;
+    opts.num_ops = 3 + rng.Below(8);
+    opts.num_vars = 1 + rng.Below(4);
+    const History h = RandomHistory(opts, rng);
+    const ConflictGraph cg = ConflictGraph::Generate(h);
+    const InstallationGraph ig = InstallationGraph::Derive(cg);
+    cg.dag().ForEachPrefix(512, [&](const Bitset& prefix) {
+      EXPECT_TRUE(ig.IsPrefix(prefix));
+    });
+    // The installation graph never has more edges than the conflict graph.
+    EXPECT_LE(ig.dag().NumEdges(), cg.dag().NumEdges());
+    EXPECT_EQ(ig.dag().NumEdges() + ig.removed_edges(), cg.dag().NumEdges());
+    // And therefore at least as many prefixes.
+    EXPECT_GE(ig.dag().CountPrefixes(10000), cg.dag().CountPrefixes(10000));
+  }
+}
+
+TEST(InstallationGraphTest, PureBlindWriteHistoryKeepsAllEdges) {
+  // Physical recovery (§6.2): no reads, so nothing is removed.
+  History h(2);
+  h.Append(Operation::Assign("W1", 0, 1));
+  h.Append(Operation::Assign("W2", 0, 2));
+  h.Append(Operation::Assign("W3", 1, 3));
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  const InstallationGraph ig = InstallationGraph::Derive(cg);
+  EXPECT_EQ(ig.removed_edges(), 0u);
+  EXPECT_EQ(ig.dag().NumEdges(), cg.dag().NumEdges());
+}
+
+}  // namespace
+}  // namespace redo::core

@@ -1,0 +1,127 @@
+// The recovery invariant (§4.5) and Corollary 4.
+
+#include "core/invariant.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+
+namespace redo::core {
+namespace {
+
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+
+InvariantReport Check(const Scenario& s, const Bitset& checkpoint,
+                      const State& crash, const PolicyFactory& factory) {
+  const Log log = Log::FromHistory(s.history);
+  return CheckRecoveryInvariant(s.history, s.conflict, s.installation,
+                                s.state_graph, log, checkpoint, crash, factory);
+}
+
+TEST(InvariantTest, HoldsForRedoAllFromInitialState) {
+  const Scenario s = MakeFigure4();
+  const InvariantReport r = Check(
+      s, Bitset(3), s.initial, [] { return std::make_unique<RedoAllPolicy>(); });
+  EXPECT_TRUE(r.holds) << r.ToString();
+  EXPECT_TRUE(r.recovered_final_state);
+  EXPECT_TRUE(r.installed.Empty());
+}
+
+TEST(InvariantTest, HoldsForOracleOnInstallationPrefix) {
+  const Scenario s = MakeFigure4();
+  const Bitset installed = Bitset::FromVector(3, {1});  // {P}
+  const State crash = s.state_graph.DeterminedState(installed);
+  const InvariantReport r = Check(s, Bitset(3), crash, [&] {
+    return std::make_unique<OracleInstalledPolicy>(installed);
+  });
+  EXPECT_TRUE(r.holds) << r.ToString();
+  EXPECT_TRUE(r.recovered_final_state);
+  EXPECT_TRUE(r.installed == installed);
+  EXPECT_EQ(r.redo_set, (std::vector<OpId>{0, 2}));
+}
+
+TEST(InvariantTest, ViolatedWhenInstalledSetIsNotAPrefix) {
+  // Scenario 1 crash: B's changes installed, A's not. A checkpoint
+  // claiming B is installed makes redo_set = {A}, installed = {B} —
+  // not an installation-graph prefix.
+  const Scenario s = MakeScenario1();
+  State crash(2, 0);
+  crash.Set(kY, 2);
+  const Bitset checkpoint = Bitset::FromVector(2, {1});
+  const InvariantReport r = Check(
+      s, checkpoint, crash, [] { return std::make_unique<RedoAllPolicy>(); });
+  EXPECT_FALSE(r.holds);
+  EXPECT_TRUE(r.explain.not_a_prefix);
+  EXPECT_FALSE(r.recovered_final_state)
+      << "Corollary 4's converse: the broken invariant loses the state";
+  EXPECT_NE(r.ToString().find("VIOLATED"), std::string::npos);
+}
+
+TEST(InvariantTest, ViolatedWhenExposedValueWrong) {
+  // Redo test claims everything is installed, but the state is stale.
+  const Scenario s = MakeFigure4();
+  const Bitset all = Bitset::FromVector(3, {0, 1, 2});
+  State stale(2, 0);  // none of the writes are actually there
+  const InvariantReport r = Check(s, Bitset(3), stale, [&] {
+    return std::make_unique<OracleInstalledPolicy>(all);
+  });
+  EXPECT_FALSE(r.holds);
+  EXPECT_FALSE(r.explain.not_a_prefix);
+  EXPECT_FALSE(r.explain.mismatches.empty());
+  EXPECT_FALSE(r.recovered_final_state);
+}
+
+TEST(InvariantTest, WriteReadViolationStillSatisfiesInvariant) {
+  // Scenario 2: A installed before B. The redo test that knows this
+  // maintains the invariant — WR edges genuinely do not matter.
+  const Scenario s = MakeScenario2();
+  const Bitset installed = Bitset::FromVector(2, {1});  // {A}
+  State crash(2, 0);
+  crash.Set(kX, 3);
+  const InvariantReport r = Check(s, Bitset(2), crash, [&] {
+    return std::make_unique<OracleInstalledPolicy>(installed);
+  });
+  EXPECT_TRUE(r.holds) << r.ToString();
+  EXPECT_TRUE(r.recovered_final_state);
+}
+
+TEST(InvariantTest, LsnPolicyMaintainsInvariantAtEveryConflictPrefix) {
+  // Physiological-style (§6.3): install ops page-at-a-time in conflict
+  // order; page tags always reflect exactly the installed writes.
+  const Scenario s = MakeFigure4();
+  s.conflict.dag().ForEachPrefix(64, [&](const Bitset& prefix) {
+    const State crash = s.state_graph.DeterminedState(prefix);
+    const Log log = Log::FromHistory(s.history);
+    // Tags: per variable, the LSN of its last installed writer.
+    std::map<VarId, Lsn> tags;
+    for (uint32_t op : prefix.ToVector()) {
+      for (VarId x : s.history.op(op).write_set()) {
+        tags[x] = std::max(tags[x], log.LsnOf(op));
+      }
+    }
+    const InvariantReport r =
+        CheckRecoveryInvariant(s.history, s.conflict, s.installation,
+                               s.state_graph, log, Bitset(3), crash, [&] {
+                                 return std::make_unique<LsnTagPolicy>(
+                                     &s.history, tags);
+                               });
+    EXPECT_TRUE(r.holds) << r.ToString();
+    EXPECT_TRUE(r.recovered_final_state);
+  });
+}
+
+TEST(InvariantTest, CheckpointLyingAboutInstallationBreaksRecovery) {
+  // The checkpoint claims O and Q are installed but only O's effects
+  // are in the state: recovery skips Q and loses its update.
+  const Scenario s = MakeFigure4();
+  const Bitset checkpoint = Bitset::FromVector(3, {0, 2});
+  const State crash = s.state_graph.DeterminedState(Bitset::FromVector(3, {0}));
+  const InvariantReport r = Check(
+      s, checkpoint, crash, [] { return std::make_unique<RedoAllPolicy>(); });
+  EXPECT_FALSE(r.holds);
+  EXPECT_FALSE(r.recovered_final_state);
+}
+
+}  // namespace
+}  // namespace redo::core

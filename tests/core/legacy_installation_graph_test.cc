@@ -1,0 +1,111 @@
+// The §1.3 equivalence claim: the VLDB'95-style installation graph
+// (which also removes some write-write edges) admits the same
+// explainable states as the simplified 2003 definition.
+
+#include "core/legacy_installation_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exposed.h"
+#include "core/random_history.h"
+#include "core/replay.h"
+
+namespace redo::core {
+namespace {
+
+TEST(LegacyInstallationGraphTest, RemovesBlindWriteWriteEdges) {
+  // Physical-style history: three blind writes to x, no readers.
+  History h(1);
+  h.Append(Operation::Assign("W1", 0, 1));
+  h.Append(Operation::Assign("W2", 0, 2));
+  h.Append(Operation::Assign("W3", 0, 3));
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  const LegacyInstallationGraph legacy =
+      DeriveLegacyInstallationGraph(h, cg);
+  EXPECT_EQ(legacy.removed_ww_edges, 2u)
+      << "consecutive blind overwrites need no install order";
+  EXPECT_EQ(legacy.dag.NumEdges(), 0u);
+}
+
+TEST(LegacyInstallationGraphTest, KeepsWwEdgeWhenReaderIntervenes) {
+  History h(2);
+  h.Append(Operation::Assign("W1", 0, 1));
+  h.Append(Operation::AddConst("R: y<-x", 1, 0, 0));  // reads x
+  h.Append(Operation::Assign("W2", 0, 2));
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  const LegacyInstallationGraph legacy = DeriveLegacyInstallationGraph(h, cg);
+  EXPECT_EQ(legacy.removed_ww_edges, 0u)
+      << "R must be able to read W1's value during recovery";
+  EXPECT_TRUE(legacy.dag.HasEdge(0, 2));
+}
+
+TEST(LegacyInstallationGraphTest, KeepsWwEdgeWhenWriterReads) {
+  History h(1);
+  h.Append(Operation::Assign("W1", 0, 1));
+  h.Append(Operation::Increment("W2: x<-x+1", 0, 1));  // reads x: WW|WR|RW
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  const LegacyInstallationGraph legacy = DeriveLegacyInstallationGraph(h, cg);
+  EXPECT_EQ(legacy.removed_ww_edges, 0u);
+  EXPECT_TRUE(legacy.dag.HasEdge(0, 1));
+}
+
+TEST(LegacyInstallationGraphTest, NeverHasMoreEdgesThan2003Graph) {
+  Rng rng(0x1995);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomHistoryOptions options;
+    options.num_ops = 3 + rng.Below(10);
+    options.num_vars = 1 + rng.Below(4);
+    options.blind_write_probability = 0.6;
+    const History h = RandomHistory(options, rng);
+    const ConflictGraph cg = ConflictGraph::Generate(h);
+    const InstallationGraph ig = InstallationGraph::Derive(cg);
+    const LegacyInstallationGraph legacy = DeriveLegacyInstallationGraph(h, cg);
+    EXPECT_LE(legacy.dag.NumEdges(), ig.dag().NumEdges());
+    EXPECT_EQ(legacy.removed_wr_edges, ig.removed_edges());
+    // Every 2003 prefix is a legacy prefix (legacy has fewer edges).
+    ig.dag().ForEachPrefix(128, [&](const Bitset& prefix) {
+      EXPECT_TRUE(legacy.dag.IsPrefix(prefix));
+    });
+  }
+}
+
+// The equivalence, direction with content: every state determined by a
+// *legacy* prefix (including the extra ones the WW removal unlocks) is
+// explainable by some prefix of the 2003 installation graph — and hence
+// potentially recoverable (Theorem 3).
+TEST(LegacyInstallationGraphTest, LegacyPrefixStatesExplainableIn2003Graph) {
+  Rng rng(0x2003);
+  size_t extra_prefixes = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomHistoryOptions options;
+    options.num_ops = 3 + rng.Below(8);
+    options.num_vars = 1 + rng.Below(3);
+    options.blind_write_probability = 0.6;
+    const History h = RandomHistory(options, rng);
+    const ConflictGraph cg = ConflictGraph::Generate(h);
+    const InstallationGraph ig = InstallationGraph::Derive(cg);
+    const StateGraph sg = StateGraph::Generate(h, cg, State(h.num_vars(), 0));
+    const LegacyInstallationGraph legacy = DeriveLegacyInstallationGraph(h, cg);
+
+    legacy.dag.ForEachPrefix(128, [&](const Bitset& prefix) {
+      const State state = sg.DeterminedState(prefix);
+      const auto witness =
+          FindExplainingPrefix(h, cg, ig, sg, state, 1 << 14);
+      ASSERT_TRUE(witness.has_value())
+          << "legacy prefix state not explainable in the 2003 graph\n"
+          << h.DebugString();
+      if (!ig.IsPrefix(prefix)) {
+        ++extra_prefixes;
+        // And replay from the witness recovers the final state.
+        State recovered = state;
+        ASSERT_TRUE(ReplayUninstalled(h, cg, sg, *witness, &recovered).ok());
+        EXPECT_TRUE(recovered == sg.FinalState());
+      }
+    });
+  }
+  EXPECT_GT(extra_prefixes, 0u)
+      << "the WW removal must unlock genuinely new prefixes";
+}
+
+}  // namespace
+}  // namespace redo::core

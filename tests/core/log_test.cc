@@ -1,0 +1,61 @@
+#include "core/log.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+
+namespace redo::core {
+namespace {
+
+TEST(CoreLogTest, FromEntriesKeepsExplicitLsns) {
+  const Log log = Log::FromEntries({{0, 10}, {2, 12}, {1, 40}});
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.LsnOf(0), 10u);
+  EXPECT_EQ(log.LsnOf(2), 12u);
+  EXPECT_EQ(log.LsnOf(1), 40u);
+  EXPECT_EQ(log.PositionOf(2), 1u);
+}
+
+TEST(CoreLogDeathTest, FromEntriesRejectsNonIncreasingLsns) {
+  EXPECT_DEATH(Log::FromEntries({{0, 10}, {1, 10}}), "LSNs must increase");
+  EXPECT_DEATH(Log::FromEntries({{0, 10}, {1, 5}}), "LSNs must increase");
+}
+
+TEST(CoreLogDeathTest, FromEntriesRejectsDuplicates) {
+  EXPECT_DEATH(Log::FromEntries({{0, 1}, {0, 2}}), "logged twice");
+}
+
+TEST(CoreLogTest, EmptyLogIsConsistentWithEmptyGraph) {
+  History h(1);
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  const Log log = Log::FromHistory(h);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.ConsistentWith(cg));
+}
+
+TEST(CoreLogTest, SizeMismatchIsInconsistent) {
+  const Scenario s = MakeFigure4();
+  const Log log = Log::FromOrder({0, 1});  // only two of three ops
+  EXPECT_FALSE(log.ConsistentWith(s.conflict));
+}
+
+TEST(CoreLogTest, NonConflictingOpsMayAppearInAnyOrder) {
+  // §4.1 / Lemma 1: only conflicting operations need ordering.
+  History h(2);
+  h.Append(Operation::Assign("W0", 0, 1));
+  h.Append(Operation::Assign("W1", 1, 2));
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  EXPECT_TRUE(Log::FromOrder({0, 1}).ConsistentWith(cg));
+  EXPECT_TRUE(Log::FromOrder({1, 0}).ConsistentWith(cg));
+}
+
+TEST(CoreLogTest, DebugStringListsRecords) {
+  const Scenario s = MakeFigure4();
+  const Log log = Log::FromHistory(s.history);
+  const std::string d = log.DebugString();
+  EXPECT_NE(d.find("lsn=1"), std::string::npos);
+  EXPECT_NE(d.find("O2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace redo::core

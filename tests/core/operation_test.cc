@@ -1,0 +1,127 @@
+#include "core/operation.h"
+
+#include <gtest/gtest.h>
+
+namespace redo::core {
+namespace {
+
+TEST(OperationTest, AssignIsBlind) {
+  const Operation b = Operation::Assign("B", 1, 2);
+  EXPECT_TRUE(b.read_set().empty());
+  EXPECT_EQ(b.write_set(), (std::vector<VarId>{1}));
+  EXPECT_FALSE(b.Reads(1));
+  EXPECT_TRUE(b.Writes(1));
+  EXPECT_TRUE(b.Accesses(1));
+  EXPECT_FALSE(b.Accesses(0));
+
+  State s(2, 0);
+  b.ApplyTo(&s);
+  EXPECT_EQ(s.Get(1), 2);
+  EXPECT_EQ(s.Get(0), 0);
+}
+
+TEST(OperationTest, AddConstReadsSource) {
+  const Operation a = Operation::AddConst("A", 0, 1, 1);  // x <- y + 1
+  EXPECT_EQ(a.read_set(), (std::vector<VarId>{1}));
+  EXPECT_EQ(a.write_set(), (std::vector<VarId>{0}));
+
+  State s(2, 0);
+  s.Set(1, 41);
+  a.ApplyTo(&s);
+  EXPECT_EQ(s.Get(0), 42);
+}
+
+TEST(OperationTest, IncrementReadsAndWritesSameVar) {
+  const Operation g = Operation::Increment("G", 0, 5);
+  EXPECT_TRUE(g.Reads(0));
+  EXPECT_TRUE(g.Writes(0));
+
+  State s(1, 10);
+  g.ApplyTo(&s);
+  EXPECT_EQ(s.Get(0), 15);
+}
+
+TEST(OperationTest, DoubleIncrementWritesBothAtomically) {
+  const Operation c = Operation::DoubleIncrement("C", 0, 1, 1, 1);
+  State s(2, 0);
+  c.ApplyTo(&s);
+  EXPECT_EQ(s.Get(0), 1);
+  EXPECT_EQ(s.Get(1), 1);
+}
+
+TEST(OperationTest, DoubleIncrementHandlesReversedVarOrder) {
+  // x = var 3, y = var 1: read set sorts to {1, 3}, indices must still
+  // point at the right variables.
+  const Operation c = Operation::DoubleIncrement("C", 3, 100, 1, 7);
+  State s(4, 0);
+  s.Set(3, 1);
+  s.Set(1, 2);
+  c.ApplyTo(&s);
+  EXPECT_EQ(s.Get(3), 101);
+  EXPECT_EQ(s.Get(1), 9);
+}
+
+TEST(OperationTest, EvaluateUsesAtomicReadSnapshot) {
+  // swap-ish: x <- y, y <- x must both see the pre-state.
+  const Operation swap = Operation::Affine(
+      "swap", {0, 1},
+      {WriteSpec{0, 0, {AffineTerm{1, 1}}}, WriteSpec{1, 0, {AffineTerm{0, 1}}}});
+  State s(2, 0);
+  s.Set(0, 5);
+  s.Set(1, 9);
+  swap.ApplyTo(&s);
+  EXPECT_EQ(s.Get(0), 9);
+  EXPECT_EQ(s.Get(1), 5);
+}
+
+TEST(OperationTest, ReadSetIsSortedAndDeduped) {
+  const Operation op = Operation::Affine("op", {3, 1, 3, 2}, {WriteSpec{0, 1, {}}});
+  EXPECT_EQ(op.read_set(), (std::vector<VarId>{1, 2, 3}));
+}
+
+TEST(OperationTest, WritesSortedByVariable) {
+  const Operation op = Operation::Affine(
+      "op", {}, {WriteSpec{5, 1, {}}, WriteSpec{2, 2, {}}});
+  EXPECT_EQ(op.write_set(), (std::vector<VarId>{2, 5}));
+}
+
+TEST(OperationTest, MaxVarCoversReadsAndWrites) {
+  const Operation op = Operation::AddConst("op", 7, 2, 0);
+  EXPECT_EQ(op.MaxVar(), 7);
+  const Operation none = Operation::Affine("none", {}, {});
+  EXPECT_EQ(none.MaxVar(), -1);
+}
+
+TEST(OperationTest, MultiTermAffine) {
+  // z <- 2x + 3y + 4
+  const Operation op = Operation::Affine(
+      "op", {0, 1},
+      {WriteSpec{2, 4, {AffineTerm{0, 2}, AffineTerm{1, 3}}}});
+  State s(3, 0);
+  s.Set(0, 10);
+  s.Set(1, 100);
+  op.ApplyTo(&s);
+  EXPECT_EQ(s.Get(2), 324);
+}
+
+TEST(OperationDeathTest, DuplicateWriteVarAborts) {
+  EXPECT_DEATH(Operation::Affine("bad", {},
+                                 {WriteSpec{0, 1, {}}, WriteSpec{0, 2, {}}}),
+               "duplicate write");
+}
+
+TEST(OperationDeathTest, OutOfRangeTermAborts) {
+  EXPECT_DEATH(
+      Operation::Affine("bad", {0}, {WriteSpec{1, 0, {AffineTerm{3, 1}}}}),
+      "read_index out of range");
+}
+
+TEST(OperationTest, DebugStringMentionsNameAndSets) {
+  const Operation a = Operation::AddConst("A", 0, 1, 1);
+  const std::string s = a.DebugString();
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("reads{1}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace redo::core

@@ -1,0 +1,152 @@
+// The Figure 6 abstract recovery procedure and the built-in redo tests.
+
+#include "core/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+
+namespace redo::core {
+namespace {
+
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+
+// Counts analysis invocations and records the redo decisions it saw.
+class SpyPolicy : public RecoveryPolicy {
+ public:
+  void Analyze(const State&, const Log&,
+               const std::vector<OpId>& unrecovered) override {
+    analyze_calls.push_back(unrecovered);
+  }
+  bool ShouldRedo(OpId, const State&, const Log&) override { return true; }
+
+  std::vector<std::vector<OpId>> analyze_calls;
+};
+
+TEST(RecoverTest, RedoAllFromInitialStateReplaysEverything) {
+  const Scenario s = MakeFigure4();
+  const Log log = Log::FromHistory(s.history);
+  RedoAllPolicy policy;
+  const RecoveryOutcome out =
+      Recover(s.history, log, Bitset(3), s.initial, &policy);
+  EXPECT_TRUE(out.final_state == s.state_graph.FinalState());
+  EXPECT_EQ(out.redo_set, (std::vector<OpId>{0, 1, 2}));
+  EXPECT_EQ(out.considered, 3u);
+}
+
+TEST(RecoverTest, CheckpointedOpsAreSkipped) {
+  const Scenario s = MakeFigure4();
+  const Log log = Log::FromHistory(s.history);
+  // O checkpointed: start from the state O installed.
+  const Bitset checkpoint = Bitset::FromVector(3, {0});
+  State crash = s.state_graph.DeterminedState(checkpoint);
+  RedoAllPolicy policy;
+  const RecoveryOutcome out =
+      Recover(s.history, log, checkpoint, crash, &policy);
+  EXPECT_TRUE(out.final_state == s.state_graph.FinalState());
+  EXPECT_EQ(out.redo_set, (std::vector<OpId>{1, 2}));
+  EXPECT_EQ(out.considered, 2u);
+}
+
+TEST(RecoverTest, AnalysisRunsOncePerIterationAsInFigure6) {
+  const Scenario s = MakeFigure4();
+  const Log log = Log::FromHistory(s.history);
+  SpyPolicy policy;
+  const RecoveryOutcome out =
+      Recover(s.history, log, Bitset(3), s.initial, &policy);
+  EXPECT_EQ(out.analyze_calls, 3u);
+  ASSERT_EQ(policy.analyze_calls.size(), 3u);
+  // Each analysis sees the shrinking unrecovered set, minimal op first.
+  EXPECT_EQ(policy.analyze_calls[0], (std::vector<OpId>{0, 1, 2}));
+  EXPECT_EQ(policy.analyze_calls[1], (std::vector<OpId>{1, 2}));
+  EXPECT_EQ(policy.analyze_calls[2], (std::vector<OpId>{2}));
+}
+
+TEST(RecoverTest, OraclePolicyRedoesExactlyTheComplement) {
+  const Scenario s = MakeFigure4();
+  const Log log = Log::FromHistory(s.history);
+  const Bitset installed = Bitset::FromVector(3, {1});  // the Fig. 5 prefix {P}
+  State crash = s.state_graph.DeterminedState(installed);
+  OracleInstalledPolicy policy(installed);
+  const RecoveryOutcome out = Recover(s.history, log, Bitset(3), crash, &policy);
+  EXPECT_TRUE(out.final_state == s.state_graph.FinalState());
+  EXPECT_EQ(out.redo_set, (std::vector<OpId>{0, 2}));
+}
+
+TEST(RecoverTest, ProcessesRecordsInLogOrder) {
+  // A log may order non-conflicting operations differently from the
+  // execution; recovery follows the log.
+  History h(2);
+  h.Append(Operation::Assign("W0", 0, 1));
+  h.Append(Operation::Assign("W1", 1, 2));
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  const Log log = Log::FromOrder({1, 0});
+  EXPECT_TRUE(log.ConsistentWith(cg));
+  RedoAllPolicy policy;
+  const RecoveryOutcome out =
+      Recover(h, log, Bitset(2), State(2, 0), &policy);
+  EXPECT_EQ(out.redo_set, (std::vector<OpId>{1, 0}));
+}
+
+TEST(LogTest, FromHistoryAssignsIncreasingLsns) {
+  const Scenario s = MakeFigure4();
+  const Log log = Log::FromHistory(s.history);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.LsnOf(0), 1u);
+  EXPECT_EQ(log.LsnOf(2), 3u);
+  EXPECT_EQ(log.PositionOf(1), 1u);
+  EXPECT_TRUE(log.ConsistentWith(s.conflict));
+}
+
+TEST(LogTest, InconsistentOrderIsDetected) {
+  const Scenario s = MakeFigure4();  // conflict edges force O<P<Q
+  const Log log = Log::FromOrder({2, 1, 0});
+  EXPECT_FALSE(log.ConsistentWith(s.conflict));
+}
+
+TEST(LogDeathTest, DuplicateOperationAborts) {
+  EXPECT_DEATH(Log::FromOrder({0, 0}), "logged twice");
+}
+
+TEST(LsnTagPolicyTest, RedoesOnlyOpsAheadOfPageTags) {
+  const Scenario s = MakeFigure4();
+  const Log log = Log::FromHistory(s.history);
+  // Stable state has P installed (its page y carries P's LSN = 2) but
+  // not O or Q (page x never written: tag 0).
+  LsnTagPolicy policy(&s.history, {{kY, 2}});
+  State crash = s.state_graph.DeterminedState(Bitset::FromVector(3, {1}));
+  const RecoveryOutcome out =
+      Recover(s.history, log, Bitset(3), crash, &policy);
+  EXPECT_EQ(out.redo_set, (std::vector<OpId>{0, 2}));
+  EXPECT_TRUE(out.final_state == s.state_graph.FinalState());
+  // Replays advanced the tag of x to Q's LSN.
+  EXPECT_EQ(policy.TagOf(kX), 3u);
+}
+
+TEST(LsnTagPolicyTest, FullyTaggedStateRedoesNothing) {
+  const Scenario s = MakeFigure4();
+  const Log log = Log::FromHistory(s.history);
+  LsnTagPolicy policy(&s.history, {{kX, 3}, {kY, 2}});
+  State crash = s.state_graph.FinalState();
+  const RecoveryOutcome out =
+      Recover(s.history, log, Bitset(3), crash, &policy);
+  EXPECT_TRUE(out.redo_set.empty());
+  EXPECT_TRUE(out.final_state == crash);
+}
+
+TEST(LsnTagPolicyTest, MultiPageOpRedoneIfAnyPageBehind) {
+  // §6.4: an op writing multiple pages is uninstalled if any written
+  // page carries an older LSN.
+  const Scenario s = MakeSection5Hj();  // H writes x and y (LSN 1), J writes y
+  const Log log = Log::FromHistory(s.history);
+  // x tagged with H's LSN but y behind (never written): H uninstalled.
+  LsnTagPolicy behind(&s.history, {{kX, 1}});
+  EXPECT_TRUE(behind.ShouldRedo(0, State(2, 0), log));
+  // Both pages tagged at/above H's LSN: installed.
+  LsnTagPolicy ahead(&s.history, {{kX, 1}, {kY, 2}});
+  EXPECT_FALSE(ahead.ShouldRedo(0, State(2, 0), log));
+}
+
+}  // namespace
+}  // namespace redo::core

@@ -1,0 +1,166 @@
+#include "core/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exposed.h"
+#include "core/scenarios.h"
+
+namespace redo::core {
+namespace {
+
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+
+TEST(ReplayTest, ApplicabilityComparesReadSetValues) {
+  const Scenario s = MakeFigure4();
+  // P read x = 1 originally.
+  State good(2, 0);
+  good.Set(kX, 1);
+  EXPECT_TRUE(IsApplicable(s.history, s.state_graph, 1, good));
+
+  State bad(2, 0);
+  bad.Set(kX, 7);
+  EXPECT_FALSE(IsApplicable(s.history, s.state_graph, 1, bad));
+}
+
+TEST(ReplayTest, BlindWritesAreAlwaysApplicable) {
+  const Scenario s = MakeScenario1();
+  // B: y<-2 has an empty read set.
+  State anything(2, 0);
+  anything.Set(kX, 999);
+  anything.Set(kY, -5);
+  EXPECT_TRUE(IsApplicable(s.history, s.state_graph, 1, anything));
+}
+
+TEST(ReplayTest, MinimalUninstalledOpSeesOriginalReads) {
+  // §3.3's worked example: in Fig. 5, after installing {P}, the minimal
+  // uninstalled operation O sees x = 0 exactly as in the execution.
+  const Scenario s = MakeFigure4();
+  const Bitset installed = Bitset::FromVector(3, {1});
+  const State determined = s.state_graph.DeterminedState(installed);
+  EXPECT_EQ(determined.Get(kX), 0);
+  EXPECT_TRUE(IsApplicable(s.history, s.state_graph, 0, determined));
+}
+
+TEST(ReplayTest, ReplayUninstalledFromExplainedPrefixReachesFinal) {
+  const Scenario s = MakeFigure4();
+  for (const std::vector<uint32_t>& prefix_ops :
+       std::vector<std::vector<uint32_t>>{{}, {0}, {1}, {0, 1}, {0, 1, 2}}) {
+    const Bitset installed = Bitset::FromVector(3, prefix_ops);
+    ASSERT_TRUE(s.installation.IsPrefix(installed));
+    State state = s.state_graph.DeterminedState(installed);
+    ASSERT_TRUE(ReplayUninstalled(s.history, s.conflict, s.state_graph,
+                                  installed, &state)
+                    .ok());
+    EXPECT_TRUE(state == s.state_graph.FinalState());
+  }
+}
+
+TEST(ReplayTest, ReplayFailsWhenStateNotExplained) {
+  const Scenario s = MakeScenario1();
+  // B installed without A: A is uninstalled but reads y which B already
+  // clobbered -> A not applicable.
+  State crash(2, 0);
+  crash.Set(kY, 2);
+  const Bitset installed = Bitset::FromVector(2, {1});
+  State state = crash;
+  const Status status = ReplayUninstalled(s.history, s.conflict, s.state_graph,
+                                          installed, &state);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("A"), std::string::npos);
+}
+
+TEST(ReplayTest, RandomOrderReplayAlsoWorks) {
+  const Scenario s = MakeFigure4();
+  Rng rng(0x0eade4);
+  const Bitset installed = Bitset::FromVector(3, {1});
+  for (int i = 0; i < 20; ++i) {
+    State state = s.state_graph.DeterminedState(installed);
+    ASSERT_TRUE(ReplayUninstalledRandomOrder(s.history, s.conflict,
+                                             s.state_graph, installed, &state,
+                                             rng)
+                    .ok());
+    EXPECT_TRUE(state == s.state_graph.FinalState());
+  }
+}
+
+TEST(ReplayTest, ReplayExactlyAppliesWithoutChecks) {
+  const Scenario s = MakeScenario2();
+  State state(2, 0);
+  ReplayExactly(s.history, {0, 1}, &state);
+  EXPECT_TRUE(state == s.state_graph.FinalState());
+}
+
+TEST(ReplayTest, PotentialRecoverabilityOfDeterminedPrefixStates) {
+  // Theorem 3 specialized: every installation-prefix-determined state is
+  // potentially recoverable.
+  for (const Scenario& s : {MakeScenario1(), MakeScenario2(), MakeScenario3(),
+                            MakeFigure4(), MakeSection5Efg(), MakeSection5Hj()}) {
+    s.installation.dag().ForEachPrefix(256, [&](const Bitset& prefix) {
+      const State determined = s.state_graph.DeterminedState(prefix);
+      EXPECT_TRUE(IsPotentiallyRecoverable(s.history, s.conflict, s.state_graph,
+                                           determined))
+          << s.label;
+    });
+  }
+}
+
+TEST(ReplayTest, Section5EfgPartialInstallUnrecoverable) {
+  // §5: "we can't recover the other value by replaying any combination
+  // of the operations" — updating y to F's value while x still lacks
+  // G's (and the redo test treating F as installed) loses the state.
+  const Scenario s = MakeSection5Efg();
+  const State final = s.state_graph.FinalState();
+  EXPECT_EQ(final.Get(kX), 101);  // E: x=1, F: y=11, G: x=101
+  EXPECT_EQ(final.Get(kY), 11);
+
+  // y updated singly: genuinely unrecoverable — y=11 clobbered E's read.
+  State only_y_from_f(2, 0);
+  only_y_from_f.Set(kY, 11);
+  EXPECT_FALSE(IsPotentiallyRecoverable(s.history, s.conflict, s.state_graph,
+                                        only_y_from_f));
+
+  // x updated singly "in an attempt to install E and G": {E,G} is not an
+  // installation-graph prefix (the RW edge F->G is violated), so no
+  // prefix with E and G installed explains the state, and a redo test
+  // believing the claim fails to recover. (The *state* itself happens to
+  // be explained by the empty prefix — x is unexposed w.r.t. E's blind
+  // write — which is why the paper frames this as an installation
+  // violation rather than a value-loss.)
+  State only_x_from_g(2, 0);
+  only_x_from_g.Set(kX, 101);
+  EXPECT_FALSE(s.installation.IsPrefix(Bitset::FromVector(3, {0, 2})));
+  const ExplainResult claim =
+      PrefixExplains(s.history, s.conflict, s.installation, s.state_graph,
+                     Bitset::FromVector(3, {0, 2}), only_x_from_g);
+  EXPECT_FALSE(claim.explains);
+  EXPECT_TRUE(claim.not_a_prefix);
+
+  State both(2, 0);
+  both.Set(kX, 101);
+  both.Set(kY, 11);
+  EXPECT_TRUE(IsPotentiallyRecoverable(s.history, s.conflict, s.state_graph,
+                                       both))
+      << "atomic multi-variable install of {E,F,G} is recoverable";
+}
+
+TEST(ReplayTest, Section5HjInstallHWithOnlyXWritten) {
+  // §5: H installed by writing only x (y unexposed thanks to J).
+  const Scenario s = MakeSection5Hj();
+  State crash(2, 0);
+  crash.Set(kX, 1);  // H's x written; y deliberately NOT written
+  const Bitset installed = Bitset::FromVector(2, {0});
+  const ExplainResult r = PrefixExplains(
+      s.history, s.conflict, s.installation, s.state_graph, installed, crash);
+  EXPECT_TRUE(r.explains) << r.ToString();
+
+  State state = crash;
+  ASSERT_TRUE(ReplayUninstalled(s.history, s.conflict, s.state_graph, installed,
+                                &state)
+                  .ok());
+  EXPECT_TRUE(state == s.state_graph.FinalState());
+}
+
+}  // namespace
+}  // namespace redo::core

@@ -1,0 +1,152 @@
+// End-to-end reproduction of the paper's Scenarios 1-3 (Figures 1-3):
+// which crash states are potentially recoverable, and why.
+
+#include "core/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exposed.h"
+#include "core/replay.h"
+
+namespace redo::core {
+namespace {
+
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+
+// Scenario 1 (Fig. 1): A: x<-y+1 then B: y<-2. B's changes reach the
+// state, A's do not. No replay recovers x=1: the RW edge A->B was
+// violated.
+TEST(ScenarioTest, Scenario1ViolatingReadWriteEdgeIsUnrecoverable) {
+  const Scenario s = MakeScenario1();
+  // Final state: x = 1 (A read y=0), y = 2.
+  const State final = s.state_graph.FinalState();
+  EXPECT_EQ(final.Get(kX), 1);
+  EXPECT_EQ(final.Get(kY), 2);
+
+  State crash(2, 0);
+  crash.Set(kY, 2);  // B installed, A not
+  EXPECT_FALSE(IsPotentiallyRecoverable(s.history, s.conflict, s.state_graph,
+                                        crash));
+  // And the theory agrees: no installation-graph prefix explains it.
+  EXPECT_FALSE(FindExplainingPrefix(s.history, s.conflict, s.installation,
+                                    s.state_graph, crash, 1024)
+                   .has_value());
+}
+
+TEST(ScenarioTest, Scenario1ConflictOrderInstallIsRecoverable) {
+  const Scenario s = MakeScenario1();
+  // Installing A first (conflict order) is fine.
+  State crash(2, 0);
+  crash.Set(kX, 1);  // A installed, B not
+  EXPECT_TRUE(IsPotentiallyRecoverable(s.history, s.conflict, s.state_graph,
+                                       crash));
+}
+
+// Scenario 2 (Fig. 2): B: y<-2 then A: x<-y+1. A's changes reach the
+// state, B's do not — the WR edge B->A is violated, yet replaying B
+// recovers the state.
+TEST(ScenarioTest, Scenario2ViolatingWriteReadEdgeIsRecoverable) {
+  const Scenario s = MakeScenario2();
+  const State final = s.state_graph.FinalState();
+  EXPECT_EQ(final.Get(kX), 3);  // A read y=2
+  EXPECT_EQ(final.Get(kY), 2);
+
+  State crash(2, 0);
+  crash.Set(kX, 3);  // A installed, B not
+  EXPECT_TRUE(IsPotentiallyRecoverable(s.history, s.conflict, s.state_graph,
+                                       crash));
+
+  // The witness replays exactly {B} (op id 0).
+  const auto witness =
+      FindRecoveryWitness(s.history, s.conflict, s.state_graph, crash);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->Test(0));
+  EXPECT_FALSE(witness->Test(1));
+
+  // {A} is an installation-graph prefix explaining the state.
+  const ExplainResult r =
+      PrefixExplains(s.history, s.conflict, s.installation, s.state_graph,
+                     Bitset::FromVector(2, {1}), crash);
+  EXPECT_TRUE(r.explains) << r.ToString();
+}
+
+// Scenario 3 (Fig. 3): C: <x<-x+1; y<-y+1> then D: x<-y+1. Only C's
+// change to y reaches the state; replaying D recovers it because C's
+// change to x is unexposed.
+TEST(ScenarioTest, Scenario3OnlyExposedVariablesMatter) {
+  const Scenario s = MakeScenario3();
+  const State final = s.state_graph.FinalState();
+  EXPECT_EQ(final.Get(kX), 2);  // D read y=1
+  EXPECT_EQ(final.Get(kY), 1);
+
+  State crash(2, 0);
+  crash.Set(kY, 1);  // C's y write installed; C's x write NOT installed
+  EXPECT_TRUE(IsPotentiallyRecoverable(s.history, s.conflict, s.state_graph,
+                                       crash));
+
+  const auto witness =
+      FindRecoveryWitness(s.history, s.conflict, s.state_graph, crash);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_FALSE(witness->Test(0)) << "C need not be replayed";
+  EXPECT_TRUE(witness->Test(1)) << "replaying D suffices";
+}
+
+TEST(ScenarioTest, Scenario3ArbitraryJunkInUnexposedVarStillRecoverable) {
+  const Scenario s = MakeScenario3();
+  State crash(2, 0);
+  crash.Set(kX, -777);  // junk in the unexposed variable
+  crash.Set(kY, 1);
+  EXPECT_TRUE(IsPotentiallyRecoverable(s.history, s.conflict, s.state_graph,
+                                       crash));
+}
+
+TEST(ScenarioTest, Scenario3JunkInExposedVariableIsUnrecoverable) {
+  const Scenario s = MakeScenario3();
+  State crash(2, 0);
+  crash.Set(kY, 5);  // junk in the *exposed* variable y
+  // No replay works: D would read y=5 and write x=6; C would bump both
+  // to (1,6); no combination reaches the final state (2,1).
+  EXPECT_FALSE(IsPotentiallyRecoverable(s.history, s.conflict, s.state_graph,
+                                        crash));
+}
+
+TEST(ScenarioTest, EmptyAndFullPrefixesAlwaysWork) {
+  for (const Scenario& s :
+       {MakeScenario1(), MakeScenario2(), MakeScenario3(), MakeFigure4()}) {
+    // Crash before anything installed: initial state recoverable.
+    EXPECT_TRUE(IsPotentiallyRecoverable(s.history, s.conflict, s.state_graph,
+                                         s.initial))
+        << s.label;
+    // Everything installed: final state recoverable (replay nothing).
+    EXPECT_TRUE(IsPotentiallyRecoverable(s.history, s.conflict, s.state_graph,
+                                         s.state_graph.FinalState()))
+        << s.label;
+  }
+}
+
+TEST(ScenarioTest, Figure8SplitStates) {
+  const Scenario s = MakeFigure8();
+  // x starts at 1000; P: y <- x-500; Q: x <- x-500.
+  const State final = s.state_graph.FinalState();
+  EXPECT_EQ(final.Get(kX), 500);
+  EXPECT_EQ(final.Get(kY), 500);
+
+  // Installing Q's write (old page) before P's (new page) violates the
+  // RW installation edge P->Q: unrecoverable.
+  State bad(2, 0);
+  bad.Set(kX, 500);
+  EXPECT_FALSE(IsPotentiallyRecoverable(s.history, s.conflict, s.state_graph,
+                                        bad))
+      << "old B-tree page overwritten before the new page was written";
+
+  // Installing P's write (new page) first is fine.
+  State good(2, 0);
+  good.Set(kX, 1000);
+  good.Set(kY, 500);
+  EXPECT_TRUE(IsPotentiallyRecoverable(s.history, s.conflict, s.state_graph,
+                                       good));
+}
+
+}  // namespace
+}  // namespace redo::core

@@ -1,0 +1,169 @@
+// §6's write-graph descriptions, built and verified with the core API:
+// each recovery technology corresponds to a specific write-graph shape
+// and a specific way of collapsing nodes into the stable-state node.
+
+#include <gtest/gtest.h>
+
+#include "core/exposed.h"
+#include "core/random_history.h"
+#include "core/replay.h"
+#include "core/write_graph.h"
+
+namespace redo::core {
+namespace {
+
+// A physiological-style history: every op reads and writes exactly one
+// variable (page).
+History OnePageOpsHistory() {
+  History h(3);
+  h.Append(Operation::Increment("U0: p0", 0, 10));
+  h.Append(Operation::Increment("U1: p1", 1, 20));
+  h.Append(Operation::Increment("U2: p0", 0, 30));
+  h.Append(Operation::Increment("U3: p2", 2, 40));
+  h.Append(Operation::Increment("U4: p1", 1, 50));
+  return h;
+}
+
+// A physical-style history: blind writes only.
+History BlindOpsHistory() {
+  History h(3);
+  h.Append(Operation::Assign("W0: p0", 0, 1));
+  h.Append(Operation::Assign("W1: p1", 1, 2));
+  h.Append(Operation::Assign("W2: p0", 0, 3));
+  h.Append(Operation::Assign("W3: p2", 2, 4));
+  h.Append(Operation::Assign("W4: p1", 1, 5));
+  return h;
+}
+
+struct Built {
+  History history;
+  ConflictGraph conflict;
+  InstallationGraph installation;
+  StateGraph state_graph;
+  WriteGraph write_graph;
+};
+
+Built Build(History h) {
+  ConflictGraph cg = ConflictGraph::Generate(h);
+  InstallationGraph ig = InstallationGraph::Derive(cg);
+  StateGraph sg = StateGraph::Generate(h, cg, State(h.num_vars(), 0));
+  WriteGraph wg = WriteGraph::FromInstallationGraph(h, ig, sg);
+  return Built{std::move(h), std::move(cg), std::move(ig), std::move(sg),
+               std::move(wg)};
+}
+
+// §6.1: "stable state on disk is unchanged between checkpoints ... the
+// staging area becomes the second node of a two node write graph, the
+// other node being the stable state. Writing this checkpoint record ...
+// collapses the two write graph nodes into a single node."
+TEST(Section6WriteGraphTest, LogicalTwoNodeGraphAndPointerSwing) {
+  Built b = Build(OnePageOpsHistory());
+  const WriteNodeId initial = b.write_graph.AddInitialNode(State(3, 0));
+
+  // Accumulate ALL operations since the checkpoint into one node (the
+  // cache + staging area).
+  std::vector<WriteNodeId> since_checkpoint;
+  for (WriteNodeId n = 0; n < initial; ++n) since_checkpoint.push_back(n);
+  const Result<WriteNodeId> staging =
+      b.write_graph.CollapseNodes(since_checkpoint);
+  ASSERT_TRUE(staging.ok());
+  EXPECT_EQ(b.write_graph.NumAlive(), 2u) << "the two-node write graph";
+
+  // The pointer swing: collapse staging into the stable-state node,
+  // atomically installing everything.
+  const Result<WriteNodeId> swung =
+      b.write_graph.CollapseNodes({initial, staging.value()});
+  ASSERT_TRUE(swung.ok());
+  EXPECT_TRUE(b.write_graph.node(swung.value()).installed);
+  EXPECT_TRUE(b.write_graph.Validate());
+  const State stable = b.write_graph.DeterminedInstalledState(State(3, 0));
+  EXPECT_TRUE(stable == b.state_graph.FinalState());
+}
+
+// §6.2: "The installation graph and corresponding state graph consist of
+// chains of nodes, one chain for each page ... The write graph ... is an
+// initial node followed by a single write graph node for each page."
+TEST(Section6WriteGraphTest, PhysicalPerPageChainsCollapsePerPage) {
+  Built b = Build(BlindOpsHistory());
+  // Chains: W0->W2 (p0), W1->W4 (p1), W3 alone (p2); no cross edges.
+  EXPECT_TRUE(b.installation.dag().HasEdge(0, 2));
+  EXPECT_TRUE(b.installation.dag().HasEdge(1, 4));
+  EXPECT_EQ(b.installation.dag().NumEdges(), 2u);
+
+  const WriteNodeId initial = b.write_graph.AddInitialNode(State(3, 0));
+  // One cached copy per page: collapse each page's writers.
+  ASSERT_TRUE(b.write_graph.CollapseNodes({0, 2}).ok());
+  ASSERT_TRUE(b.write_graph.CollapseNodes({1, 4}).ok());
+  EXPECT_EQ(b.write_graph.NumAlive(), 4u)
+      << "initial node + one node per page";
+  // Every page node is a minimal uninstalled node (§6.2/6.3): only the
+  // initial node precedes it.
+  for (WriteNodeId n : b.write_graph.InstallFrontier()) {
+    EXPECT_NE(n, initial);
+  }
+  EXPECT_EQ(b.write_graph.InstallFrontier().size(), 3u);
+  EXPECT_TRUE(b.write_graph.Validate());
+}
+
+// §6.3: "all of these subsequent nodes are uninstalled minimal nodes,
+// and the system is free to install their operation sets in any order.
+// ... This atomic installation is modeled by collapsing a minimal node
+// of the write graph into the initial node."
+TEST(Section6WriteGraphTest, PhysiologicalInstallsPagesInAnyOrder) {
+  Rng rng(0x63);
+  for (int trial = 0; trial < 10; ++trial) {
+    Built b = Build(OnePageOpsHistory());
+    const WriteNodeId initial = b.write_graph.AddInitialNode(State(3, 0));
+    ASSERT_TRUE(b.write_graph.CollapseNodes({0, 2}).ok());
+    ASSERT_TRUE(b.write_graph.CollapseNodes({1, 4}).ok());
+
+    // Install the page nodes one at a time in a random order by
+    // collapsing each minimal node into the (growing) stable node.
+    WriteNodeId stable = initial;
+    while (b.write_graph.NumAlive() > 1) {
+      std::vector<WriteNodeId> frontier = b.write_graph.InstallFrontier();
+      ASSERT_FALSE(frontier.empty());
+      const WriteNodeId pick = rng.Pick(frontier);
+      const Result<WriteNodeId> merged =
+          b.write_graph.CollapseNodes({stable, pick});
+      ASSERT_TRUE(merged.ok());
+      stable = merged.value();
+      ASSERT_TRUE(b.write_graph.Validate());
+
+      // After every page write, the stable state is explainable and
+      // recoverable (the §6.3 page-at-a-time install).
+      const Bitset installed =
+          b.write_graph.InstalledOps(b.history.size());
+      const State state =
+          b.write_graph.DeterminedInstalledState(State(3, 0));
+      const ExplainResult explain =
+          PrefixExplains(b.history, b.conflict, b.installation, b.state_graph,
+                         installed, state);
+      ASSERT_TRUE(explain.explains) << explain.ToString();
+      State recovered = state;
+      ASSERT_TRUE(ReplayUninstalled(b.history, b.conflict, b.state_graph,
+                                    installed, &recovered)
+                      .ok());
+      ASSERT_TRUE(recovered == b.state_graph.FinalState());
+    }
+  }
+}
+
+// §6.4 / Figure 8, at the write-graph level: with a cross-page operation
+// in the history, collapsing per page creates an edge between page
+// nodes — the careful write order — unlike §6.3's flat frontier.
+TEST(Section6WriteGraphTest, GeneralizedOpsOrderPageNodes) {
+  History h(2);
+  h.Append(Operation::Increment("U0: p0", 0, 1));
+  h.Append(Operation::AddConst("P: p1<-f(p0)", 1, 0, 500));  // reads p0
+  h.Append(Operation::Increment("Q: p0", 0, 7));             // rewrite
+  Built b = Build(std::move(h));
+  ASSERT_TRUE(b.write_graph.CollapseNodes({0, 2}).ok());  // page 0's writers
+  // Page 1's node (P) must install before page 0's collapsed node.
+  const std::vector<WriteNodeId> frontier = b.write_graph.InstallFrontier();
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(b.write_graph.node(frontier[0]).ops, (std::vector<OpId>{1}));
+}
+
+}  // namespace
+}  // namespace redo::core

@@ -1,0 +1,138 @@
+#include "core/state_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random_history.h"
+#include "core/scenarios.h"
+
+namespace redo::core {
+namespace {
+
+TEST(StateGraphTest, Figure4NodeLabels) {
+  const Scenario s = MakeFigure4();
+  // O: x<-x+1 from x=0 writes <x,1>; P: y<-x+10 writes <y,11>;
+  // Q: x<-x+100 writes <x,101>.
+  EXPECT_EQ(s.state_graph.WritesOf(0), (std::vector<WritePair>{{0, 1}}));
+  EXPECT_EQ(s.state_graph.WritesOf(1), (std::vector<WritePair>{{1, 11}}));
+  EXPECT_EQ(s.state_graph.WritesOf(2), (std::vector<WritePair>{{0, 101}}));
+}
+
+TEST(StateGraphTest, Figure4PrefixDeterminedStates) {
+  const Scenario s = MakeFigure4();
+  // The boxed states of Fig. 4, one per solid line.
+  State s0 = s.state_graph.DeterminedState(Bitset::FromVector(3, {}));
+  EXPECT_EQ(s0.Get(0), 0);
+  EXPECT_EQ(s0.Get(1), 0);
+
+  State s1 = s.state_graph.DeterminedState(Bitset::FromVector(3, {0}));
+  EXPECT_EQ(s1.Get(0), 1);
+  EXPECT_EQ(s1.Get(1), 0);
+
+  State s2 = s.state_graph.DeterminedState(Bitset::FromVector(3, {0, 1}));
+  EXPECT_EQ(s2.Get(0), 1);
+  EXPECT_EQ(s2.Get(1), 11);
+
+  State s3 = s.state_graph.DeterminedState(Bitset::FromVector(3, {0, 1, 2}));
+  EXPECT_EQ(s3.Get(0), 101);
+  EXPECT_EQ(s3.Get(1), 11);
+}
+
+TEST(StateGraphTest, InstallationPrefixOnlyPDeterminedState) {
+  // The Fig. 5 extra prefix {P}: x keeps its initial value, y = 11.
+  const Scenario s = MakeFigure4();
+  State sp = s.state_graph.DeterminedState(Bitset::FromVector(3, {1}));
+  EXPECT_EQ(sp.Get(0), 0);
+  EXPECT_EQ(sp.Get(1), 11);
+}
+
+TEST(StateGraphTest, ReadsOfRecordsOriginalReadValues) {
+  const Scenario s = MakeFigure4();
+  EXPECT_EQ(s.state_graph.ReadsOf(0), (std::vector<Value>{0}));   // O read x=0
+  EXPECT_EQ(s.state_graph.ReadsOf(1), (std::vector<Value>{1}));   // P read x=1
+  EXPECT_EQ(s.state_graph.ReadsOf(2), (std::vector<Value>{1}));   // Q read x=1
+}
+
+TEST(StateGraphTest, FinalStateMatchesExecution) {
+  const Scenario s = MakeFigure4();
+  EXPECT_TRUE(s.state_graph.FinalState() == s.history.FinalState(s.initial));
+}
+
+// Lemma 2: the prefix {O_1..O_i} determines S_i.
+TEST(StateGraphTest, Lemma2OnRandomHistories) {
+  Rng rng(0x1e42);
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomHistoryOptions opts;
+    opts.num_ops = 1 + rng.Below(12);
+    opts.num_vars = 1 + rng.Below(5);
+    const History h = RandomHistory(opts, rng);
+    const ConflictGraph cg = ConflictGraph::Generate(h);
+    const State initial(h.num_vars(), 0);
+    const StateGraph sg = StateGraph::Generate(h, cg, initial);
+    const std::vector<State> states = h.Execute(initial);
+    for (size_t i = 0; i <= h.size(); ++i) {
+      Bitset prefix(h.size());
+      for (size_t k = 0; k < i; ++k) prefix.Set(k);
+      EXPECT_TRUE(sg.DeterminedState(prefix) == states[i])
+          << "trial " << trial << " prefix length " << i;
+    }
+  }
+}
+
+// The conflict state graph depends only on the conflict graph (§2.4):
+// regenerating from any conflict-consistent order yields the same labels.
+TEST(StateGraphTest, ConflictStateGraphIsOrderInvariant) {
+  Rng rng(0xc0ffee);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomHistoryOptions opts;
+    opts.num_ops = 2 + rng.Below(9);
+    opts.num_vars = 1 + rng.Below(4);
+    const History h = RandomHistory(opts, rng);
+    const ConflictGraph cg = ConflictGraph::Generate(h);
+    const State initial(h.num_vars(), 0);
+    const StateGraph sg = StateGraph::Generate(h, cg, initial);
+
+    const std::vector<uint32_t> order = cg.dag().RandomTopologicalOrder(rng);
+    const History h2 = h.Permuted(order);
+    const ConflictGraph cg2 = ConflictGraph::Generate(h2);
+    const StateGraph sg2 = StateGraph::Generate(h2, cg2, initial);
+
+    for (uint32_t j = 0; j < h.size(); ++j) {
+      EXPECT_EQ(sg2.WritesOf(j), sg.WritesOf(order[j]))
+          << "trial " << trial << " node " << j;
+      EXPECT_EQ(sg2.ReadsOf(j), sg.ReadsOf(order[j]));
+    }
+  }
+}
+
+// Any state determined by a prefix is reachable by executing the prefix's
+// operations in any conflict-consistent order (§2.4).
+TEST(StateGraphTest, PrefixStatesAreReachableByExecution) {
+  Rng rng(0xab1e);
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomHistoryOptions opts;
+    opts.num_ops = 2 + rng.Below(7);
+    opts.num_vars = 1 + rng.Below(3);
+    const History h = RandomHistory(opts, rng);
+    const ConflictGraph cg = ConflictGraph::Generate(h);
+    const State initial(h.num_vars(), 0);
+    const StateGraph sg = StateGraph::Generate(h, cg, initial);
+
+    cg.dag().ForEachPrefix(64, [&](const Bitset& prefix) {
+      const State determined = sg.DeterminedState(prefix);
+      // Execute the prefix ops in conflict order from the initial state.
+      State executed = initial;
+      for (uint32_t op : cg.dag().TopologicalOrder()) {
+        if (prefix.Test(op)) h.op(op).ApplyTo(&executed);
+      }
+      EXPECT_TRUE(executed == determined) << "trial " << trial;
+    });
+  }
+}
+
+TEST(StateGraphTest, DebugStringShowsWrites) {
+  const Scenario s = MakeFigure4();
+  EXPECT_NE(s.state_graph.DebugString().find("<0,1>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace redo::core

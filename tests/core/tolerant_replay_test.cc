@@ -1,0 +1,182 @@
+// The §7 extension: replaying inapplicable operations whose garbage
+// writes land only on shadowed state.
+
+#include "core/tolerant_replay.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exposed.h"
+#include "core/random_history.h"
+#include "core/replay.h"
+#include "core/scenarios.h"
+
+namespace redo::core {
+namespace {
+
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+
+// The worked example: B: y<-2; A: x<-y+1; E: y<-7 (blind); F: x<-9
+// (blind). Installing {B,E} violates the RW edge A->E, so A replays
+// inapplicably (it reads y=7 instead of 2) — but F blind-overwrites x,
+// so the garbage never escapes.
+struct Extension {
+  History history{2};
+  ConflictGraph conflict = ConflictGraph::Generate(history);
+  InstallationGraph installation = InstallationGraph::Derive(conflict);
+  StateGraph state_graph =
+      StateGraph::Generate(history, conflict, State(2, 0));
+};
+
+Extension MakeWorkedExample() {
+  Extension e;
+  e.history = History(2);
+  e.history.Append(Operation::Assign("B: y<-2", kY, 2));
+  e.history.Append(Operation::AddConst("A: x<-y+1", kX, kY, 1));
+  e.history.Append(Operation::Assign("E: y<-7", kY, 7));
+  e.history.Append(Operation::Assign("F: x<-9", kX, 9));
+  e.conflict = ConflictGraph::Generate(e.history);
+  e.installation = InstallationGraph::Derive(e.conflict);
+  e.state_graph = StateGraph::Generate(e.history, e.conflict, State(2, 0));
+  return e;
+}
+
+TEST(TolerantReplayTest, WorkedExampleRecoversDespiteInapplicableA) {
+  const Extension e = MakeWorkedExample();
+  // Final state: y=7 (E), x=9 (F).
+  EXPECT_EQ(e.state_graph.FinalState().Get(kX), 9);
+  EXPECT_EQ(e.state_graph.FinalState().Get(kY), 7);
+
+  // {B,E} installed: NOT an installation-graph prefix (A->E RW edge).
+  const Bitset installed = Bitset::FromVector(4, {0, 2});
+  EXPECT_FALSE(e.installation.IsPrefix(installed));
+
+  // Checked replay refuses (A inapplicable)...
+  State crash = e.state_graph.DeterminedState(installed);
+  State checked = crash;
+  EXPECT_FALSE(ReplayUninstalled(e.history, e.conflict, e.state_graph,
+                                 installed, &checked)
+                   .ok());
+
+  // ...but the tolerant replay succeeds exactly, flagging A.
+  const TolerantReplayOutcome out = ReplayToleratingUnexposedWrites(
+      e.history, e.conflict, e.state_graph, installed, crash);
+  EXPECT_TRUE(out.exact);
+  EXPECT_EQ(out.inapplicable_replays, (std::vector<OpId>{1}));
+}
+
+TEST(TolerantReplayTest, HarmlessnessVerdicts) {
+  const Extension e = MakeWorkedExample();
+  EXPECT_TRUE(WritesShadowedAfter(e.history, e.conflict, 1))
+      << "A's only write (x) is blind-overwritten by F";
+  EXPECT_FALSE(WritesShadowedAfter(e.history, e.conflict, 3))
+      << "F is x's final writer: its garbage would persist";
+  EXPECT_FALSE(WritesShadowedAfter(e.history, e.conflict, 2))
+      << "E is y's final writer";
+}
+
+TEST(TolerantReplayTest, NonBlindShadowIsNotHarmless) {
+  // Same shape but F reads x (x <- x+9): A's garbage would be read.
+  History h(2);
+  h.Append(Operation::Assign("B: y<-2", kY, 2));
+  h.Append(Operation::AddConst("A: x<-y+1", kX, kY, 1));
+  h.Append(Operation::Assign("E: y<-7", kY, 7));
+  h.Append(Operation::Increment("F: x<-x+9", kX, 9));
+  const ConflictGraph cg = ConflictGraph::Generate(h);
+  EXPECT_FALSE(WritesShadowedAfter(h, cg, 1));
+
+  // And indeed the tolerant replay from {B,E} produces a wrong state.
+  const StateGraph sg = StateGraph::Generate(h, cg, State(2, 0));
+  const Bitset installed = Bitset::FromVector(4, {0, 2});
+  const TolerantReplayOutcome out = ReplayToleratingUnexposedWrites(
+      h, cg, sg, installed, sg.DeterminedState(installed));
+  EXPECT_FALSE(out.exact) << "garbage escaped through the reading overwrite";
+}
+
+TEST(TolerantReplayTest, TolerantDagDropsTheExtensionEdge) {
+  const Extension e = MakeWorkedExample();
+  const TolerantInstallationGraph tig =
+      DeriveTolerantInstallationDag(e.history, e.conflict, e.installation);
+  EXPECT_GE(tig.extra_removed_edges, 1u);
+  // {B,E} is a prefix of the tolerant graph though not of the
+  // installation graph.
+  const Bitset installed = Bitset::FromVector(4, {0, 2});
+  EXPECT_TRUE(tig.dag.IsPrefix(installed));
+  EXPECT_FALSE(e.installation.IsPrefix(installed));
+}
+
+TEST(TolerantReplayTest, AgreesWithCheckedReplayOnExplainablePrefixes) {
+  Rng rng(0x70a1);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomHistoryOptions options;
+    options.num_ops = 3 + rng.Below(9);
+    options.num_vars = 2 + rng.Below(3);
+    const History h = RandomHistory(options, rng);
+    const ConflictGraph cg = ConflictGraph::Generate(h);
+    const InstallationGraph ig = InstallationGraph::Derive(cg);
+    const StateGraph sg = StateGraph::Generate(h, cg, State(h.num_vars(), 0));
+    ig.dag().ForEachPrefix(64, [&](const Bitset& prefix) {
+      const State crash = sg.DeterminedState(prefix);
+      const TolerantReplayOutcome out =
+          ReplayToleratingUnexposedWrites(h, cg, sg, prefix, crash);
+      EXPECT_TRUE(out.exact);
+      EXPECT_TRUE(out.inapplicable_replays.empty())
+          << "explainable prefixes never trigger inapplicability";
+    });
+  }
+}
+
+// The extension's main property: every prefix of the tolerant
+// installation DAG determines a state from which tolerant replay
+// recovers exactly — including prefixes the paper's theory rejects.
+TEST(TolerantReplayTest, TolerantPrefixesAlwaysRecover) {
+  Rng rng(0x70a2);
+  size_t extension_prefixes_exercised = 0;
+  size_t inapplicable_replays_seen = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomHistoryOptions options;
+    options.num_ops = 4 + rng.Below(8);
+    options.num_vars = 2 + rng.Below(3);
+    options.blind_write_probability = 0.5;  // blind writes create shadows
+    const History h = RandomHistory(options, rng);
+    const ConflictGraph cg = ConflictGraph::Generate(h);
+    const InstallationGraph ig = InstallationGraph::Derive(cg);
+    const StateGraph sg = StateGraph::Generate(h, cg, State(h.num_vars(), 0));
+    const TolerantInstallationGraph tig =
+        DeriveTolerantInstallationDag(h, cg, ig);
+
+    tig.dag.ForEachPrefix(128, [&](const Bitset& prefix) {
+      const State crash = sg.DeterminedState(prefix);
+      for (int order_trial = 0; order_trial < 2; ++order_trial) {
+        const TolerantReplayOutcome out =
+            order_trial == 0
+                ? ReplayToleratingUnexposedWrites(h, cg, sg, prefix, crash)
+                : ReplayToleratingUnexposedWritesRandomOrder(h, cg, sg, prefix,
+                                                             crash, rng);
+        ASSERT_TRUE(out.exact)
+            << h.DebugString() << "prefix failed tolerant replay";
+        inapplicable_replays_seen += out.inapplicable_replays.size();
+      }
+      if (!ig.IsPrefix(prefix)) ++extension_prefixes_exercised;
+    });
+  }
+  EXPECT_GT(extension_prefixes_exercised, 0u)
+      << "the extension must actually unlock states beyond the theory";
+  EXPECT_GT(inapplicable_replays_seen, 0u)
+      << "some replays must have been genuinely inapplicable";
+}
+
+TEST(TolerantReplayTest, Scenario2StillWorksTolerantly) {
+  // Sanity: the paper's own WR-violation case runs through the tolerant
+  // path with zero inapplicable replays.
+  const Scenario s = MakeScenario2();
+  State crash(2, 0);
+  crash.Set(kX, 3);
+  const TolerantReplayOutcome out = ReplayToleratingUnexposedWrites(
+      s.history, s.conflict, s.state_graph, Bitset::FromVector(2, {1}), crash);
+  EXPECT_TRUE(out.exact);
+  EXPECT_TRUE(out.inapplicable_replays.empty());
+}
+
+}  // namespace
+}  // namespace redo::core

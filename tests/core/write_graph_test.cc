@@ -1,0 +1,257 @@
+// Write graphs (§5): the four operations, Figure 7, the E/F/G and H/J
+// examples, and Corollary 5.
+
+#include "core/write_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exposed.h"
+#include "core/replay.h"
+#include "core/scenarios.h"
+
+namespace redo::core {
+namespace {
+
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+
+WriteGraph FromScenario(const Scenario& s) {
+  return WriteGraph::FromInstallationGraph(s.history, s.installation,
+                                           s.state_graph);
+}
+
+TEST(WriteGraphTest, SimplestWriteGraphMirrorsInstallationGraph) {
+  const Scenario s = MakeFigure4();
+  WriteGraph wg = FromScenario(s);
+  EXPECT_EQ(wg.NumAlive(), 3u);
+  EXPECT_EQ(wg.node(0).writes, (std::vector<WritePair>{{kX, 1}}));
+  EXPECT_EQ(wg.node(1).writes, (std::vector<WritePair>{{kY, 11}}));
+  EXPECT_EQ(wg.node(2).writes, (std::vector<WritePair>{{kX, 101}}));
+  EXPECT_TRUE(wg.Reaches(0, 2));
+  EXPECT_TRUE(wg.Reaches(1, 2));
+  EXPECT_FALSE(wg.Reaches(0, 1)) << "the WR edge O->P is gone";
+  EXPECT_TRUE(wg.Validate());
+}
+
+TEST(WriteGraphTest, InstallRequiresPredecessorsInstalled) {
+  const Scenario s = MakeFigure4();
+  WriteGraph wg = FromScenario(s);
+  EXPECT_EQ(wg.InstallFrontier(), (std::vector<WriteNodeId>{0, 1}));
+  EXPECT_FALSE(wg.InstallNode(2).ok()) << "Q follows O and P";
+  ASSERT_TRUE(wg.InstallNode(1).ok());
+  ASSERT_TRUE(wg.InstallNode(0).ok());
+  EXPECT_EQ(wg.InstallFrontier(), (std::vector<WriteNodeId>{2}));
+  ASSERT_TRUE(wg.InstallNode(2).ok());
+  EXPECT_TRUE(wg.Validate());
+  EXPECT_FALSE(wg.InstallNode(2).ok()) << "already installed";
+}
+
+TEST(WriteGraphTest, Figure7CollapseOfXWriters) {
+  const Scenario s = MakeFigure4();
+  WriteGraph wg = FromScenario(s);
+  const Result<WriteNodeId> merged = wg.CollapseNodes({0, 2});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(wg.Validate());
+  EXPECT_EQ(wg.NumAlive(), 2u);
+
+  const WriteGraphNode& n = wg.node(merged.value());
+  EXPECT_EQ(n.ops, (std::vector<OpId>{0, 2}));
+  // The collapsed node keeps Q's (latest) value of x.
+  EXPECT_EQ(n.writes, (std::vector<WritePair>{{kX, 101}}));
+  // Figure 7's point: P must be installed before the collapsed node, so
+  // the cache manager writes y before x.
+  EXPECT_TRUE(wg.Reaches(1, merged.value()));
+  EXPECT_EQ(wg.InstallFrontier(), (std::vector<WriteNodeId>{1}));
+  EXPECT_FALSE(wg.InstallNode(merged.value()).ok());
+  ASSERT_TRUE(wg.InstallNode(1).ok());
+  ASSERT_TRUE(wg.InstallNode(merged.value()).ok());
+}
+
+TEST(WriteGraphTest, CollapseMakesRecoverableStatesInaccessible) {
+  // Before collapsing, {O} alone can be installed; afterwards it cannot.
+  const Scenario s = MakeFigure4();
+  WriteGraph before = FromScenario(s);
+  EXPECT_TRUE(before.InstallNode(0).ok());
+
+  WriteGraph after = FromScenario(s);
+  ASSERT_TRUE(after.CollapseNodes({0, 2}).ok());
+  // The only way to install O now installs Q too.
+  for (WriteNodeId n : after.InstallFrontier()) {
+    EXPECT_EQ(after.node(n).ops, (std::vector<OpId>{1})) << "only P is ready";
+  }
+}
+
+TEST(WriteGraphTest, Section5EfgCollapseEGWouldCycle) {
+  const Scenario s = MakeSection5Efg();
+  WriteGraph wg = FromScenario(s);
+  // E -> F -> G chain: merging E and G traps F both before and after.
+  const Result<WriteNodeId> r = wg.CollapseNodes({0, 2});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(wg.Validate()) << "failed collapse must not mutate the graph";
+  EXPECT_EQ(wg.NumAlive(), 3u);
+
+  // Collapsing all three works and yields the atomic {x,y} write the
+  // paper calls for.
+  const Result<WriteNodeId> all = wg.CollapseNodes({0, 1, 2});
+  ASSERT_TRUE(all.ok());
+  const WriteGraphNode& n = wg.node(all.value());
+  EXPECT_EQ(n.writes,
+            (std::vector<WritePair>{{kX, 101}, {kY, 11}}));  // G's x, F's y
+  EXPECT_TRUE(wg.InstallNode(all.value()).ok());
+  EXPECT_TRUE(wg.Validate());
+}
+
+TEST(WriteGraphTest, Section5HjRemoveWriteOfUnexposedY) {
+  const Scenario s = MakeSection5Hj();
+  WriteGraph wg = FromScenario(s);
+  // J blind-writes y after H, so H's write to y may be dropped.
+  ASSERT_TRUE(wg.RemoveWrite(0, kY).ok());
+  EXPECT_EQ(wg.node(0).writes, (std::vector<WritePair>{{kX, 1}}));
+  EXPECT_TRUE(wg.Validate());
+
+  // Installing H now "writes" only x; the determined state is explained
+  // by the prefix {H} and replaying J recovers the final state.
+  ASSERT_TRUE(wg.InstallNode(0).ok());
+  State stable = wg.DeterminedInstalledState(s.initial);
+  EXPECT_EQ(stable.Get(kX), 1);
+  EXPECT_EQ(stable.Get(kY), 0) << "y was never written to stable state";
+
+  const Bitset installed = wg.InstalledOps(s.history.size());
+  const ExplainResult er = PrefixExplains(
+      s.history, s.conflict, s.installation, s.state_graph, installed, stable);
+  EXPECT_TRUE(er.explains) << er.ToString();
+
+  State recovered = stable;
+  ASSERT_TRUE(ReplayUninstalled(s.history, s.conflict, s.state_graph, installed,
+                                &recovered)
+                  .ok());
+  EXPECT_TRUE(recovered == s.state_graph.FinalState());
+}
+
+TEST(WriteGraphTest, RemoveWriteRejectedWhenReaderNeedsValue) {
+  const Scenario s = MakeFigure4();
+  WriteGraph wg = FromScenario(s);
+  // P (uninstalled) reads x; O's write to x cannot be dropped: the only
+  // node following O that writes x is Q, which also reads x.
+  const Status st = wg.RemoveWrite(0, kX);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WriteGraphTest, RemoveWriteAllowedOnceReadersInstalled) {
+  const Scenario s = MakeFigure4();
+  WriteGraph wg = FromScenario(s);
+  ASSERT_TRUE(wg.InstallNode(0).ok());
+  ASSERT_TRUE(wg.InstallNode(1).ok());
+  ASSERT_TRUE(wg.InstallNode(2).ok());
+  // Everyone who reads x is installed: dropping O's x write is fine
+  // (e.g. the cache already holds Q's later value).
+  EXPECT_TRUE(wg.RemoveWrite(0, kX).ok());
+  EXPECT_TRUE(wg.Validate());
+}
+
+TEST(WriteGraphTest, AddEdgeConstrainsInstallationOrder) {
+  const Scenario s = MakeScenario2();  // installation graph has no edges
+  WriteGraph wg = FromScenario(s);
+  EXPECT_EQ(wg.InstallFrontier().size(), 2u);
+  // The system may choose to force B (node 0) before A (node 1).
+  ASSERT_TRUE(wg.AddEdge(0, 1).ok());
+  EXPECT_EQ(wg.InstallFrontier(), (std::vector<WriteNodeId>{0}));
+  // Reverse edge would create a cycle.
+  EXPECT_FALSE(wg.AddEdge(1, 0).ok());
+  EXPECT_TRUE(wg.Validate());
+}
+
+TEST(WriteGraphTest, AddEdgeToInstalledNodeRejected) {
+  const Scenario s = MakeScenario2();
+  WriteGraph wg = FromScenario(s);
+  ASSERT_TRUE(wg.InstallNode(0).ok());
+  EXPECT_FALSE(wg.AddEdge(1, 0).ok());
+}
+
+TEST(WriteGraphTest, InitialNodeModelsStableState) {
+  const Scenario s = MakeFigure4();
+  WriteGraph wg = FromScenario(s);
+  const WriteNodeId init = wg.AddInitialNode(s.initial);
+  EXPECT_TRUE(wg.node(init).installed);
+  EXPECT_TRUE(wg.Validate());
+  EXPECT_TRUE(wg.Reaches(init, 0));
+  EXPECT_TRUE(wg.Reaches(init, 2));
+
+  // §6.3: installing a page = collapsing a minimal node into the initial
+  // node.
+  ASSERT_TRUE(wg.CollapseNodes({init, 1}).ok());  // install P
+  EXPECT_TRUE(wg.Validate());
+  const Bitset installed = wg.InstalledOps(s.history.size());
+  EXPECT_TRUE(installed.Test(1));
+  EXPECT_FALSE(installed.Test(0));
+  const State stable = wg.DeterminedInstalledState(s.initial);
+  EXPECT_EQ(stable.Get(kY), 11);
+  EXPECT_EQ(stable.Get(kX), 0);
+}
+
+TEST(WriteGraphTest, CollapseUninstalledIntoInstalledNeedsPrefix) {
+  const Scenario s = MakeFigure4();
+  WriteGraph wg = FromScenario(s);
+  const WriteNodeId init = wg.AddInitialNode(s.initial);
+  // Collapsing Q (whose predecessors O and P are uninstalled) into the
+  // installed initial node would break the installed prefix.
+  const Result<WriteNodeId> r = wg.CollapseNodes({init, 2});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(wg.Validate());
+}
+
+// Corollary 5: states determined by write-graph prefixes are potentially
+// recoverable, across arbitrary legal operation sequences.
+TEST(WriteGraphTest, Corollary5OnScenarios) {
+  for (const Scenario& s :
+       {MakeScenario1(), MakeScenario2(), MakeScenario3(), MakeFigure4(),
+        MakeSection5Efg(), MakeSection5Hj(), MakeFigure8()}) {
+    Rng rng(0xc0a0 + s.history.size());
+    for (int trial = 0; trial < 20; ++trial) {
+      WriteGraph wg = FromScenario(s);
+      // Random legal mutations followed by random installs.
+      for (int step = 0; step < 12; ++step) {
+        const uint64_t dice = rng.Below(4);
+        const std::vector<WriteNodeId> alive = wg.AliveNodes();
+        if (alive.size() < 2) break;
+        if (dice == 0) {
+          const WriteNodeId a = rng.Pick(alive), b = rng.Pick(alive);
+          if (a != b) (void)wg.AddEdge(a, b);
+        } else if (dice == 1) {
+          std::vector<WriteNodeId> group;
+          for (WriteNodeId n : alive) {
+            if (rng.Chance(0.5)) group.push_back(n);
+          }
+          if (group.size() >= 2) (void)wg.CollapseNodes(group);
+        } else if (dice == 2) {
+          const WriteNodeId n = rng.Pick(alive);
+          if (!wg.node(n).writes.empty()) {
+            (void)wg.RemoveWrite(n, wg.node(n).writes[0].var);
+          }
+        } else {
+          const std::vector<WriteNodeId> frontier = wg.InstallFrontier();
+          if (!frontier.empty()) (void)wg.InstallNode(rng.Pick(frontier));
+        }
+        ASSERT_TRUE(wg.Validate()) << s.label;
+      }
+      // The determined installed state must be explainable + recoverable.
+      const Bitset installed = wg.InstalledOps(s.history.size());
+      const State stable = wg.DeterminedInstalledState(s.initial);
+      const ExplainResult er =
+          PrefixExplains(s.history, s.conflict, s.installation, s.state_graph,
+                         installed, stable);
+      EXPECT_TRUE(er.explains) << s.label << ": " << er.ToString();
+      State recovered = stable;
+      ASSERT_TRUE(ReplayUninstalled(s.history, s.conflict, s.state_graph,
+                                    installed, &recovered)
+                      .ok())
+          << s.label;
+      EXPECT_TRUE(recovered == s.state_graph.FinalState()) << s.label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace redo::core

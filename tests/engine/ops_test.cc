@@ -1,0 +1,204 @@
+#include "engine/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "btree/node_format.h"
+
+namespace redo::engine {
+namespace {
+
+TEST(OpsTest, SlotWriteRoundTripAndApply) {
+  const SinglePageOp op = MakeSlotWrite(3, 7, -99);
+  EXPECT_FALSE(op.blind);
+  EXPECT_EQ(op.page, 3u);
+
+  const std::vector<uint8_t> encoded = EncodeSinglePageOp(op);
+  Result<SinglePageOp> decoded = DecodeSinglePageOp(op.type, encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().page, 3u);
+  EXPECT_EQ(decoded.value().args, op.args);
+  EXPECT_FALSE(decoded.value().blind);
+
+  Page page;
+  ASSERT_TRUE(ApplySinglePageOp(decoded.value(), &page).ok());
+  EXPECT_EQ(page.ReadSlot(7), -99);
+}
+
+TEST(OpsTest, BlindFormatFillsEverySlot) {
+  const SinglePageOp op = MakeBlindFormat(0, 5);
+  EXPECT_TRUE(op.blind);
+  Page page;
+  page.WriteSlot(3, 99);
+  ASSERT_TRUE(ApplySinglePageOp(op, &page).ok());
+  for (size_t i = 0; i < Page::NumSlots(); ++i) EXPECT_EQ(page.ReadSlot(i), 5);
+}
+
+TEST(OpsTest, SlotOutOfRangeRejected) {
+  const SinglePageOp op = MakeSlotWrite(0, Page::NumSlots(), 1);
+  Page page;
+  EXPECT_EQ(ApplySinglePageOp(op, &page).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OpsTest, TruncatedArgsAreCorruption) {
+  SinglePageOp op = MakeSlotWrite(0, 1, 2);
+  op.args.resize(2);
+  Page page;
+  EXPECT_EQ(ApplySinglePageOp(op, &page).code(), StatusCode::kCorruption);
+}
+
+TEST(OpsTest, SlotHalfSplitMovesUpperHalf) {
+  Page src;
+  for (size_t i = 0; i < Page::NumSlots(); ++i) {
+    src.WriteSlot(i, static_cast<int64_t>(i));
+  }
+  Page dst;
+  const SplitOp split{SplitTransform::kSlotHalf, 0, 1};
+  ApplySplitToDst(split, src, &dst);
+  const size_t half = Page::NumSlots() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    EXPECT_EQ(dst.ReadSlot(i), static_cast<int64_t>(half + i));
+  }
+  for (size_t i = half; i < Page::NumSlots(); ++i) {
+    EXPECT_EQ(dst.ReadSlot(i), 0);
+  }
+
+  // The rewrite zeroes the moved half in the source.
+  ASSERT_TRUE(
+      ApplySinglePageOp(MakeSplitRewrite(0, SplitTransform::kSlotHalf), &src)
+          .ok());
+  for (size_t i = 0; i < half; ++i) {
+    EXPECT_EQ(src.ReadSlot(i), static_cast<int64_t>(i));
+  }
+  for (size_t i = half; i < Page::NumSlots(); ++i) {
+    EXPECT_EQ(src.ReadSlot(i), 0);
+  }
+}
+
+TEST(OpsTest, SplitOpEncodingRoundTrip) {
+  const SplitOp op{SplitTransform::kBtreeNode, 5, 9};
+  Result<SplitOp> decoded = DecodeSplitOp(EncodeSplitOp(op));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().src, 5u);
+  EXPECT_EQ(decoded.value().dst, 9u);
+  EXPECT_EQ(decoded.value().transform, SplitTransform::kBtreeNode);
+}
+
+TEST(OpsTest, PageImageRoundTrip) {
+  Page image;
+  image.set_lsn(77);
+  image.WriteSlot(0, 123);
+  Result<std::pair<PageId, Page>> decoded =
+      DecodePageImage(EncodePageImage(4, image));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().first, 4u);
+  EXPECT_TRUE(decoded.value().second == image);
+}
+
+TEST(OpsTest, BtreeInsertRemoveInitApply) {
+  Page page;
+  ASSERT_TRUE(
+      ApplySinglePageOp(MakeBtreeInit(0, /*is_leaf=*/true, /*aux=*/7), &page)
+          .ok());
+  btree::NodeRef node(&page);
+  EXPECT_TRUE(node.initialized());
+  EXPECT_TRUE(node.is_leaf());
+  EXPECT_EQ(node.aux(), 7u);
+
+  ASSERT_TRUE(ApplySinglePageOp(MakeBtreeInsert(0, 10, 100), &page).ok());
+  ASSERT_TRUE(ApplySinglePageOp(MakeBtreeInsert(0, 5, 50), &page).ok());
+  EXPECT_EQ(node.count(), 2u);
+  EXPECT_EQ(node.key(0), 5);
+  EXPECT_EQ(node.value(1), 100);
+
+  ASSERT_TRUE(ApplySinglePageOp(MakeBtreeRemove(0, 5), &page).ok());
+  EXPECT_EQ(node.count(), 1u);
+  EXPECT_EQ(node.key(0), 10);
+}
+
+TEST(OpsTest, BtreeInsertIntoUninitializedPageRejected) {
+  Page page;
+  EXPECT_EQ(ApplySinglePageOp(MakeBtreeInsert(0, 1, 1), &page).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NodeFormatTest, InsertKeepsSortedAndReplacesDuplicates) {
+  Page page;
+  btree::NodeRef node(&page);
+  node.InitLeaf(0);
+  EXPECT_TRUE(node.Insert(3, 30));
+  EXPECT_TRUE(node.Insert(1, 10));
+  EXPECT_TRUE(node.Insert(2, 20));
+  EXPECT_TRUE(node.Insert(2, 21));  // replace
+  EXPECT_EQ(node.count(), 3u);
+  EXPECT_EQ(node.key(0), 1);
+  EXPECT_EQ(node.key(1), 2);
+  EXPECT_EQ(node.value(1), 21);
+}
+
+TEST(NodeFormatTest, InsertFailsWhenFull) {
+  Page page;
+  btree::NodeRef node(&page);
+  node.InitLeaf(0);
+  for (uint32_t i = 0; i < btree::NodeRef::Capacity(); ++i) {
+    ASSERT_TRUE(node.Insert(i, i));
+  }
+  EXPECT_FALSE(node.Insert(99999, 1));
+}
+
+TEST(NodeFormatTest, LeafSplitPreservesEntriesAndChain) {
+  Page src;
+  btree::NodeRef s(&src);
+  s.InitLeaf(/*right_sibling=*/42);
+  for (int64_t i = 0; i < 10; ++i) ASSERT_TRUE(s.Insert(i, i * 10));
+  const int64_t separator = s.SeparatorKey();
+  EXPECT_EQ(separator, 5);
+
+  Page dst;
+  btree::SplitNodeUpper(src, &dst);
+  btree::NodeRef d(&dst);
+  EXPECT_TRUE(d.is_leaf());
+  EXPECT_EQ(d.count(), 5u);
+  EXPECT_EQ(d.key(0), 5);
+  EXPECT_EQ(d.aux(), 42u) << "upper node inherits the right sibling";
+
+  btree::SplitNodeLowerRewrite(&src, /*new_sibling=*/7);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_EQ(s.key(4), 4);
+  EXPECT_EQ(s.aux(), 7u) << "lower node points at the new page";
+}
+
+TEST(NodeFormatTest, InternalSplitPushesMiddleKeyUp) {
+  Page src;
+  btree::NodeRef s(&src);
+  s.InitInternal(/*leftmost_child=*/100);
+  for (int64_t i = 0; i < 9; ++i) ASSERT_TRUE(s.Insert(i, 200 + i));
+  const int64_t separator = s.SeparatorKey();
+  EXPECT_EQ(separator, 4);
+
+  Page dst;
+  btree::SplitNodeUpper(src, &dst);
+  btree::NodeRef d(&dst);
+  EXPECT_FALSE(d.is_leaf());
+  EXPECT_EQ(d.aux(), 204u) << "middle entry's child seeds the upper leftmost";
+  EXPECT_EQ(d.count(), 4u);  // entries 5..8
+  EXPECT_EQ(d.key(0), 5);
+
+  btree::SplitNodeLowerRewrite(&src, /*new_sibling=*/0);
+  EXPECT_EQ(s.count(), 4u);  // entries 0..3: the separator entry is gone
+  EXPECT_EQ(s.aux(), 100u) << "internal aux (leftmost child) unchanged";
+}
+
+TEST(OpsTest, DescribeRecordNamesAllTypes) {
+  for (const wal::RecordType type :
+       {wal::RecordType::kSlotWrite, wal::RecordType::kPageImage,
+        wal::RecordType::kLogicalOp, wal::RecordType::kPageSplit,
+        wal::RecordType::kPageRewrite, wal::RecordType::kCheckpoint,
+        wal::RecordType::kBtreeInsert, wal::RecordType::kBtreeRemove,
+        wal::RecordType::kBtreeInit}) {
+    wal::LogRecord record{1, type, {}};
+    EXPECT_FALSE(DescribeRecord(record).empty());
+  }
+}
+
+}  // namespace
+}  // namespace redo::engine

@@ -1,0 +1,78 @@
+#include "engine/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace redo::engine {
+namespace {
+
+TEST(TraceRecorderTest, EpochSnapshotsInitialVersions) {
+  storage::Disk disk(3);
+  storage::Page seeded;
+  seeded.WriteSlot(0, 7);
+  ASSERT_TRUE(disk.WritePage(1, seeded).ok());
+
+  TraceRecorder trace(disk);
+  EXPECT_EQ(trace.num_pages(), 3u);
+  // Identical blank pages share a version; the seeded page differs.
+  EXPECT_EQ(trace.initial_version(0), trace.initial_version(2));
+  EXPECT_NE(trace.initial_version(0), trace.initial_version(1));
+  // Initial versions have no producer.
+  EXPECT_FALSE(trace.ProducerOfVersion(trace.initial_version(1)).has_value());
+}
+
+TEST(TraceRecorderTest, LoggedOpsInternVersionsWithProducers) {
+  storage::Disk disk(2);
+  TraceRecorder trace(disk);
+  storage::Page after;
+  after.WriteSlot(0, 1);
+  after.set_lsn(5);
+  trace.OnLoggedOp(5, "op", {0}, {{0, after.ContentHash()}});
+
+  ASSERT_EQ(trace.ops().size(), 1u);
+  const TraceRecorder::TracedOp& op = trace.ops()[0];
+  EXPECT_EQ(op.lsn, 5u);
+  EXPECT_EQ(op.reads, std::vector<storage::PageId>{0});
+  ASSERT_EQ(op.writes.size(), 1u);
+  EXPECT_EQ(trace.VersionOfHash(after.ContentHash()).value(),
+            op.writes[0].version);
+  EXPECT_EQ(trace.ProducerOfVersion(op.writes[0].version).value(), 5u);
+}
+
+TEST(TraceRecorderTest, UnknownHashHasNoVersion) {
+  storage::Disk disk(1);
+  TraceRecorder trace(disk);
+  EXPECT_FALSE(trace.VersionOfHash(0xdeadbeef).has_value());
+}
+
+TEST(TraceRecorderTest, BeginEpochClearsOpsAndRemapsVersions) {
+  storage::Disk disk(1);
+  TraceRecorder trace(disk);
+  storage::Page p;
+  p.set_lsn(1);
+  trace.OnLoggedOp(1, "op", {}, {{0, p.ContentHash()}});
+  ASSERT_TRUE(disk.WritePage(0, p).ok());
+
+  trace.BeginEpoch(disk, /*min_lsn=*/2);
+  EXPECT_TRUE(trace.ops().empty());
+  EXPECT_EQ(trace.epoch_min_lsn(), 2u);
+  // The flushed version is now an *initial* version: known, no producer.
+  const auto version = trace.VersionOfHash(p.ContentHash());
+  ASSERT_TRUE(version.has_value());
+  EXPECT_FALSE(trace.ProducerOfVersion(*version).has_value());
+  EXPECT_EQ(trace.initial_version(0), *version);
+}
+
+TEST(TraceRecorderTest, MultiPageWritesRecordEachVersion) {
+  storage::Disk disk(3);
+  TraceRecorder trace(disk);
+  storage::Page a, b;
+  a.set_lsn(3);
+  b.set_lsn(3);
+  b.WriteSlot(1, 1);
+  trace.OnLoggedOp(3, "split", {0}, {{1, a.ContentHash()}, {2, b.ContentHash()}});
+  ASSERT_EQ(trace.ops()[0].writes.size(), 2u);
+  EXPECT_NE(trace.ops()[0].writes[0].version, trace.ops()[0].writes[1].version);
+}
+
+}  // namespace
+}  // namespace redo::engine

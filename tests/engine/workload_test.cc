@@ -1,0 +1,146 @@
+#include "engine/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace redo::engine {
+namespace {
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  WorkloadOptions options;
+  options.num_pages = 8;
+  Workload a(options, 5), b(options, 5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.Next().ToString(), b.Next().ToString());
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadOptions options;
+  options.num_pages = 8;
+  Workload a(options, 1), b(options, 2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next().ToString() != b.Next().ToString()) ++differing;
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(WorkloadTest, MixMatchesProbabilitiesRoughly) {
+  WorkloadOptions options;
+  options.num_pages = 8;
+  options.flush_probability = 0.2;
+  options.checkpoint_probability = 0.1;
+  options.split_probability = 0.1;
+  Workload workload(options, 3);
+  int flushes = 0, checkpoints = 0, splits = 0, writes = 0;
+  constexpr int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    switch (workload.Next().kind) {
+      case Action::Kind::kFlushPage:
+        ++flushes;
+        break;
+      case Action::Kind::kCheckpoint:
+        ++checkpoints;
+        break;
+      case Action::Kind::kSplit:
+        ++splits;
+        break;
+      case Action::Kind::kSlotWrite:
+        ++writes;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_NEAR(flushes / static_cast<double>(kDraws), 0.2, 0.03);
+  EXPECT_NEAR(checkpoints / static_cast<double>(kDraws), 0.1, 0.03);
+  EXPECT_NEAR(splits / static_cast<double>(kDraws), 0.1, 0.03);
+  EXPECT_GT(writes, kDraws / 3);
+}
+
+TEST(WorkloadTest, SplitEndpointsAlwaysDistinct) {
+  WorkloadOptions options;
+  options.num_pages = 2;  // maximal collision pressure
+  options.split_probability = 1.0;
+  options.flush_probability = 0;
+  options.checkpoint_probability = 0;
+  options.force_log_probability = 0;
+  options.blind_format_probability = 0;
+  Workload workload(options, 4);
+  for (int i = 0; i < 200; ++i) {
+    const Action action = workload.Next();
+    ASSERT_EQ(action.kind, Action::Kind::kSplit);
+    EXPECT_NE(action.split_src, action.split_dst);
+    EXPECT_LT(action.split_src, 2u);
+    EXPECT_LT(action.split_dst, 2u);
+  }
+}
+
+TEST(WorkloadTest, SlotWritesStayInBounds) {
+  WorkloadOptions options;
+  options.num_pages = 4;
+  Workload workload(options, 9);
+  for (int i = 0; i < 500; ++i) {
+    const Action action = workload.Next();
+    if (action.kind == Action::Kind::kSlotWrite) {
+      EXPECT_LT(action.page, 4u);
+      EXPECT_LT(action.slot, storage::Page::NumSlots());
+    }
+  }
+}
+
+TEST(WorkloadTest, ValuesAreUnique) {
+  WorkloadOptions options;
+  options.num_pages = 4;
+  Workload workload(options, 10);
+  std::set<int64_t> values;
+  for (int i = 0; i < 500; ++i) {
+    const Action action = workload.Next();
+    if (action.kind == Action::Kind::kSlotWrite ||
+        action.kind == Action::Kind::kBlindFormat) {
+      EXPECT_TRUE(values.insert(action.value).second);
+    }
+  }
+}
+
+TEST(WorkloadTest, ToStringDescribesEveryKind) {
+  Action action;
+  action.kind = Action::Kind::kSlotWrite;
+  EXPECT_NE(action.ToString().find("write"), std::string::npos);
+  action.kind = Action::Kind::kSplit;
+  EXPECT_NE(action.ToString().find("split"), std::string::npos);
+  action.kind = Action::Kind::kCheckpoint;
+  EXPECT_NE(action.ToString().find("checkpoint"), std::string::npos);
+  action.kind = Action::Kind::kForceLog;
+  EXPECT_NE(action.ToString().find("force"), std::string::npos);
+  action.kind = Action::Kind::kFlushPage;
+  EXPECT_NE(action.ToString().find("flush"), std::string::npos);
+  action.kind = Action::Kind::kBlindFormat;
+  EXPECT_NE(action.ToString().find("format"), std::string::npos);
+}
+
+TEST(WorkloadTest, ExecuteActionRunsEveryKind) {
+  engine::MiniDbOptions db_options;
+  db_options.num_pages = 4;
+  MiniDb db(db_options,
+            methods::MakeMethod(methods::MethodKind::kPhysiological, 4));
+  Rng rng(1);
+  for (const Action::Kind kind :
+       {Action::Kind::kSlotWrite, Action::Kind::kBlindFormat,
+        Action::Kind::kSplit, Action::Kind::kFlushPage,
+        Action::Kind::kCheckpoint, Action::Kind::kForceLog}) {
+    Action action;
+    action.kind = kind;
+    action.page = 1;
+    action.slot = 0;
+    action.value = 7;
+    action.split_src = 1;
+    action.split_dst = 2;
+    EXPECT_TRUE(ExecuteAction(db, action, rng).ok()) << action.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace redo::engine

@@ -1,0 +1,201 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace redo::storage {
+namespace {
+
+TEST(BufferPoolTest, FetchMissReadsFromDisk) {
+  Disk disk(4);
+  Page seed;
+  seed.WriteSlot(0, 5);
+  ASSERT_TRUE(disk.WritePage(1, seed).ok());
+
+  BufferPool pool(&disk, 2);
+  Result<Page*> p = pool.Fetch(1);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value()->ReadSlot(0), 5);
+  EXPECT_EQ(pool.stats().misses, 1u);
+
+  // Second fetch hits.
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(BufferPoolTest, DirtyPageNotOnDiskUntilFlushed) {
+  Disk disk(2);
+  BufferPool pool(&disk, 2);
+  Page* p = pool.Fetch(0).value();
+  p->WriteSlot(0, 42);
+  ASSERT_TRUE(pool.MarkDirty(0, 7).ok());
+  EXPECT_TRUE(pool.IsDirty(0));
+  EXPECT_EQ(disk.PeekPage(0).ReadSlot(0), 0);
+
+  ASSERT_TRUE(pool.FlushPage(0).ok());
+  EXPECT_FALSE(pool.IsDirty(0));
+  EXPECT_EQ(disk.PeekPage(0).ReadSlot(0), 42);
+  EXPECT_EQ(disk.PeekPage(0).lsn(), 7u);
+}
+
+TEST(BufferPoolTest, MarkDirtySetsPageLsnAndRecLsn) {
+  Disk disk(1);
+  BufferPool pool(&disk, 1);
+  (void)pool.Fetch(0).value();
+  ASSERT_TRUE(pool.MarkDirty(0, 5).ok());
+  ASSERT_TRUE(pool.MarkDirty(0, 9).ok());
+  const std::vector<DirtyPageEntry> dirty = pool.DirtyPages();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0].rec_lsn, 5u) << "first dirtying LSN is kept";
+  EXPECT_EQ(dirty[0].page_lsn, 9u) << "page LSN advances";
+}
+
+TEST(BufferPoolTest, MarkDirtyRequiresCachedPage) {
+  Disk disk(1);
+  BufferPool pool(&disk, 1);
+  EXPECT_EQ(pool.MarkDirty(0, 1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BufferPoolTest, WalHookForcedBeforeFlush) {
+  Disk disk(1);
+  BufferPool pool(&disk, 1);
+  core::Lsn forced = 0;
+  pool.set_wal_hook([&forced](core::Lsn lsn) {
+    forced = lsn;
+    return Status::Ok();
+  });
+  (void)pool.Fetch(0).value();
+  ASSERT_TRUE(pool.MarkDirty(0, 33).ok());
+  ASSERT_TRUE(pool.FlushPage(0).ok());
+  EXPECT_EQ(forced, 33u) << "log forced up to the page LSN before the write";
+  EXPECT_EQ(pool.stats().wal_forces, 1u);
+}
+
+TEST(BufferPoolTest, WalHookFailureBlocksFlush) {
+  Disk disk(1);
+  BufferPool pool(&disk, 1);
+  pool.set_wal_hook(
+      [](core::Lsn) { return Status::Unavailable("log device down"); });
+  (void)pool.Fetch(0).value();
+  ASSERT_TRUE(pool.MarkDirty(0, 1).ok());
+  EXPECT_FALSE(pool.FlushPage(0).ok());
+  EXPECT_EQ(disk.stats().writes, 0u);
+  EXPECT_TRUE(pool.IsDirty(0));
+}
+
+TEST(BufferPoolTest, EvictionFlushesDirtyVictim) {
+  Disk disk(3);
+  BufferPool pool(&disk, 2);
+  (void)pool.Fetch(0).value();
+  ASSERT_TRUE(pool.MarkDirty(0, 1).ok());
+  (void)pool.Fetch(1).value();
+  // Capacity 2: fetching page 2 evicts LRU page 0, flushing it.
+  (void)pool.Fetch(2).value();
+  EXPECT_EQ(pool.num_cached(), 2u);
+  EXPECT_FALSE(pool.IsCached(0));
+  EXPECT_EQ(disk.PeekPage(0).lsn(), 1u) << "dirty victim was flushed";
+  EXPECT_EQ(pool.stats().evictions, 1u);
+}
+
+TEST(BufferPoolTest, WriteOrderConstraintBlocksDirectFlush) {
+  // §6.4: the new B-tree page (1) must reach disk before the old (0).
+  Disk disk(2);
+  BufferPool pool(&disk, 2);
+  (void)pool.Fetch(0).value();
+  (void)pool.Fetch(1).value();
+  ASSERT_TRUE(pool.MarkDirty(1, 10).ok());  // new page
+  ASSERT_TRUE(pool.MarkDirty(0, 11).ok());  // old page overwritten
+  pool.AddWriteOrderConstraint(/*before=*/1, /*before_lsn=*/10, /*after=*/0);
+
+  const Status st = pool.FlushPage(0);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("page 1"), std::string::npos);
+
+  // Flushing the new page first unblocks the old one.
+  ASSERT_TRUE(pool.FlushPage(1).ok());
+  EXPECT_TRUE(pool.FlushPage(0).ok());
+}
+
+TEST(BufferPoolTest, CascadingFlushHonorsConstraintChain) {
+  Disk disk(3);
+  BufferPool pool(&disk, 3);
+  for (PageId id : {0u, 1u, 2u}) {
+    (void)pool.Fetch(id).value();
+    ASSERT_TRUE(pool.MarkDirty(id, id + 1).ok());
+  }
+  // 2 before 1 before 0.
+  pool.AddWriteOrderConstraint(2, 3, 1);
+  pool.AddWriteOrderConstraint(1, 2, 0);
+  ASSERT_TRUE(pool.FlushPageCascading(0).ok());
+  EXPECT_FALSE(pool.IsDirty(0));
+  EXPECT_FALSE(pool.IsDirty(1));
+  EXPECT_FALSE(pool.IsDirty(2));
+  EXPECT_EQ(pool.stats().ordered_cascades, 2u);
+}
+
+TEST(BufferPoolTest, ConstraintSatisfiedByEarlierFlushDoesNotBlock) {
+  Disk disk(2);
+  BufferPool pool(&disk, 2);
+  (void)pool.Fetch(1).value();
+  ASSERT_TRUE(pool.MarkDirty(1, 10).ok());
+  ASSERT_TRUE(pool.FlushPage(1).ok());  // new page already stable
+  pool.AddWriteOrderConstraint(1, 10, 0);
+  (void)pool.Fetch(0).value();
+  ASSERT_TRUE(pool.MarkDirty(0, 11).ok());
+  EXPECT_TRUE(pool.FlushPage(0).ok()) << "constraint already satisfied";
+}
+
+TEST(BufferPoolTest, UnsatisfiableConstraintFailsCascade) {
+  // The required version of page 1 exists nowhere (cache lost it).
+  Disk disk(2);
+  BufferPool pool(&disk, 2);
+  (void)pool.Fetch(0).value();
+  ASSERT_TRUE(pool.MarkDirty(0, 11).ok());
+  pool.AddWriteOrderConstraint(1, 10, 0);
+  EXPECT_FALSE(pool.FlushPageCascading(0).ok());
+}
+
+TEST(BufferPoolTest, FlushAllLeavesNothingDirty) {
+  Disk disk(5);
+  BufferPool pool(&disk, 5);
+  for (PageId id = 0; id < 5; ++id) {
+    (void)pool.Fetch(id).value();
+    ASSERT_TRUE(pool.MarkDirty(id, id + 1).ok());
+  }
+  pool.AddWriteOrderConstraint(4, 5, 0);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_TRUE(pool.DirtyPages().empty());
+  for (PageId id = 0; id < 5; ++id) {
+    EXPECT_EQ(disk.PeekPage(id).lsn(), id + 1);
+  }
+}
+
+TEST(BufferPoolTest, CrashDropsEverything) {
+  Disk disk(2);
+  BufferPool pool(&disk, 2);
+  Page* p = pool.Fetch(0).value();
+  p->WriteSlot(0, 9);
+  ASSERT_TRUE(pool.MarkDirty(0, 1).ok());
+  pool.Crash();
+  EXPECT_EQ(pool.num_cached(), 0u);
+  EXPECT_EQ(disk.PeekPage(0).ReadSlot(0), 0) << "dirty data lost, disk clean";
+}
+
+TEST(BufferPoolTest, UnboundedCapacityNeverEvicts) {
+  Disk disk(64);
+  BufferPool pool(&disk, 0);
+  for (PageId id = 0; id < 64; ++id) (void)pool.Fetch(id).value();
+  EXPECT_EQ(pool.num_cached(), 64u);
+  EXPECT_EQ(pool.stats().evictions, 0u);
+}
+
+TEST(BufferPoolTest, FlushCleanPageIsNoOp) {
+  Disk disk(1);
+  BufferPool pool(&disk, 1);
+  (void)pool.Fetch(0).value();
+  ASSERT_TRUE(pool.FlushPage(0).ok());
+  EXPECT_EQ(pool.stats().flushes, 0u);
+  EXPECT_EQ(disk.stats().writes, 0u);
+}
+
+}  // namespace
+}  // namespace redo::storage

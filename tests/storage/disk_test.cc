@@ -1,0 +1,74 @@
+#include "storage/disk.h"
+
+#include <gtest/gtest.h>
+
+namespace redo::storage {
+namespace {
+
+TEST(DiskTest, ReadWriteRoundTrip) {
+  Disk disk(4);
+  Page p;
+  p.WriteSlot(0, 123);
+  p.set_lsn(7);
+  ASSERT_TRUE(disk.WritePage(2, p).ok());
+  Result<Page> back = disk.ReadPage(2);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == p);
+}
+
+TEST(DiskTest, OutOfRangeAccessFails) {
+  Disk disk(2);
+  EXPECT_EQ(disk.ReadPage(5).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(disk.WritePage(5, Page()).code(), StatusCode::kNotFound);
+}
+
+TEST(DiskTest, WritesAreAtomicReplacements) {
+  Disk disk(1);
+  Page a;
+  a.WriteSlot(0, 1);
+  ASSERT_TRUE(disk.WritePage(0, a).ok());
+  Page b;
+  b.WriteSlot(1, 2);
+  ASSERT_TRUE(disk.WritePage(0, b).ok());
+  // The old contents are fully replaced, not merged.
+  EXPECT_EQ(disk.PeekPage(0).ReadSlot(0), 0);
+  EXPECT_EQ(disk.PeekPage(0).ReadSlot(1), 2);
+}
+
+TEST(DiskTest, StatsCountIo) {
+  Disk disk(2);
+  (void)disk.ReadPage(0);
+  (void)disk.WritePage(1, Page());
+  (void)disk.WritePage(1, Page());
+  EXPECT_EQ(disk.stats().reads, 1u);
+  EXPECT_EQ(disk.stats().writes, 2u);
+  EXPECT_EQ(disk.stats().bytes_written, 2 * Page::kSize);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().writes, 0u);
+}
+
+TEST(DiskTest, FaultHookCanDropWrites) {
+  Disk disk(1);
+  disk.set_write_fault_hook([](PageId, Page*) { return false; });
+  Page p;
+  p.WriteSlot(0, 9);
+  const Status st = disk.WritePage(0, p);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(disk.PeekPage(0).ReadSlot(0), 0) << "dropped write left no trace";
+}
+
+TEST(DiskTest, FaultHookCanTearWrites) {
+  Disk disk(1);
+  disk.set_write_fault_hook([](PageId, Page* p) {
+    p->WriteSlot(1, -999);  // corrupt mid-flight
+    return true;
+  });
+  Page p;
+  p.WriteSlot(0, 9);
+  ASSERT_TRUE(disk.WritePage(0, p).ok());
+  EXPECT_EQ(disk.PeekPage(0).ReadSlot(0), 9);
+  EXPECT_EQ(disk.PeekPage(0).ReadSlot(1), -999);
+}
+
+}  // namespace
+}  // namespace redo::storage

@@ -1,0 +1,106 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace redo {
+namespace {
+
+TEST(BitsetTest, StartsEmpty) {
+  Bitset s(100);
+  EXPECT_EQ(s.universe_size(), 100u);
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(s.Test(i));
+}
+
+TEST(BitsetTest, SetResetTest) {
+  Bitset s(70);
+  s.Set(0);
+  s.Set(63);
+  s.Set(64);
+  s.Set(69);
+  EXPECT_TRUE(s.Test(0));
+  EXPECT_TRUE(s.Test(63));
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_TRUE(s.Test(69));
+  EXPECT_FALSE(s.Test(1));
+  EXPECT_EQ(s.Count(), 4u);
+  s.Reset(63);
+  EXPECT_FALSE(s.Test(63));
+  EXPECT_EQ(s.Count(), 3u);
+}
+
+TEST(BitsetTest, SetIsIdempotent) {
+  Bitset s(10);
+  s.Set(3);
+  s.Set(3);
+  EXPECT_EQ(s.Count(), 1u);
+}
+
+TEST(BitsetTest, UnionIntersectSubtract) {
+  Bitset a(130), b(130);
+  a.Set(1);
+  a.Set(100);
+  b.Set(100);
+  b.Set(129);
+
+  Bitset u = a;
+  u.UnionWith(b);
+  EXPECT_TRUE(u.Test(1) && u.Test(100) && u.Test(129));
+  EXPECT_EQ(u.Count(), 3u);
+
+  Bitset i = a;
+  i.IntersectWith(b);
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(100));
+
+  Bitset d = a;
+  d.SubtractWith(b);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Test(1));
+}
+
+TEST(BitsetTest, SubsetAndEquality) {
+  Bitset a(64), b(64);
+  a.Set(5);
+  b.Set(5);
+  b.Set(6);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a == b);
+  a.Set(6);
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+}
+
+TEST(BitsetTest, ToVectorAndFromVector) {
+  Bitset s = Bitset::FromVector(200, {0, 64, 65, 199});
+  EXPECT_EQ(s.ToVector(), (std::vector<uint32_t>{0, 64, 65, 199}));
+}
+
+TEST(BitsetTest, ComplementClearsTailBits) {
+  Bitset s(70);
+  s.Set(3);
+  Bitset c = s.Complement();
+  EXPECT_EQ(c.Count(), 69u);
+  EXPECT_FALSE(c.Test(3));
+  EXPECT_TRUE(c.Test(69));
+  // Complement of complement is the original.
+  EXPECT_TRUE(c.Complement() == s);
+}
+
+TEST(BitsetTest, ComplementOfWordAlignedUniverse) {
+  Bitset s(128);
+  Bitset c = s.Complement();
+  EXPECT_EQ(c.Count(), 128u);
+}
+
+TEST(BitsetTest, EmptyUniverse) {
+  Bitset s(0);
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Complement().Count(), 0u);
+  EXPECT_TRUE(s.ToVector().empty());
+}
+
+}  // namespace
+}  // namespace redo

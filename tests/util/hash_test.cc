@@ -1,0 +1,37 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace redo {
+namespace {
+
+TEST(HashTest, DeterministicAcrossCalls) {
+  EXPECT_EQ(HashString("redo recovery"), HashString("redo recovery"));
+  EXPECT_NE(HashString("redo recovery"), HashString("redo recoverx"));
+}
+
+TEST(HashTest, EmptyInputHasStableDigest) {
+  EXPECT_EQ(HashString(""), Hasher64().Digest());
+}
+
+TEST(HashTest, IncrementalMatchesOneShot) {
+  Hasher64 h;
+  h.Update("abc", 3).Update("def", 3);
+  EXPECT_EQ(h.Digest(), HashString("abcdef"));
+}
+
+TEST(HashTest, UpdateValueIsEndianStable) {
+  Hasher64 a;
+  a.UpdateValue<uint32_t>(0x01020304);
+  Hasher64 b;
+  const uint8_t bytes[] = {0x04, 0x03, 0x02, 0x01};  // little-endian layout
+  b.Update(bytes, 4);
+  EXPECT_EQ(a.Digest(), b.Digest());
+}
+
+TEST(HashTest, CombineIsOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+}  // namespace
+}  // namespace redo

@@ -1,0 +1,99 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace redo {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(13), 13u);
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(RngTest, RangeInclusiveBounds) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all values of a small range should appear";
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Chance(0.25)) ++hits;
+  }
+  EXPECT_GT(hits, 2200);
+  EXPECT_LT(hits, 2800);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ZipfSkewPrefersSmallIndices) {
+  Rng rng(19);
+  ZipfSampler zipf(100, 1.2);
+  int low = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (zipf.Sample(rng) < 10) ++low;
+  }
+  // With s=1.2 over 100 items, the first 10 items carry well over half
+  // the mass.
+  EXPECT_GT(low, 2500);
+}
+
+TEST(RngTest, ZipfZeroSkewIsRoughlyUniform) {
+  Rng rng(23);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+}  // namespace
+}  // namespace redo

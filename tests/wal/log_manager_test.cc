@@ -1,0 +1,119 @@
+#include "wal/log_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace redo::wal {
+namespace {
+
+TEST(LogManagerTest, AppendAssignsMonotonicLsns) {
+  LogManager log;
+  EXPECT_EQ(log.Append(RecordType::kSlotWrite, {}), 1u);
+  EXPECT_EQ(log.Append(RecordType::kSlotWrite, {}), 2u);
+  EXPECT_EQ(log.last_lsn(), 2u);
+  EXPECT_EQ(log.stable_lsn(), 0u);
+}
+
+TEST(LogManagerTest, ForceMovesPrefixToStable) {
+  LogManager log;
+  log.Append(RecordType::kSlotWrite, {1});
+  log.Append(RecordType::kSlotWrite, {2});
+  log.Append(RecordType::kSlotWrite, {3});
+  ASSERT_TRUE(log.Force(2).ok());
+  EXPECT_EQ(log.stable_lsn(), 2u);
+
+  Result<std::vector<LogRecord>> stable = log.StableRecords(1);
+  ASSERT_TRUE(stable.ok());
+  ASSERT_EQ(stable.value().size(), 2u);
+  EXPECT_EQ(stable.value()[0].payload, std::vector<uint8_t>{1});
+  EXPECT_EQ(stable.value()[1].payload, std::vector<uint8_t>{2});
+}
+
+TEST(LogManagerTest, ForceBeyondEndForcesEverything) {
+  LogManager log;
+  log.Append(RecordType::kSlotWrite, {});
+  ASSERT_TRUE(log.Force(999).ok());
+  EXPECT_EQ(log.stable_lsn(), 1u);
+}
+
+TEST(LogManagerTest, ForceIsIdempotent) {
+  LogManager log;
+  log.Append(RecordType::kSlotWrite, {1});
+  ASSERT_TRUE(log.Force(1).ok());
+  const uint64_t bytes = log.stats().stable_bytes;
+  ASSERT_TRUE(log.Force(1).ok());
+  EXPECT_EQ(log.stats().stable_bytes, bytes) << "no duplicate stable records";
+  EXPECT_EQ(log.StableRecords(1).value().size(), 1u);
+}
+
+TEST(LogManagerTest, CrashDropsVolatileTailOnly) {
+  LogManager log;
+  log.Append(RecordType::kSlotWrite, {1});
+  log.Append(RecordType::kSlotWrite, {2});
+  ASSERT_TRUE(log.Force(1).ok());
+  log.Crash();
+  EXPECT_EQ(log.stable_lsn(), 1u);
+  EXPECT_EQ(log.last_lsn(), 1u) << "lost LSNs are reusable";
+  EXPECT_EQ(log.StableRecords(1).value().size(), 1u);
+
+  // Appends after recovery continue from the stable LSN.
+  EXPECT_EQ(log.Append(RecordType::kSlotWrite, {3}), 2u);
+}
+
+TEST(LogManagerTest, StableRecordsFromMidLsn) {
+  LogManager log;
+  for (int i = 0; i < 5; ++i) log.Append(RecordType::kSlotWrite, {});
+  ASSERT_TRUE(log.ForceAll().ok());
+  const std::vector<LogRecord> tail = log.StableRecords(4).value();
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].lsn, 4u);
+  EXPECT_EQ(tail[1].lsn, 5u);
+}
+
+TEST(LogManagerTest, LatestStableCheckpointFound) {
+  LogManager log;
+  log.Append(RecordType::kSlotWrite, {});
+  log.Append(RecordType::kCheckpoint, {1});
+  log.Append(RecordType::kSlotWrite, {});
+  log.Append(RecordType::kCheckpoint, {2});
+  log.Append(RecordType::kSlotWrite, {});
+  ASSERT_TRUE(log.ForceAll().ok());
+  const auto checkpoint = log.LatestStableCheckpoint().value();
+  ASSERT_TRUE(checkpoint.has_value());
+  EXPECT_EQ(checkpoint->lsn, 4u);
+  EXPECT_EQ(checkpoint->payload, std::vector<uint8_t>{2});
+}
+
+TEST(LogManagerTest, NoCheckpointReturnsNullopt) {
+  LogManager log;
+  log.Append(RecordType::kSlotWrite, {});
+  ASSERT_TRUE(log.ForceAll().ok());
+  EXPECT_FALSE(log.LatestStableCheckpoint().value().has_value());
+}
+
+TEST(LogManagerTest, UnforcedCheckpointInvisible) {
+  LogManager log;
+  log.Append(RecordType::kCheckpoint, {});
+  EXPECT_FALSE(log.LatestStableCheckpoint().value().has_value());
+}
+
+TEST(LogManagerTest, TornStableTailDetected) {
+  LogManager log;
+  log.Append(RecordType::kSlotWrite, {1, 2, 3});
+  ASSERT_TRUE(log.ForceAll().ok());
+  log.CorruptStableTail(3);
+  EXPECT_EQ(log.StableRecords(1).status().code(), StatusCode::kCorruption);
+}
+
+TEST(LogManagerTest, StatsTrackForces) {
+  LogManager log;
+  log.Append(RecordType::kSlotWrite, {});
+  log.Append(RecordType::kSlotWrite, {});
+  (void)log.Force(2);
+  EXPECT_EQ(log.stats().appends, 2u);
+  EXPECT_EQ(log.stats().forces, 1u);
+  EXPECT_EQ(log.stats().forced_records, 2u);
+  EXPECT_GT(log.stats().stable_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace redo::wal

@@ -1,0 +1,85 @@
+#include "wal/log_record.h"
+
+#include <gtest/gtest.h>
+
+namespace redo::wal {
+namespace {
+
+TEST(PayloadTest, WriterReaderRoundTrip) {
+  PayloadWriter w;
+  w.U8(7).U16(300).U32(70000).U64(1ULL << 40).I64(-5);
+  const uint8_t blob[] = {1, 2, 3};
+  w.Bytes(blob, 3);
+  const std::vector<uint8_t> bytes = w.Take();
+
+  PayloadReader r(bytes);
+  EXPECT_EQ(r.U8().value(), 7);
+  EXPECT_EQ(r.U16().value(), 300);
+  EXPECT_EQ(r.U32().value(), 70000u);
+  EXPECT_EQ(r.U64().value(), 1ULL << 40);
+  EXPECT_EQ(r.I64().value(), -5);
+  EXPECT_EQ(r.Bytes(3).value(), std::vector<uint8_t>({1, 2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(PayloadTest, UnderrunReturnsCorruption) {
+  const std::vector<uint8_t> bytes = {1, 2};
+  PayloadReader r(bytes);
+  EXPECT_EQ(r.U64().status().code(), StatusCode::kCorruption);
+}
+
+TEST(LogRecordTest, EncodeDecodeRoundTrip) {
+  LogRecord record;
+  record.lsn = 42;
+  record.type = RecordType::kPageSplit;
+  record.payload = {9, 8, 7, 6};
+  const std::vector<uint8_t> encoded = EncodeRecord(record);
+  size_t offset = 0;
+  Result<LogRecord> decoded = DecodeRecord(encoded, &offset);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), record);
+  EXPECT_EQ(offset, encoded.size());
+}
+
+TEST(LogRecordTest, EmptyPayloadRoundTrip) {
+  LogRecord record;
+  record.lsn = 1;
+  record.type = RecordType::kCheckpoint;
+  const std::vector<uint8_t> encoded = EncodeRecord(record);
+  size_t offset = 0;
+  EXPECT_TRUE(DecodeRecord(encoded, &offset).ok());
+}
+
+TEST(LogRecordTest, MultipleRecordsDecodeSequentially) {
+  LogRecord a{1, RecordType::kSlotWrite, {1}};
+  LogRecord b{2, RecordType::kPageImage, {2, 2}};
+  std::vector<uint8_t> bytes = EncodeRecord(a);
+  const std::vector<uint8_t> second = EncodeRecord(b);
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  size_t offset = 0;
+  EXPECT_EQ(DecodeRecord(bytes, &offset).value(), a);
+  EXPECT_EQ(DecodeRecord(bytes, &offset).value(), b);
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST(LogRecordTest, TruncatedRecordDetected) {
+  LogRecord record{1, RecordType::kSlotWrite, {1, 2, 3}};
+  std::vector<uint8_t> encoded = EncodeRecord(record);
+  encoded.resize(encoded.size() - 4);  // torn tail
+  size_t offset = 0;
+  EXPECT_EQ(DecodeRecord(encoded, &offset).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(LogRecordTest, BitFlipDetectedByChecksum) {
+  LogRecord record{1, RecordType::kSlotWrite, {1, 2, 3}};
+  std::vector<uint8_t> encoded = EncodeRecord(record);
+  encoded[encoded.size() / 2] ^= 0x40;
+  size_t offset = 0;
+  EXPECT_EQ(DecodeRecord(encoded, &offset).status().code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace redo::wal

@@ -1,7 +1,10 @@
 #include "checker/crash_sim.h"
 
+#include <optional>
 #include <sstream>
 #include <vector>
+
+#include "storage/fault_injector.h"
 
 namespace redo::checker {
 
@@ -11,6 +14,7 @@ using engine::Action;
 using engine::MiniDb;
 using engine::SinglePageOp;
 using engine::SplitOp;
+using storage::FaultInjector;
 using storage::Page;
 using storage::PageId;
 
@@ -64,15 +68,32 @@ std::string CrashSimResult::ToString() const {
       << " crashes=" << crashes << " checker_runs=" << checker_runs
       << " stable_ops=" << stable_ops_at_crashes
       << " pages_verified=" << recovered_pages_verified;
+  if (faults_injected > 0 || torn_tails > 0) {
+    out << " | faults: injected=" << faults_injected
+        << " detected=" << faults_detected << " torn_tails=" << torn_tails
+        << " tail_bytes_dropped=" << torn_tail_bytes_dropped
+        << " salvaged_records=" << salvaged_records
+        << " pages_healed=" << pages_healed
+        << " recovery_retries=" << recovery_retries
+        << " silent_corruptions=" << silent_corruptions;
+  }
   return out.str();
 }
 
 CrashSimResult RunCrashSim(methods::MethodKind method_kind,
                            const CrashSimOptions& options, uint64_t seed) {
   CrashSimResult result;
-  auto fail = [&result](std::string why) {
+  std::optional<FaultInjector> injector_storage;
+  FaultInjector* injector = nullptr;
+  auto fail = [&result, &injector](std::string why) {
     result.ok = false;
     if (result.failure.empty()) result.failure = std::move(why);
+    if (injector != nullptr) {
+      const storage::FaultInjectorStats& fs = injector->stats();
+      result.faults_injected =
+          fs.torn_writes + fs.write_bursts + fs.sticky_pages;
+      result.pages_healed = fs.pages_healed;
+    }
     return result;
   };
 
@@ -90,11 +111,132 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
   Rng rng(seed ^ 0x5117ab1eULL);
   std::vector<AppliedEntry> applied;
 
+  // ---- Fault-injection plumbing ----
+  if (options.faults.enabled) {
+    storage::FaultInjectorOptions fi;
+    fi.torn_write_probability = options.faults.torn_write_probability;
+    fi.write_error_probability = options.faults.write_error_probability;
+    fi.max_write_error_burst = options.faults.max_write_error_burst;
+    fi.read_error_probability = options.faults.read_error_probability;
+    injector_storage.emplace(fi, seed ^ 0xFA017EC7ULL);
+    injector = &*injector_storage;
+    db.disk().set_fault_injector(injector);
+  }
+
+  // Verifies every stable page's write checksum and heals the damage,
+  // the way a scrub pass over a mirrored pair would. A page that fails
+  // verification with no injected fault outstanding is real corruption.
+  // Run before every invariant check and oracle compare: both inspect
+  // raw stable bytes and must see the post-repair state.
+  auto scrub = [&](const char* where) -> Status {
+    for (PageId p = 0; p < db.num_pages(); ++p) {
+      const Status verify = db.disk().VerifyPage(p);
+      if (verify.ok()) {
+        // No damage; still clear any sticky read error (sector remap).
+        if (injector != nullptr) injector->HealPage(&db.disk(), p);
+        continue;
+      }
+      ++result.faults_detected;
+      if (injector == nullptr || !injector->HealPage(&db.disk(), p)) {
+        return Status::Corruption("scrub (" + std::string(where) + "): page " +
+                                  std::to_string(p) +
+                                  " failed verification with no injected "
+                                  "fault outstanding: " +
+                                  verify.ToString());
+      }
+    }
+    return Status::Ok();
+  };
+
+  // Caches a page before an action touches it, healing injected faults
+  // (sticky read errors, torn pages caught by checksum) on the way. This
+  // keeps disk faults from firing *inside* an action after its log
+  // record is appended — the generalized method logs before it fetches —
+  // which would leave the log claiming an update the engine never made.
+  // Healing repairs ALL outstanding faults, not just this page's: the
+  // fetch may have failed evicting some other frame (e.g. a torn write
+  // left a write-order constraint unsatisfiable).
+  auto tolerant_fetch = [&](PageId p) -> Status {
+    Status last = Status::Ok();
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      Result<Page*> page = db.FetchPage(p);
+      if (page.ok()) {
+        last = Status::Ok();
+        break;
+      }
+      last = page.status();
+      if (injector == nullptr) return last;
+      ++result.faults_detected;
+      if (attempt >= 2) injector->set_paused(true);
+      if (injector->HealAll(&db.disk()) == 0 && attempt >= 3) break;
+    }
+    if (injector != nullptr) injector->set_paused(false);
+    return last;
+  };
+
+  // Runs a flush-like engine call (checkpoint, targeted flush) that may
+  // trip over injected faults — a write-error burst surfacing through a
+  // path without its own retries (the logical method checkpoints with
+  // direct disk writes), or a torn write that left a write-order
+  // constraint unsatisfiable until the page heals. These calls are
+  // idempotent, so the remedy is heal-and-rerun.
+  auto tolerant_io = [&](const char* what, auto&& fn) -> Status {
+    Status st = fn();
+    for (int attempt = 0; !st.ok() && injector != nullptr && attempt < 4;
+         ++attempt) {
+      ++result.faults_detected;
+      if (attempt >= 2) injector->set_paused(true);
+      injector->HealAll(&db.disk());
+      st = fn();
+    }
+    if (injector != nullptr) injector->set_paused(false);
+    if (!st.ok()) return Status(st.code(), std::string(what) + ": " + st.message());
+    return st;
+  };
+
+  // Recovery under live fault injection: a sticky read or a torn page
+  // read mid-recovery surfaces as an error. The response models failing
+  // over to the mirror: heal everything, pause injection, crash the
+  // partial recovery (recovery is idempotent), and recover again.
+  auto tolerant_recover = [&]() -> Status {
+    Status st = db.Recover();
+    for (int attempt = 0; !st.ok() && injector != nullptr && attempt < 3;
+         ++attempt) {
+      ++result.faults_detected;
+      ++result.recovery_retries;
+      injector->set_paused(true);
+      injector->HealAll(&db.disk());
+      db.Crash();
+      st = db.Recover();
+    }
+    if (injector != nullptr) injector->set_paused(false);
+    return st;
+  };
+
   for (size_t crash = 0; crash < options.crashes; ++crash) {
     // ---- Normal operation segment ----
     for (size_t step = 0; step < options.ops_per_segment; ++step) {
       const Action action = workload.Next();
       ++result.actions_executed;
+      if (injector != nullptr) {
+        switch (action.kind) {
+          case Action::Kind::kSlotWrite:
+          case Action::Kind::kBlindFormat: {
+            const Status st = tolerant_fetch(action.page);
+            if (!st.ok()) return fail("prefetch: " + st.ToString());
+            break;
+          }
+          case Action::Kind::kSplit:
+          case Action::Kind::kTransfer: {
+            Status st = tolerant_fetch(action.split_src);
+            if (st.ok()) st = tolerant_fetch(action.split_dst);
+            if (!st.ok()) return fail("prefetch: " + st.ToString());
+            break;
+          }
+          default:
+            break;  // flush/checkpoint/force absorb faults themselves
+        }
+      }
       switch (action.kind) {
         case Action::Kind::kSlotWrite:
         case Action::Kind::kBlindFormat: {
@@ -116,7 +258,19 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
                             action.split_dst}
                   : engine::MakeSlotTransfer(action.split_src, action.slot,
                                              action.split_dst, action.slot2);
+          // A split appends its log record up front and may cascade
+          // flushes mid-action; a fault there would leave the log
+          // claiming an update the engine never made. Model the
+          // protected path real engines use for structural changes
+          // (double-write buffer / mirror): repair lost writes so no
+          // write-order constraint is stuck unsatisfiable, and suspend
+          // injection for the action's duration.
+          if (injector != nullptr) {
+            injector->HealTornPages(&db.disk());
+            injector->set_paused(true);
+          }
           Result<methods::RecoveryMethod::SplitLsns> lsns = db.Split(op);
+          if (injector != nullptr) injector->set_paused(false);
           if (!lsns.ok()) return fail("split: " + lsns.status().ToString());
           applied.push_back({AppliedEntry::Kind::kSplitDst,
                              lsns.value().split_lsn,
@@ -128,12 +282,14 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
           break;
         }
         case Action::Kind::kFlushPage: {
-          const Status st = db.MaybeFlushPage(action.page);
+          const Status st = tolerant_io(
+              "flush", [&] { return db.MaybeFlushPage(action.page); });
           if (!st.ok()) return fail("flush: " + st.ToString());
           break;
         }
         case Action::Kind::kCheckpoint: {
-          const Status st = db.Checkpoint();
+          const Status st =
+              tolerant_io("checkpoint", [&] { return db.Checkpoint(); });
           if (!st.ok()) return fail("checkpoint: " + st.ToString());
           break;
         }
@@ -149,9 +305,34 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
     }
 
     // ---- Crash ----
+    // Maybe the crash interrupts an in-flight log force: a random prefix
+    // of the unacknowledged volatile records (possibly cutting one in
+    // half) reaches stable storage as a torn tail.
+    if (injector != nullptr && rng.Chance(options.faults.torn_tail_probability)) {
+      const size_t pending = db.log().PendingForceBytes();
+      if (pending > 0) {
+        db.log().TearInFlightForce(1 + rng.Below(pending));
+      }
+    }
     db.Crash();
     ++result.crashes;
+
+    // Salvage the torn tail the way recovery's first step would, so the
+    // checker and the oracle agree on which records survived. Complete
+    // unacknowledged records count as survivors (stable_lsn may rise);
+    // a partial record is truncated.
+    const wal::SalvageResult salvage = db.log().SalvageTornTail();
+    if (salvage.torn) {
+      ++result.torn_tails;
+      result.torn_tail_bytes_dropped += salvage.dropped_bytes;
+    }
+    result.salvaged_records += salvage.salvaged_records;
     const core::Lsn stable_lsn = db.log().stable_lsn();
+
+    if (injector != nullptr) {
+      const Status st = scrub("post-crash");
+      if (!st.ok()) return fail(st.ToString());
+    }
 
     // ---- Invariant check against the formal model ----
     if (options.run_checker) {
@@ -169,18 +350,23 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
     // crash again: recovery must be idempotent and every intermediate
     // state must still satisfy the invariant.
     for (size_t rc = 0; rc < options.recovery_crashes; ++rc) {
-      Status recover_status = db.Recover();
+      Status recover_status = tolerant_recover();
       if (!recover_status.ok()) {
         return fail("recovery crash round " + std::to_string(rc) + ": " +
                     recover_status.ToString());
       }
       for (PageId p = 0; p < db.num_pages(); ++p) {
         if (rng.Chance(0.3)) {
-          const Status flush = db.MaybeFlushPage(p);
+          const Status flush =
+              tolerant_io("mid-recovery flush", [&] { return db.MaybeFlushPage(p); });
           if (!flush.ok()) return fail("mid-recovery flush: " + flush.ToString());
         }
       }
       db.Crash();
+      if (injector != nullptr) {
+        const Status st = scrub("recovery re-crash");
+        if (!st.ok()) return fail(st.ToString());
+      }
       if (options.run_checker) {
         const CheckResult recheck = CheckCrashState(db, trace);
         ++result.checker_runs;
@@ -192,12 +378,18 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
     }
 
     // ---- Recovery ----
-    Status st = db.Recover();
+    Status st = tolerant_recover();
     if (!st.ok()) return fail("recover: " + st.ToString());
-    st = db.FlushEverything();
-    if (!st.ok()) return fail("post-recovery flush: " + st.ToString());
-    st = db.Checkpoint();
-    if (!st.ok()) return fail("post-recovery checkpoint: " + st.ToString());
+    st = tolerant_io("post-recovery flush", [&] { return db.FlushEverything(); });
+    if (!st.ok()) return fail(st.ToString());
+    st = tolerant_io("post-recovery checkpoint", [&] { return db.Checkpoint(); });
+    if (!st.ok()) return fail(st.ToString());
+    if (injector != nullptr) {
+      // The flush wave above ran with injection live; repair what it
+      // tore before holding the state against the oracle.
+      st = scrub("post-recovery");
+      if (!st.ok()) return fail(st.ToString());
+    }
 
     // ---- Byte-level oracle verification ----
     // Recovery must reconstruct exactly the stable-logged prefix.
@@ -210,9 +402,13 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
         OracleReplay(db.num_pages(), applied, stable_lsn);
     for (PageId p = 0; p < db.num_pages(); ++p) {
       if (!(db.disk().PeekPage(p) == expected[p])) {
-        return fail("recovered page " + std::to_string(p) +
+        // Every page passed scrub, so this mismatch wears a VALID write
+        // checksum — the definition of silent corruption: wrong bytes
+        // that nothing flags as wrong.
+        ++result.silent_corruptions;
+        return fail("SILENT CORRUPTION: recovered page " + std::to_string(p) +
                     " differs from the stable-log-prefix oracle at crash " +
-                    std::to_string(crash));
+                    std::to_string(crash) + " yet verifies clean");
       }
       ++result.recovered_pages_verified;
     }
@@ -221,6 +417,12 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
     trace.BeginEpoch(db.disk(), db.log().last_lsn() + 1);
   }
 
+  if (injector != nullptr) {
+    const storage::FaultInjectorStats& fs = injector->stats();
+    result.faults_injected = fs.torn_writes + fs.write_bursts + fs.sticky_pages;
+    result.pages_healed = fs.pages_healed;
+    db.disk().set_fault_injector(nullptr);
+  }
   result.ok = true;
   return result;
 }

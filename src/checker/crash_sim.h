@@ -20,6 +20,24 @@
 
 namespace redo::checker {
 
+/// Disk/log fault schedule for the simulator. The safety contract under
+/// faults is *invariant-holds-or-detected*: every injected fault must be
+/// caught by a checksum/error path and healed (the mirror-repair model),
+/// and after healing the run must verify exactly like a fault-free one.
+/// A page that differs from the oracle while carrying a VALID checksum
+/// is silent corruption — the one outcome the suite exists to rule out.
+struct CrashFaultOptions {
+  bool enabled = false;
+  /// P(crash tears the in-flight log force): a random prefix of the
+  /// unacknowledged volatile records lands on stable storage, possibly
+  /// mid-record. SalvageTornTail must truncate (or salvage) it.
+  double torn_tail_probability = 0.6;
+  double torn_write_probability = 0.03;   ///< per page write
+  double write_error_probability = 0.05;  ///< per page write (burst start)
+  int max_write_error_burst = 2;  ///< < BufferPool::kMaxFlushAttempts
+  double read_error_probability = 0.003;  ///< per page read (sticky)
+};
+
 struct CrashSimOptions {
   engine::WorkloadOptions workload;
   size_t cache_capacity = 8;    ///< forced to 0 for the logical method
@@ -32,6 +50,7 @@ struct CrashSimOptions {
   /// recovery must be idempotent and partially-installed recoveries must
   /// remain recoverable.
   size_t recovery_crashes = 0;
+  CrashFaultOptions faults;
 };
 
 struct CrashSimResult {
@@ -42,6 +61,15 @@ struct CrashSimResult {
   size_t checker_runs = 0;
   size_t stable_ops_at_crashes = 0;  ///< total ops recovery had to consider
   size_t recovered_pages_verified = 0;
+  // Fault accounting (all zero when faults are disabled).
+  size_t faults_injected = 0;    ///< torn writes + error bursts + sticky reads
+  size_t faults_detected = 0;    ///< surfaced via checksum/error + healed
+  size_t torn_tails = 0;         ///< crashes that tore the in-flight force
+  size_t torn_tail_bytes_dropped = 0;
+  size_t salvaged_records = 0;   ///< unacked records recovered whole
+  size_t pages_healed = 0;
+  size_t recovery_retries = 0;   ///< recover attempts repeated after faults
+  size_t silent_corruptions = 0; ///< oracle mismatch with a valid checksum
 
   std::string ToString() const;
 };

@@ -72,6 +72,13 @@ void MiniDb::Crash() {
 }
 
 Status MiniDb::Recover() {
+  // First salvage the stable log: a crash mid-force may have left a torn
+  // tail, and every recovery method's log scan must see a clean prefix.
+  // Truncating unacknowledged bytes is always safe — the WAL rule means
+  // no stable page depends on a record whose force was never acked.
+  // (Skipped for a recovery rehearsal on a live db with unforced
+  // appends; nothing can be torn while the process is still up.)
+  if (log_.PendingForceBytes() == 0) log_.SalvageTornTail();
   methods::EngineContext context = ctx();
   return method_->Recover(context);
 }

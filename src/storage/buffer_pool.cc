@@ -18,11 +18,15 @@ Result<Page*> BufferPool::Fetch(PageId id) {
     return &it->second.page;
   }
   ++stats_.misses;
+  // Read before evicting: if the read fails (bad sector, torn page) a
+  // cached — possibly dirty — page must not have been sacrificed for it.
+  // The transient overshoot of capacity by one local Page copy is the
+  // price of not losing work to a failed I/O.
+  Result<Page> from_disk = disk_->ReadPage(id);
+  if (!from_disk.ok()) return from_disk.status();
   if (capacity_ != 0 && frames_.size() >= capacity_) {
     REDO_RETURN_IF_ERROR(EvictOne());
   }
-  Result<Page> from_disk = disk_->ReadPage(id);
-  if (!from_disk.ok()) return from_disk.status();
   Frame frame;
   frame.page = std::move(from_disk).value();
   frame.last_use = ++use_clock_;
@@ -64,7 +68,22 @@ Status BufferPool::FlushFrame(PageId id, Frame* frame) {
     ++stats_.wal_forces;
     REDO_RETURN_IF_ERROR(wal_hook_(frame->page.lsn()));
   }
-  REDO_RETURN_IF_ERROR(disk_->WritePage(id, frame->page));
+  // Transient write failures are retried with (simulated) exponential
+  // backoff; the WAL force above is not repeated — the log is already
+  // stable. Non-transient errors surface immediately.
+  Status write = Status::Ok();
+  for (int attempt = 0; attempt < kMaxFlushAttempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.write_retries;
+      stats_.backoff_ticks += uint64_t{1} << (attempt - 1);
+    }
+    write = disk_->WritePage(id, frame->page);
+    if (write.ok() || write.code() != StatusCode::kUnavailable) break;
+  }
+  if (!write.ok()) {
+    ++stats_.flush_failures;
+    return write;
+  }
   frame->dirty = false;
   frame->rec_lsn = core::kNullLsn;
   ++stats_.flushes;
@@ -195,32 +214,44 @@ std::vector<DirtyPageEntry> BufferPool::DirtyPages() const {
 }
 
 Status BufferPool::EvictOne() {
-  // LRU victim; prefer clean pages among the least recently used.
-  PageId victim = 0;
-  bool found = false;
-  uint64_t best = 0;
+  // Clean-first LRU: the least-recently-used clean page, falling back to
+  // the least-recently-used dirty page only when every frame is dirty.
+  // The most-recently-used frame is never the victim: callers fetch up
+  // to two pages per operation and hold the first pointer while fetching
+  // the second, and plain LRU kept that safe implicitly — clean-first
+  // must not regress it by evicting a just-fetched clean page.
+  uint64_t newest = 0;
   for (const auto& [id, frame] : frames_) {
-    if (!found || frame.last_use < best) {
-      best = frame.last_use;
-      victim = id;
-      found = true;
+    newest = std::max(newest, frame.last_use);
+  }
+  PageId clean_victim = 0, dirty_victim = 0;
+  bool have_clean = false, have_dirty = false;
+  uint64_t clean_best = 0, dirty_best = 0;
+  for (const auto& [id, frame] : frames_) {
+    if (frame.last_use == newest && frames_.size() > 1) continue;
+    if (frame.dirty) {
+      if (!have_dirty || frame.last_use < dirty_best) {
+        dirty_best = frame.last_use;
+        dirty_victim = id;
+        have_dirty = true;
+      }
+    } else if (!have_clean || frame.last_use < clean_best) {
+      clean_best = frame.last_use;
+      clean_victim = id;
+      have_clean = true;
     }
   }
-  if (!found) {
+  if (!have_clean && !have_dirty) {
     return Status::FailedPrecondition("buffer pool: nothing to evict");
   }
-  auto it = frames_.find(victim);
-  if (it->second.dirty) {
+  const PageId victim = have_clean ? clean_victim : dirty_victim;
+  if (!have_clean) {
     REDO_RETURN_IF_ERROR(FlushPageCascading(victim));
-    ++stats_.evictions;
-    // FlushPageCascading may flush other pages but only this frame is
-    // dropped. Re-find in case a cascade touched the map (it does not,
-    // but keep the code robust to future changes).
-    it = frames_.find(victim);
   } else {
-    ++stats_.evictions;
+    ++stats_.clean_evictions;
   }
-  if (it != frames_.end()) frames_.erase(it);
+  ++stats_.evictions;
+  frames_.erase(victim);
   return Status::Ok();
 }
 

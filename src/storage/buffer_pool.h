@@ -29,7 +29,11 @@ struct BufferPoolStats {
   uint64_t flushes = 0;
   uint64_t evictions = 0;
   uint64_t wal_forces = 0;
-  uint64_t ordered_cascades = 0;  ///< flushes forced by write-order edges
+  uint64_t ordered_cascades = 0;   ///< flushes forced by write-order edges
+  uint64_t clean_evictions = 0;    ///< victims evicted without a write
+  uint64_t write_retries = 0;      ///< flush attempts retried after kUnavailable
+  uint64_t backoff_ticks = 0;      ///< simulated backoff time spent retrying
+  uint64_t flush_failures = 0;     ///< flushes that failed after all retries
 };
 
 /// An entry of the dirty page table.
@@ -111,6 +115,11 @@ class BufferPool {
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats{}; }
 
+  /// Retry budget for transient (kUnavailable) write failures during a
+  /// flush. Bursty fault models should keep their burst length below
+  /// this so flushes survive; see FlushFrame.
+  static constexpr int kMaxFlushAttempts = 4;
+
  private:
   struct Frame {
     Page page;
@@ -129,9 +138,17 @@ class BufferPool {
   /// constraints only).
   std::vector<PageId> BlockingPages(PageId id) const;
 
-  /// Evicts the least-recently-used page (flushing if dirty).
+  /// Evicts the least-recently-used *clean* page if any page is clean;
+  /// otherwise the least-recently-used dirty page (flushing it first).
+  /// Preferring clean victims keeps evictions cheap (no write, no WAL
+  /// force) and keeps dirty pages coalescing updates until a checkpoint
+  /// or order constraint forces them out.
   Status EvictOne();
 
+  /// Writes one dirty frame (honoring the WAL hook). Transient write
+  /// failures (kUnavailable) are retried up to kMaxFlushAttempts with
+  /// simulated exponential backoff; any other error — and exhaustion of
+  /// the budget — surfaces to the caller with the frame still dirty.
   Status FlushFrame(PageId id, Frame* frame);
 
   Disk* disk_;

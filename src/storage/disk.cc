@@ -1,19 +1,59 @@
 #include "storage/disk.h"
 
+#include "util/crc32c.h"
+
 namespace redo::storage {
+
+namespace {
+
+uint32_t ZeroPageCrc() {
+  static const uint32_t crc = Crc32c(Page().bytes());
+  return crc;
+}
+
+}  // namespace
+
+Disk::Disk(size_t num_pages)
+    : pages_(num_pages), write_crcs_(num_pages, ZeroPageCrc()) {}
 
 Result<Page> Disk::ReadPage(PageId id) const {
   if (id >= pages_.size()) {
     return Status::NotFound("disk: page " + std::to_string(id) +
                             " out of range");
   }
-  ++const_cast<Disk*>(this)->stats_.reads;
+  auto* self = const_cast<Disk*>(this);
+  if (injector_ != nullptr) {
+    const Status injected = injector_->OnRead(id);
+    if (!injected.ok()) {
+      ++self->stats_.read_faults;
+      return injected;
+    }
+  }
+  ++self->stats_.reads;
+  if (Crc32c(pages_[id].bytes()) != write_crcs_[id]) {
+    ++self->stats_.checksum_failures;
+    return Status::Corruption("disk: page " + std::to_string(id) +
+                              " failed its write checksum (torn write)");
+  }
   return pages_[id];
 }
 
 const Page& Disk::PeekPage(PageId id) const {
   REDO_CHECK_LT(id, pages_.size());
   return pages_[id];
+}
+
+Status Disk::VerifyPage(PageId id) const {
+  if (id >= pages_.size()) {
+    return Status::NotFound("disk: page " + std::to_string(id) +
+                            " out of range");
+  }
+  if (Crc32c(pages_[id].bytes()) != write_crcs_[id]) {
+    ++const_cast<Disk*>(this)->stats_.checksum_failures;
+    return Status::Corruption("disk: page " + std::to_string(id) +
+                              " failed its write checksum (torn write)");
+  }
+  return Status::Ok();
 }
 
 Status Disk::WritePage(PageId id, const Page& page) {
@@ -23,12 +63,41 @@ Status Disk::WritePage(PageId id, const Page& page) {
   }
   Page to_write = page;
   if (write_fault_hook_ && !write_fault_hook_(id, &to_write)) {
+    ++stats_.write_faults;
     return Status::Unavailable("disk: write dropped by fault injector");
   }
+  if (injector_ != nullptr) {
+    switch (injector_->OnWrite(id, pages_[id], &to_write)) {
+      case FaultInjector::WriteOutcome::kError:
+        ++stats_.write_faults;
+        return Status::Unavailable("disk: injected transient write failure");
+      case FaultInjector::WriteOutcome::kTorn:
+        // The torn mix lands on the platter but the checksum of the
+        // *intended* write was never stored (its sector was lost with
+        // the leading half), so the stored CRC stays stale and the next
+        // read detects the tear. The writer is told the write succeeded
+        // — that is what makes the fault interesting.
+        pages_[id] = to_write;
+        ++stats_.torn_writes;
+        ++stats_.writes;
+        stats_.bytes_written += Page::kSize;
+        return Status::Ok();
+      case FaultInjector::WriteOutcome::kOk:
+        break;
+    }
+  }
   pages_[id] = to_write;
+  write_crcs_[id] = Crc32c(to_write.bytes());
   ++stats_.writes;
   stats_.bytes_written += Page::kSize;
   return Status::Ok();
+}
+
+void Disk::RepairPage(PageId id, const Page& page) {
+  REDO_CHECK_LT(id, pages_.size());
+  pages_[id] = page;
+  write_crcs_[id] = Crc32c(page.bytes());
+  ++stats_.repairs;
 }
 
 }  // namespace redo::storage

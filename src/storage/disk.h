@@ -1,10 +1,13 @@
 // Simulated stable storage.
 //
 // The paper's crash model: stable state survives a crash, volatile state
-// does not, and page writes are atomic (a crash never leaves a page
-// half-written). The Disk simulates exactly that, plus I/O accounting
-// for the benchmarks and an optional fault injector that drops or tears
-// writes so the checker's corruption detection can be exercised.
+// does not, and page writes are atomic. The Disk simulates that model —
+// and, with a FaultInjector attached, its violations: torn page writes
+// (leading sectors stale), transient write failures, and sticky read
+// errors. Every successful atomic write records a CRC32C of the page
+// (modeling the in-page checksum real engines keep), so ReadPage makes a
+// torn write *evident* instead of silently returning garbage: corruption
+// may destroy data, but it must never masquerade as data.
 
 #ifndef REDO_STORAGE_DISK_H_
 #define REDO_STORAGE_DISK_H_
@@ -12,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "storage/fault_injector.h"
 #include "storage/page.h"
 #include "util/status.h"
 
@@ -22,42 +26,70 @@ struct DiskStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t bytes_written = 0;
+  // Fault-model counters.
+  uint64_t torn_writes = 0;        ///< writes torn by the injector
+  uint64_t write_faults = 0;       ///< write attempts failed (hook or injector)
+  uint64_t read_faults = 0;        ///< read attempts failed by the injector
+  uint64_t checksum_failures = 0;  ///< reads/verifies that caught a torn page
+  uint64_t repairs = 0;            ///< RepairPage calls
 };
 
-/// A stable array of pages with atomic page writes.
+/// A stable array of pages with atomic page writes and per-page write
+/// checksums.
 class Disk {
  public:
   /// A disk with `num_pages` zeroed pages.
-  explicit Disk(size_t num_pages) : pages_(num_pages) {}
+  explicit Disk(size_t num_pages);
 
   size_t num_pages() const { return pages_.size(); }
 
-  /// Reads a page (copies it out, as a real I/O would).
+  /// Reads a page (copies it out, as a real I/O would), verifying its
+  /// write checksum. Returns kUnavailable for an injected read error and
+  /// kCorruption for a page whose last write was torn.
   Result<Page> ReadPage(PageId id) const;
 
   /// Direct const access for checkers/verifiers that inspect the stable
-  /// state without modeling I/O cost.
+  /// state without modeling I/O cost. Deliberately skips checksum
+  /// verification: the checker compares raw stable bytes.
   const Page& PeekPage(PageId id) const;
 
-  /// Atomically writes a page. With a fault hook installed, the hook may
-  /// drop the write (returning kUnavailable) to simulate a crash cutting
-  /// off I/O, or corrupt it to simulate a torn write.
+  /// Checksum-verifies a page without modeling a read (a scrub pass).
+  /// Ok, or kCorruption if the stored content does not match the CRC of
+  /// its last atomic write.
+  Status VerifyPage(PageId id) const;
+
+  /// Atomically writes a page. A write-fault hook or fault injector may
+  /// veto the write (kUnavailable, stable state unchanged) or tear it
+  /// (reported as success; the stored content is a detectable mix).
   Status WritePage(PageId id, const Page& page);
 
+  /// Restores a page's content and checksum out-of-band, modeling repair
+  /// from a mirror or backup after a detected fault. Does not consult
+  /// fault hooks and does not count as workload I/O.
+  void RepairPage(PageId id, const Page& page);
+
   /// A write-fault hook: invoked per write; may mutate the page about to
-  /// be written (torn write) or veto it entirely (return false).
+  /// be written (the mutated content is what the writer intended, so its
+  /// checksum is stored) or veto it entirely (return false).
   using WriteFaultHook = std::function<bool(PageId, Page*)>;
   void set_write_fault_hook(WriteFaultHook hook) {
     write_fault_hook_ = std::move(hook);
   }
+
+  /// Attaches a fault injector (not owned; nullptr detaches). The
+  /// injector sees every read and write.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
 
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats{}; }
 
  private:
   std::vector<Page> pages_;
+  std::vector<uint32_t> write_crcs_;  ///< CRC32C of each page's last atomic write
   DiskStats stats_;
   WriteFaultHook write_fault_hook_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace redo::storage

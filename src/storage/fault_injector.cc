@@ -1,0 +1,132 @@
+#include "storage/fault_injector.h"
+
+#include <algorithm>
+
+#include "storage/disk.h"
+
+namespace redo::storage {
+
+namespace {
+
+/// Disks tear on sector boundaries; 512-byte sectors over a 4 KiB page
+/// give 7 interior tear points.
+constexpr size_t kSectorSize = 512;
+
+}  // namespace
+
+FaultInjector::WriteOutcome FaultInjector::OnWrite(PageId id,
+                                                   const Page& current,
+                                                   Page* incoming) {
+  if (write_error_burst_left_ > 0) {
+    --write_error_burst_left_;
+    ++stats_.write_errors;
+    return WriteOutcome::kError;
+  }
+  if (paused_) {
+    // Pass-through writes still supersede an earlier tear of this page.
+    intended_.erase(id);
+    return WriteOutcome::kOk;
+  }
+  if (options_.write_error_probability > 0 &&
+      rng_.Chance(options_.write_error_probability)) {
+    // A burst of 1..max consecutive failed attempts. Bursts shorter than
+    // the buffer pool's retry budget are survivable; longer ones surface.
+    const int burst = 1 + static_cast<int>(rng_.Below(static_cast<uint64_t>(
+                              std::max(1, options_.max_write_error_burst))));
+    write_error_burst_left_ = burst - 1;
+    ++stats_.write_bursts;
+    ++stats_.write_errors;
+    return WriteOutcome::kError;
+  }
+  if (options_.torn_write_probability > 0 &&
+      rng_.Chance(options_.torn_write_probability)) {
+    // Pick a tear point that leaves at least one *changed* new byte in
+    // the trailing part, so the mix differs from the old content and the
+    // stale stored CRC catches it. A tear past the last changed byte
+    // would model a lost write with a valid checksum — a different fault
+    // class this injector deliberately excludes; such writes (and writes
+    // whose changes all sit in the first sector, where no interior tear
+    // point can expose them) go through atomically instead.
+    const auto cur = current.bytes();
+    const auto inc = incoming->bytes();
+    size_t last_diff = Page::kSize;
+    for (size_t i = Page::kSize; i-- > 0;) {
+      if (cur[i] != inc[i]) {
+        last_diff = i;
+        break;
+      }
+    }
+    const size_t tearable_sectors =
+        last_diff == Page::kSize ? 0 : last_diff / kSectorSize;
+    if (tearable_sectors >= 1) {
+      // Keep the intended content for healing, then tear: the leading
+      // sectors (with the page's stale LSN) never reached the platter.
+      intended_[id] = *incoming;
+      const size_t keep_old = kSectorSize * (1 + rng_.Below(tearable_sectors));
+      std::copy(cur.begin(), cur.begin() + static_cast<ptrdiff_t>(keep_old),
+                inc.begin());
+      ++stats_.torn_writes;
+      return WriteOutcome::kTorn;
+    }
+  }
+  // A successful write supersedes any earlier tear of the same page.
+  intended_.erase(id);
+  return WriteOutcome::kOk;
+}
+
+Status FaultInjector::OnRead(PageId id) {
+  if (sticky_unreadable_.count(id) != 0) {
+    ++stats_.read_errors;
+    return Status::Unavailable("disk: injected sticky read error on page " +
+                               std::to_string(id));
+  }
+  if (paused_) return Status::Ok();
+  if (options_.read_error_probability > 0 &&
+      rng_.Chance(options_.read_error_probability)) {
+    sticky_unreadable_.insert(id);
+    ++stats_.sticky_pages;
+    ++stats_.read_errors;
+    return Status::Unavailable("disk: injected sticky read error on page " +
+                               std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+size_t FaultInjector::HealAll(Disk* disk) {
+  size_t healed = 0;
+  for (const auto& [id, page] : intended_) {
+    disk->RepairPage(id, page);
+    ++healed;
+  }
+  intended_.clear();
+  healed += sticky_unreadable_.size();
+  sticky_unreadable_.clear();
+  stats_.pages_healed += healed;
+  return healed;
+}
+
+size_t FaultInjector::HealTornPages(Disk* disk) {
+  size_t healed = 0;
+  for (const auto& [id, page] : intended_) {
+    disk->RepairPage(id, page);
+    ++healed;
+  }
+  intended_.clear();
+  stats_.pages_healed += healed;
+  return healed;
+}
+
+bool FaultInjector::HealPage(Disk* disk, PageId id) {
+  bool healed = false;
+  const auto it = intended_.find(id);
+  if (it != intended_.end()) {
+    disk->RepairPage(id, it->second);
+    intended_.erase(it);
+    healed = true;
+  }
+  if (sticky_unreadable_.erase(id) != 0) healed = true;
+  if (healed) ++stats_.pages_healed;
+  return healed;
+}
+
+}  // namespace redo::storage

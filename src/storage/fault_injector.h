@@ -1,0 +1,118 @@
+// Disk fault injection.
+//
+// The paper's crash model assumes atomic page writes and reliable reads;
+// real disks tear pages across sector boundaries, fail writes
+// transiently, and grow bad sectors. The FaultInjector sits under the
+// Disk and produces exactly those faults, deterministically from a seed:
+//
+//  - torn page writes: a crash/power event mid-write leaves the leading
+//    sectors of the OLD page (stale LSN, stale in-page checksum) ahead
+//    of trailing sectors of the new one. The Disk's per-page CRC makes
+//    the tear evident on the next read — never silently absorbed.
+//  - transient write errors: a write attempt fails (kUnavailable) in
+//    bounded bursts, modeling a path that recovers after retries; the
+//    buffer pool's bounded retry-with-backoff absorbs bursts shorter
+//    than its attempt budget.
+//  - sticky read errors: a page becomes unreadable (kUnavailable) until
+//    it is healed, modeling a bad sector awaiting remap/mirror repair.
+//
+// The injector remembers the intended content of every write it tears,
+// so a checker can *heal* a detected fault the way a mirrored pair or
+// backup restore would, then verify that recovery proceeds exactly as
+// if the write had been atomic.
+
+#ifndef REDO_STORAGE_FAULT_INJECTOR_H_
+#define REDO_STORAGE_FAULT_INJECTOR_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/page.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace redo::storage {
+
+class Disk;
+
+/// Fault probabilities. All default to 0 (an attached but all-zero
+/// injector is a no-op).
+struct FaultInjectorOptions {
+  double torn_write_probability = 0.0;   ///< per successful write
+  double write_error_probability = 0.0;  ///< per write attempt (starts a burst)
+  int max_write_error_burst = 2;         ///< max consecutive failed attempts
+  double read_error_probability = 0.0;   ///< per read (sticky until healed)
+};
+
+/// Injection counters.
+struct FaultInjectorStats {
+  uint64_t torn_writes = 0;    ///< writes torn (reported OK to the caller)
+  uint64_t write_errors = 0;   ///< write attempts failed
+  uint64_t write_bursts = 0;   ///< distinct error bursts started
+  uint64_t read_errors = 0;    ///< read attempts failed (incl. sticky repeats)
+  uint64_t sticky_pages = 0;   ///< pages turned sticky-unreadable
+  uint64_t pages_healed = 0;   ///< faults repaired via Heal*
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultInjectorOptions& options, uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  /// What the Disk should do with a write.
+  enum class WriteOutcome {
+    kOk,    ///< write through atomically
+    kTorn,  ///< *page was mutated into a torn mix*; report success, keep old CRC
+    kError, ///< fail the attempt with kUnavailable; stable state unchanged
+  };
+
+  /// Decides the fate of a write. On kTorn, `incoming` is rewritten in
+  /// place to the torn mix (old leading sectors + new trailing sectors)
+  /// and the intended content is remembered for healing. On kOk any
+  /// remembered tear for `id` is forgotten (the new write supersedes it).
+  WriteOutcome OnWrite(PageId id, const Page& current, Page* incoming);
+
+  /// Decides whether a read of `id` fails. Ok, or kUnavailable for an
+  /// injected (possibly sticky) read error.
+  Status OnRead(PageId id);
+
+  /// While paused, no new faults are injected (existing sticky errors
+  /// still fire). Models a storage layer switched to a degraded/mirror
+  /// path during repair.
+  void set_paused(bool paused) { paused_ = paused; }
+
+  /// Repairs every outstanding fault on `disk`: torn pages are restored
+  /// to their intended content (the mirror/backup copy) and sticky read
+  /// errors are cleared. Returns the number of pages repaired.
+  size_t HealAll(Disk* disk);
+
+  /// Repairs outstanding faults on one page. Returns true if anything
+  /// was repaired or cleared.
+  bool HealPage(Disk* disk, PageId id);
+
+  /// Repairs only torn pages (restores intended content), leaving sticky
+  /// read errors in place. Models a pre-write mirror scrub that fixes
+  /// lost writes before a structural modification depends on them.
+  size_t HealTornPages(Disk* disk);
+
+  /// True if `id` currently has an unhealed torn write or sticky error.
+  bool HasOutstandingFault(PageId id) const {
+    return intended_.count(id) != 0 || sticky_unreadable_.count(id) != 0;
+  }
+
+  const FaultInjectorStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FaultInjectorStats{}; }
+
+ private:
+  FaultInjectorOptions options_;
+  Rng rng_;
+  bool paused_ = false;
+  int write_error_burst_left_ = 0;
+  std::unordered_map<PageId, Page> intended_;  ///< true content of torn pages
+  std::unordered_set<PageId> sticky_unreadable_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace redo::storage
+
+#endif  // REDO_STORAGE_FAULT_INJECTOR_H_

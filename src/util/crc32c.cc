@@ -1,0 +1,59 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace redo {
+
+namespace {
+
+// Slice-by-4 lookup tables for the reflected Castagnoli polynomial.
+// Built once at first use; bit-by-bit generation keeps the code
+// portable (no SSE4.2 requirement) while the 4-way slicing keeps the
+// 4 KiB page checksums cheap enough for the simulation's hot paths.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const Crc32cTables& tables = Tables();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  while (size >= 4) {
+    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    c = tables.t[3][c & 0xFFu] ^ tables.t[2][(c >> 8) & 0xFFu] ^
+        tables.t[1][(c >> 16) & 0xFFu] ^ tables.t[0][c >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) {
+    c = (c >> 8) ^ tables.t[0][(c ^ *p++) & 0xFFu];
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace redo

@@ -16,16 +16,27 @@ core::Lsn LogManager::Append(RecordType type, std::vector<uint8_t> payload) {
 
 Status LogManager::Force(core::Lsn upto) {
   ++stats_.forces;
+  const bool was_verified = verified_prefix_ == stable_bytes_.size();
   size_t moved = 0;
   for (const LogRecord& record : volatile_tail_) {
     if (record.lsn > upto) break;
+    const size_t offset = stable_bytes_.size();
     const std::vector<uint8_t> encoded = EncodeRecord(record);
     stable_bytes_.insert(stable_bytes_.end(), encoded.begin(), encoded.end());
+    if (record.type == RecordType::kCheckpoint) {
+      checkpoints_.push_back(
+          CheckpointOffset{offset, stable_bytes_.size(), record.lsn});
+    }
     stable_lsn_ = record.lsn;
     ++moved;
   }
   volatile_tail_.erase(volatile_tail_.begin(),
                        volatile_tail_.begin() + static_cast<ptrdiff_t>(moved));
+  // An acknowledged force's bytes are durable and framed; extend the
+  // verified prefix past them — unless unverified damage already sits
+  // before them (a torn/corrupted tail nobody salvaged yet), in which
+  // case only a salvage scan may re-verify.
+  if (was_verified) verified_prefix_ = stable_bytes_.size();
   stats_.forced_records += moved;
   stats_.stable_bytes = stable_bytes_.size();
   return Status::Ok();
@@ -38,25 +49,124 @@ void LogManager::Crash() {
   last_lsn_ = stable_lsn_;
 }
 
-Result<std::vector<LogRecord>> LogManager::StableRecords(core::Lsn from) const {
-  std::vector<LogRecord> out;
+StableScan LogManager::ScanStable(core::Lsn from) const {
+  StableScan scan;
   size_t offset = 0;
   while (offset < stable_bytes_.size()) {
     Result<LogRecord> record = DecodeRecord(stable_bytes_, &offset);
-    if (!record.ok()) return record.status();
-    if (record.value().lsn >= from) out.push_back(std::move(record).value());
+    if (!record.ok()) {
+      // Torn/corrupt tail: everything from here on is untrustworthy.
+      scan.torn = true;
+      break;
+    }
+    scan.last_valid_lsn = record.value().lsn;
+    if (record.value().lsn >= from) {
+      scan.records.push_back(std::move(record).value());
+    }
   }
-  return out;
+  scan.valid_bytes = offset;
+  scan.damaged_bytes = stable_bytes_.size() - offset;
+  return scan;
+}
+
+Result<std::vector<LogRecord>> LogManager::StableRecords(core::Lsn from) const {
+  return ScanStable(from).records;
+}
+
+SalvageResult LogManager::SalvageTornTail() {
+  REDO_CHECK(volatile_tail_.empty())
+      << "salvage models recovery: call it after Crash()";
+  SalvageResult result;
+  result.stable_lsn_before = stable_lsn_;
+
+  size_t offset = verified_prefix_;
+  core::Lsn last_valid = stable_lsn_;
+  if (verified_prefix_ == 0) {
+    // The whole image must be re-verified (CorruptStableTail may have
+    // cut anywhere); rebuild the checkpoint cache as we go.
+    checkpoints_.clear();
+    last_valid = 0;
+  }
+  while (offset < stable_bytes_.size()) {
+    const size_t start = offset;
+    Result<LogRecord> record = DecodeRecord(stable_bytes_, &offset);
+    if (!record.ok()) {
+      result.torn = true;
+      break;
+    }
+    last_valid = record.value().lsn;
+    if (record.value().lsn > stable_lsn_) ++result.salvaged_records;
+    if (record.value().type == RecordType::kCheckpoint) {
+      checkpoints_.push_back(
+          CheckpointOffset{start, offset, record.value().lsn});
+    }
+  }
+
+  result.dropped_bytes = stable_bytes_.size() - offset;
+  stable_bytes_.resize(offset);
+  verified_prefix_ = offset;
+  std::erase_if(checkpoints_, [offset](const CheckpointOffset& c) {
+    return c.end > offset;
+  });
+  stable_lsn_ = last_valid;
+  last_lsn_ = stable_lsn_;
+  result.stable_lsn_after = stable_lsn_;
+
+  if (result.torn) {
+    ++stats_.torn_tail_truncations;
+    stats_.torn_bytes_dropped += result.dropped_bytes;
+  }
+  stats_.salvaged_records += result.salvaged_records;
+  stats_.stable_bytes = stable_bytes_.size();
+  return result;
 }
 
 Result<std::optional<LogRecord>> LogManager::LatestStableCheckpoint() const {
-  Result<std::vector<LogRecord>> records = StableRecords(1);
-  if (!records.ok()) return records.status();
+  if (verified_prefix_ == stable_bytes_.size()) {
+    // Fast path: the whole image is verified, so the cache is complete.
+    if (checkpoints_.empty()) return std::optional<LogRecord>{};
+    size_t offset = checkpoints_.back().offset;
+    Result<LogRecord> record = DecodeRecord(stable_bytes_, &offset);
+    if (record.ok() && record.value().type == RecordType::kCheckpoint) {
+      ++stats_.checkpoint_cache_hits;
+      return std::optional<LogRecord>{std::move(record).value()};
+    }
+    // A cached offset that no longer decodes means the image was
+    // damaged behind our back; fall through to the tolerant scan.
+  }
+  ++stats_.checkpoint_full_scans;
+  const StableScan scan = ScanStable(1);
   std::optional<LogRecord> latest;
-  for (LogRecord& record : records.value()) {
-    if (record.type == RecordType::kCheckpoint) latest = std::move(record);
+  for (const LogRecord& record : scan.records) {
+    if (record.type == RecordType::kCheckpoint) latest = record;
   }
   return latest;
+}
+
+size_t LogManager::PendingForceBytes() const {
+  size_t bytes = 0;
+  for (const LogRecord& record : volatile_tail_) {
+    bytes += EncodedRecordSize(record);
+  }
+  return bytes;
+}
+
+size_t LogManager::TearInFlightForce(size_t bytes) {
+  size_t appended = 0;
+  for (const LogRecord& record : volatile_tail_) {
+    if (appended >= bytes) break;
+    const std::vector<uint8_t> encoded = EncodeRecord(record);
+    const size_t take = std::min(encoded.size(), bytes - appended);
+    stable_bytes_.insert(stable_bytes_.end(), encoded.begin(),
+                         encoded.begin() + static_cast<ptrdiff_t>(take));
+    appended += take;
+  }
+  // The bytes are unacknowledged: stable_lsn_, the verified prefix, and
+  // the checkpoint cache all stay put until SalvageTornTail() judges
+  // them. The volatile tail is untouched — the caller crashes next.
+  if (appended > 0) ++stats_.torn_forces;
+  stats_.stable_bytes = stable_bytes_.size();
+  return appended;
 }
 
 void LogManager::CorruptStableTail(size_t drop_bytes) {
@@ -64,6 +174,13 @@ void LogManager::CorruptStableTail(size_t drop_bytes) {
                           ? stable_bytes_.size() - drop_bytes
                           : 0;
   stable_bytes_.resize(keep);
+  // The cut may land mid-record anywhere; nothing is verified until the
+  // next salvage re-scans from the start.
+  verified_prefix_ = 0;
+  std::erase_if(checkpoints_, [keep](const CheckpointOffset& c) {
+    return c.end > keep;
+  });
+  stats_.stable_bytes = stable_bytes_.size();
 }
 
 }  // namespace redo::wal

@@ -7,6 +7,14 @@
 // buffer pool calling Force before flushing a page (§7: "the write-ahead
 // log protocol requires an operation's log record be forced to disk
 // before the operation's effects are written to disk").
+//
+// Failure model: a crash can interrupt an in-flight force, leaving a
+// *torn tail* — a prefix of the force's bytes on stable storage. The
+// per-record framing (length prefix + CRC32C) makes the damage evident,
+// and the scan/salvage paths treat it as the expected case: recovery
+// truncates at the last valid record instead of declaring the whole log
+// unreadable. Records before the damage are trusted because forces are
+// sequential appends — an acknowledged force is never rewritten.
 
 #ifndef REDO_WAL_LOG_MANAGER_H_
 #define REDO_WAL_LOG_MANAGER_H_
@@ -24,6 +32,31 @@ struct LogStats {
   uint64_t forces = 0;
   uint64_t forced_records = 0;
   uint64_t stable_bytes = 0;
+  // Fault-model counters.
+  uint64_t torn_forces = 0;            ///< in-flight forces torn by a crash
+  uint64_t torn_tail_truncations = 0;  ///< salvages that found tail damage
+  uint64_t torn_bytes_dropped = 0;     ///< damaged bytes discarded by salvage
+  uint64_t salvaged_records = 0;       ///< unacknowledged records recovered whole
+  uint64_t checkpoint_cache_hits = 0;  ///< LatestStableCheckpoint O(1) lookups
+  uint64_t checkpoint_full_scans = 0;  ///< LatestStableCheckpoint slow paths
+};
+
+/// Result of one tolerant scan over the stable byte image.
+struct StableScan {
+  std::vector<LogRecord> records;  ///< valid records with lsn >= `from`
+  bool torn = false;               ///< damage found after the valid prefix
+  core::Lsn last_valid_lsn = 0;    ///< LSN of the last decodable record (0 if none)
+  size_t valid_bytes = 0;          ///< byte length of the decodable prefix
+  size_t damaged_bytes = 0;        ///< bytes beyond the decodable prefix
+};
+
+/// Result of SalvageTornTail.
+struct SalvageResult {
+  bool torn = false;             ///< damage was found and truncated
+  size_t dropped_bytes = 0;      ///< damaged bytes removed from the image
+  size_t salvaged_records = 0;   ///< complete unacknowledged records recovered
+  core::Lsn stable_lsn_before = 0;
+  core::Lsn stable_lsn_after = 0;
 };
 
 class LogManager {
@@ -51,26 +84,66 @@ class LogManager {
   void Crash();
 
   /// Scans stable records with lsn >= `from`, in LSN order, decoding
-  /// them from the stable byte image (verifying checksums — recovery
-  /// must never trust a torn tail).
+  /// them from the stable byte image and verifying checksums. A torn or
+  /// corrupt tail is NOT an error: the scan returns the valid prefix and
+  /// stops at the damage (recovery must never trust a torn tail, but a
+  /// torn tail must never make the valid prefix unrecoverable).
   Result<std::vector<LogRecord>> StableRecords(core::Lsn from) const;
 
-  /// The latest stable checkpoint record, if any.
+  /// Like StableRecords but also reports where the valid prefix ends and
+  /// whether damage follows it.
+  StableScan ScanStable(core::Lsn from) const;
+
+  /// Truncates the stable byte image at the last valid record, making
+  /// tail damage permanent and acknowledged: stable_lsn() afterwards is
+  /// the LSN of the last decodable record, which may be *higher* than
+  /// before (complete records of a torn in-flight force are salvaged) or
+  /// lower (an acknowledged-but-later-damaged tail is dropped — only the
+  /// CorruptStableTail test hook can produce that). Must be called with
+  /// an empty volatile tail (i.e. after Crash()); recovery calls it
+  /// before any redo scan.
+  SalvageResult SalvageTornTail();
+
+  /// The latest stable checkpoint record, if any. O(1) when the stable
+  /// image is undamaged: the byte offset of each forced checkpoint is
+  /// cached at force time; a tolerant full scan is the fallback while
+  /// unverified tail bytes exist.
   Result<std::optional<LogRecord>> LatestStableCheckpoint() const;
 
   const LogStats& stats() const { return stats_; }
   void ResetStats() { stats_ = LogStats{}; }
 
-  /// Test hook: truncates the stable byte image to simulate a torn tail
-  /// (a crash mid-force). Recovery must stop at the damage.
+  /// Encoded size of the not-yet-forced records — the most bytes an
+  /// in-flight force torn by a crash could leave behind.
+  size_t PendingForceBytes() const;
+
+  /// Fault hook: models a crash interrupting a force of the entire
+  /// volatile tail after only `bytes` bytes reached stable storage. The
+  /// partial bytes are appended *unacknowledged*: stable_lsn() does not
+  /// move until SalvageTornTail() decides which of them form complete
+  /// records. Call Crash() afterwards, as a real crash would follow.
+  /// Returns the number of bytes actually appended.
+  size_t TearInFlightForce(size_t bytes);
+
+  /// Test hook: truncates the stable byte image to simulate tail damage
+  /// discovered after acknowledgement. Recovery must stop at the damage.
   void CorruptStableTail(size_t drop_bytes);
 
  private:
+  /// A forced checkpoint record's location in the stable image.
+  struct CheckpointOffset {
+    size_t offset;  ///< first byte of the encoded record
+    size_t end;     ///< one past its last byte
+    core::Lsn lsn;
+  };
+
   core::Lsn last_lsn_ = 0;
   core::Lsn stable_lsn_ = 0;
   std::vector<LogRecord> volatile_tail_;  // records with lsn > stable_lsn_
   std::vector<uint8_t> stable_bytes_;     // serialized stable records
-  LogStats stats_;
+  size_t verified_prefix_ = 0;  // bytes known to decode cleanly
+  std::vector<CheckpointOffset> checkpoints_;  // within the verified prefix
+  mutable LogStats stats_;
 };
 
 }  // namespace redo::wal

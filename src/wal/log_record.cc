@@ -1,10 +1,13 @@
 #include "wal/log_record.h"
 
-#include "util/hash.h"
+#include "util/crc32c.h"
 
 namespace redo::wal {
 
 namespace {
+
+constexpr size_t kRecordHeader = 4 + 2 + 8;   // payload_size | type | lsn
+constexpr size_t kRecordTrailer = 4;          // crc32c
 
 void AppendLittleEndian(std::vector<uint8_t>* out, uint64_t v, size_t width) {
   for (size_t i = 0; i < width; ++i) {
@@ -18,14 +21,6 @@ uint64_t ReadLittleEndian(const uint8_t* data, size_t width) {
     v |= static_cast<uint64_t>(data[i]) << (8 * i);
   }
   return v;
-}
-
-uint64_t RecordChecksum(const LogRecord& record) {
-  Hasher64 h;
-  h.UpdateValue<uint64_t>(record.lsn);
-  h.UpdateValue<uint16_t>(static_cast<uint16_t>(record.type));
-  h.Update(record.payload.data(), record.payload.size());
-  return h.Digest();
 }
 
 }  // namespace
@@ -89,35 +84,44 @@ Result<std::vector<uint8_t>> PayloadReader::Bytes(size_t size) {
 }
 
 std::vector<uint8_t> EncodeRecord(const LogRecord& record) {
+  REDO_CHECK_LE(record.payload.size(), kMaxRecordPayload);
   std::vector<uint8_t> out;
+  out.reserve(EncodedRecordSize(record));
   AppendLittleEndian(&out, record.payload.size(), 4);
   AppendLittleEndian(&out, static_cast<uint16_t>(record.type), 2);
   AppendLittleEndian(&out, record.lsn, 8);
   out.insert(out.end(), record.payload.begin(), record.payload.end());
-  AppendLittleEndian(&out, RecordChecksum(record), 8);
+  AppendLittleEndian(&out, Crc32c(out.data(), out.size()), 4);
   return out;
+}
+
+size_t EncodedRecordSize(const LogRecord& record) {
+  return kRecordHeader + record.payload.size() + kRecordTrailer;
 }
 
 Result<LogRecord> DecodeRecord(const std::vector<uint8_t>& bytes,
                                size_t* offset) {
-  constexpr size_t kHeader = 4 + 2 + 8;
-  if (bytes.size() - *offset < kHeader) {
+  if (bytes.size() - *offset < kRecordHeader) {
     return Status::Corruption("log record header truncated");
   }
   const uint8_t* p = bytes.data() + *offset;
   const uint32_t payload_size = static_cast<uint32_t>(ReadLittleEndian(p, 4));
+  if (payload_size > kMaxRecordPayload) {
+    return Status::Corruption("log record length prefix implausible");
+  }
   LogRecord record;
   record.type = static_cast<RecordType>(ReadLittleEndian(p + 4, 2));
   record.lsn = ReadLittleEndian(p + 6, 8);
-  if (bytes.size() - *offset < kHeader + payload_size + 8) {
+  if (bytes.size() - *offset < kRecordHeader + payload_size + kRecordTrailer) {
     return Status::Corruption("log record body truncated");
   }
-  record.payload.assign(p + kHeader, p + kHeader + payload_size);
-  const uint64_t stored = ReadLittleEndian(p + kHeader + payload_size, 8);
-  if (stored != RecordChecksum(record)) {
+  record.payload.assign(p + kRecordHeader, p + kRecordHeader + payload_size);
+  const uint32_t stored = static_cast<uint32_t>(
+      ReadLittleEndian(p + kRecordHeader + payload_size, 4));
+  if (stored != Crc32c(p, kRecordHeader + payload_size)) {
     return Status::Corruption("log record checksum mismatch");
   }
-  *offset += kHeader + payload_size + 8;
+  *offset += kRecordHeader + payload_size + kRecordTrailer;
   return record;
 }
 

@@ -77,12 +77,24 @@ class PayloadReader {
 };
 
 /// Serializes a record to the on-"disk" wire format:
-///   u32 payload_size | u16 type | u64 lsn | payload | u64 checksum.
+///   u32 payload_size | u16 type | u64 lsn | payload | u32 crc32c,
+/// where the CRC32C covers the header and the payload. The length
+/// prefix plus trailing checksum is what lets a stable-log scan decide,
+/// for any byte position, whether a complete undamaged record starts
+/// there — the basis of torn-tail truncation.
 std::vector<uint8_t> EncodeRecord(const LogRecord& record);
 
+/// Number of bytes EncodeRecord produces for `record`.
+size_t EncodedRecordSize(const LogRecord& record);
+
+/// Upper bound on an encodable payload; a length prefix above it is
+/// treated as corruption rather than chased off the end of the image.
+inline constexpr size_t kMaxRecordPayload = size_t{1} << 24;
+
 /// Decodes one record starting at `offset` within `bytes`, advancing
-/// `offset` past it. Returns kCorruption for truncated or checksum-
-/// mismatched data (a torn log tail).
+/// `offset` past it only on success. Returns kCorruption for truncated
+/// or checksum-mismatched data (a torn log tail); `offset` is left
+/// unchanged so the caller knows where the valid prefix ends.
 Result<LogRecord> DecodeRecord(const std::vector<uint8_t>& bytes,
                                size_t* offset);
 

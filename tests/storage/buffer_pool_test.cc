@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "storage/fault_injector.h"
+
 namespace redo::storage {
 namespace {
 
@@ -82,18 +84,125 @@ TEST(BufferPoolTest, WalHookFailureBlocksFlush) {
   EXPECT_TRUE(pool.IsDirty(0));
 }
 
-TEST(BufferPoolTest, EvictionFlushesDirtyVictim) {
+TEST(BufferPoolTest, EvictionPrefersCleanVictim) {
+  // Regression: the old victim policy picked the global LRU page even
+  // when a clean page was available, forcing a write (and a WAL force)
+  // where dropping a clean copy would do. The most recently used frame
+  // is exempt (a caller may still hold its pointer), so use capacity 3:
+  // page 0 (dirty, LRU), page 1 (clean), page 2 (dirty, MRU).
+  Disk disk(4);
+  BufferPool pool(&disk, 3);
+  (void)pool.Fetch(0).value();
+  ASSERT_TRUE(pool.MarkDirty(0, 1).ok());
+  (void)pool.Fetch(1).value();
+  (void)pool.Fetch(2).value();
+  ASSERT_TRUE(pool.MarkDirty(2, 2).ok());
+  // Page 0 is the LRU but dirty; clean page 1 is the victim.
+  (void)pool.Fetch(3).value();
+  EXPECT_EQ(pool.num_cached(), 3u);
+  EXPECT_TRUE(pool.IsCached(0)) << "dirty page kept in cache";
+  EXPECT_FALSE(pool.IsCached(1));
+  EXPECT_EQ(disk.PeekPage(0).lsn(), 0u) << "no write was needed";
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.stats().clean_evictions, 1u);
+  EXPECT_EQ(pool.stats().flushes, 0u);
+}
+
+TEST(BufferPoolTest, EvictionFlushesDirtyVictimWhenAllDirty) {
   Disk disk(3);
   BufferPool pool(&disk, 2);
   (void)pool.Fetch(0).value();
   ASSERT_TRUE(pool.MarkDirty(0, 1).ok());
   (void)pool.Fetch(1).value();
-  // Capacity 2: fetching page 2 evicts LRU page 0, flushing it.
+  ASSERT_TRUE(pool.MarkDirty(1, 2).ok());
+  // Every frame dirty: the LRU dirty page (0) is flushed and evicted.
   (void)pool.Fetch(2).value();
   EXPECT_EQ(pool.num_cached(), 2u);
   EXPECT_FALSE(pool.IsCached(0));
   EXPECT_EQ(disk.PeekPage(0).lsn(), 1u) << "dirty victim was flushed";
   EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.stats().clean_evictions, 0u);
+}
+
+TEST(BufferPoolTest, FailedFetchReadDoesNotEvict) {
+  // Regression: Fetch used to evict a victim BEFORE attempting the disk
+  // read, so an unreadable page cost the cache a (possibly dirty) frame
+  // and got nothing for it.
+  Disk disk(3);
+  FaultInjectorOptions options;
+  options.read_error_probability = 1.0;  // every miss read fails, sticky
+  FaultInjector injector(options, /*seed=*/9);
+  BufferPool pool(&disk, 2);
+
+  (void)pool.Fetch(0).value();
+  ASSERT_TRUE(pool.MarkDirty(0, 1).ok());
+  (void)pool.Fetch(1).value();
+  ASSERT_TRUE(pool.MarkDirty(1, 2).ok());
+
+  disk.set_fault_injector(&injector);
+  const Result<Page*> failed = pool.Fetch(2);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(pool.num_cached(), 2u) << "no frame was sacrificed";
+  EXPECT_TRUE(pool.IsDirty(0));
+  EXPECT_TRUE(pool.IsDirty(1));
+  EXPECT_EQ(pool.stats().evictions, 0u);
+  EXPECT_EQ(disk.PeekPage(0).lsn(), 0u) << "no dirty page was flushed out";
+}
+
+TEST(BufferPoolTest, EvictionNeverPicksMostRecentlyUsedFrame) {
+  // Callers fetch up to two pages per operation and hold the first
+  // pointer while fetching the second; the MRU frame must survive even
+  // when it is the only clean one.
+  Disk disk(4);
+  BufferPool pool(&disk, 2);
+  (void)pool.Fetch(0).value();
+  ASSERT_TRUE(pool.MarkDirty(0, 1).ok());
+  (void)pool.Fetch(1).value();  // clean + MRU
+  // Fetching page 2 must not evict MRU page 1 even though page 1 is the
+  // only clean frame; dirty LRU page 0 is flushed instead.
+  (void)pool.Fetch(2).value();
+  EXPECT_TRUE(pool.IsCached(1));
+  EXPECT_FALSE(pool.IsCached(0));
+  EXPECT_EQ(disk.PeekPage(0).lsn(), 1u);
+}
+
+TEST(BufferPoolTest, FlushRetriesSurviveBoundedWriteErrorBurst) {
+  Disk disk(2);
+  BufferPool pool(&disk, 2);
+  int failures_left = BufferPool::kMaxFlushAttempts - 1;
+  disk.set_write_fault_hook([&failures_left](PageId, Page*) {
+    if (failures_left > 0) {
+      --failures_left;
+      return false;  // transient write error
+    }
+    return true;
+  });
+  Page* p = pool.Fetch(0).value();
+  p->WriteSlot(0, 11);
+  ASSERT_TRUE(pool.MarkDirty(0, 5).ok());
+  ASSERT_TRUE(pool.FlushPage(0).ok())
+      << "a burst shorter than the retry budget is absorbed";
+  EXPECT_FALSE(pool.IsDirty(0));
+  EXPECT_EQ(disk.PeekPage(0).ReadSlot(0), 11);
+  EXPECT_EQ(pool.stats().write_retries,
+            static_cast<uint64_t>(BufferPool::kMaxFlushAttempts - 1));
+  EXPECT_GT(pool.stats().backoff_ticks, 0u);
+  EXPECT_EQ(pool.stats().flush_failures, 0u);
+}
+
+TEST(BufferPoolTest, FlushFailureSurfacesAfterRetryBudget) {
+  Disk disk(2);
+  BufferPool pool(&disk, 2);
+  disk.set_write_fault_hook([](PageId, Page*) { return false; });  // always
+  Page* p = pool.Fetch(0).value();
+  p->WriteSlot(0, 11);
+  ASSERT_TRUE(pool.MarkDirty(0, 5).ok());
+  const Status st = pool.FlushPage(0);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(pool.IsDirty(0)) << "the frame stays dirty for a later retry";
+  EXPECT_EQ(pool.stats().flush_failures, 1u);
+  EXPECT_EQ(disk.PeekPage(0).ReadSlot(0), 0);
 }
 
 TEST(BufferPoolTest, WriteOrderConstraintBlocksDirectFlush) {

@@ -1,0 +1,184 @@
+#include "storage/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/disk.h"
+
+namespace redo::storage {
+namespace {
+
+Page PageWith(int64_t value, core::Lsn lsn) {
+  Page p;
+  for (uint32_t s = 0; s < Page::NumSlots(); ++s) p.WriteSlot(s, value);
+  p.set_lsn(lsn);
+  return p;
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityInjectorIsTransparent) {
+  Disk disk(4);
+  FaultInjector injector(FaultInjectorOptions{}, /*seed=*/1);
+  disk.set_fault_injector(&injector);
+  const Page p = PageWith(7, 3);
+  ASSERT_TRUE(disk.WritePage(1, p).ok());
+  Result<Page> back = disk.ReadPage(1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == p);
+  EXPECT_EQ(injector.stats().torn_writes, 0u);
+  EXPECT_EQ(injector.stats().read_errors, 0u);
+}
+
+TEST(FaultInjectorTest, TornWriteIsDetectedByChecksumAndHealable) {
+  Disk disk(2);
+  FaultInjectorOptions options;
+  options.torn_write_probability = 1.0;  // every write tears
+  FaultInjector injector(options, /*seed=*/7);
+  disk.set_fault_injector(&injector);
+
+  const Page old_page = PageWith(1, 10);
+  {
+    // Install the "old" version atomically first.
+    disk.set_fault_injector(nullptr);
+    ASSERT_TRUE(disk.WritePage(0, old_page).ok());
+    disk.set_fault_injector(&injector);
+  }
+  const Page new_page = PageWith(2, 20);
+  // The torn write reports success — that is the fault's whole danger.
+  ASSERT_TRUE(disk.WritePage(0, new_page).ok());
+  ASSERT_EQ(injector.stats().torn_writes, 1u);
+  EXPECT_TRUE(injector.HasOutstandingFault(0));
+
+  // The leading sectors are stale: the page still wears the OLD LSN.
+  EXPECT_EQ(disk.PeekPage(0).lsn(), 10u);
+  // But the checksum catches it: the mix verifies dirty and reads fail.
+  EXPECT_EQ(disk.VerifyPage(0).code(), StatusCode::kCorruption);
+  EXPECT_EQ(disk.ReadPage(0).status().code(), StatusCode::kCorruption);
+  EXPECT_GE(disk.stats().checksum_failures, 2u);
+
+  // Healing restores the intended content, checksum and all.
+  EXPECT_TRUE(injector.HealPage(&disk, 0));
+  EXPECT_FALSE(injector.HasOutstandingFault(0));
+  ASSERT_TRUE(disk.VerifyPage(0).ok());
+  Result<Page> back = disk.ReadPage(0);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == new_page);
+}
+
+TEST(FaultInjectorTest, SuccessfulRewriteSupersedesTear) {
+  Disk disk(1);
+  FaultInjectorOptions options;
+  options.torn_write_probability = 1.0;
+  FaultInjector injector(options, /*seed=*/3);
+  disk.set_fault_injector(&injector);
+  ASSERT_TRUE(disk.WritePage(0, PageWith(5, 2)).ok());
+  ASSERT_TRUE(injector.HasOutstandingFault(0));
+  // A later atomic write of the same page makes the tear moot.
+  injector.set_paused(true);
+  const Page fixed = PageWith(6, 3);
+  ASSERT_TRUE(disk.WritePage(0, fixed).ok());
+  EXPECT_FALSE(injector.HasOutstandingFault(0));
+  ASSERT_TRUE(disk.VerifyPage(0).ok());
+  EXPECT_TRUE(disk.ReadPage(0).value() == fixed);
+}
+
+TEST(FaultInjectorTest, WriteErrorBurstsAreBounded) {
+  Disk disk(1);
+  FaultInjectorOptions options;
+  options.write_error_probability = 1.0;
+  options.max_write_error_burst = 2;
+  FaultInjector injector(options, /*seed=*/11);
+  disk.set_fault_injector(&injector);
+  const Page p = PageWith(9, 1);
+  // Each burst fails 1..max consecutive attempts; max is 2, so two
+  // consecutive failures are always followed by... another burst (the
+  // probability is 1 here). With probability < 1 a retry budget of
+  // max_burst + 1 attempts always suffices; here just check errors fire
+  // and stable state stays untouched.
+  const Status st = disk.WritePage(0, p);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_GE(injector.stats().write_errors, 1u);
+  EXPECT_EQ(disk.PeekPage(0).ReadSlot(0), 0) << "failed write left no trace";
+  ASSERT_TRUE(disk.VerifyPage(0).ok()) << "failed write did not corrupt";
+}
+
+TEST(FaultInjectorTest, StickyReadErrorPersistsUntilHealed) {
+  Disk disk(2);
+  FaultInjectorOptions options;
+  options.read_error_probability = 1.0;
+  FaultInjector injector(options, /*seed=*/5);
+  disk.set_fault_injector(&injector);
+  EXPECT_EQ(disk.ReadPage(1).status().code(), StatusCode::kUnavailable);
+  // Sticky: fails even with injection paused (the sector is bad until
+  // repaired, not a transient).
+  injector.set_paused(true);
+  EXPECT_EQ(disk.ReadPage(1).status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(injector.HasOutstandingFault(1));
+  EXPECT_TRUE(injector.HealPage(&disk, 1));
+  EXPECT_TRUE(disk.ReadPage(1).ok());
+}
+
+TEST(FaultInjectorTest, HealAllRepairsEverything) {
+  Disk disk(8);
+  FaultInjectorOptions options;
+  options.torn_write_probability = 1.0;
+  FaultInjector injector(options, /*seed=*/13);
+  disk.set_fault_injector(&injector);
+  for (PageId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(disk.WritePage(id, PageWith(int64_t{3} + id, 5 + id)).ok());
+  }
+  EXPECT_EQ(injector.stats().torn_writes, 4u);
+  EXPECT_EQ(injector.HealAll(&disk), 4u);
+  for (PageId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(disk.VerifyPage(id).ok()) << "page " << id;
+    EXPECT_EQ(disk.PeekPage(id).lsn(), 5u + id);
+  }
+  EXPECT_EQ(injector.stats().pages_healed, 4u);
+}
+
+TEST(FaultInjectorTest, PausedInjectorStopsNewFaults) {
+  Disk disk(1);
+  FaultInjectorOptions options;
+  options.torn_write_probability = 1.0;
+  options.write_error_probability = 1.0;
+  options.read_error_probability = 1.0;
+  FaultInjector injector(options, /*seed=*/17);
+  disk.set_fault_injector(&injector);
+  injector.set_paused(true);
+  const Page p = PageWith(4, 9);
+  ASSERT_TRUE(disk.WritePage(0, p).ok());
+  ASSERT_TRUE(disk.ReadPage(0).ok());
+  EXPECT_EQ(injector.stats().torn_writes, 0u);
+  EXPECT_EQ(injector.stats().write_errors, 0u);
+  EXPECT_EQ(injector.stats().read_errors, 0u);
+}
+
+TEST(FaultInjectorTest, TearNeverProducesValidChecksum) {
+  // The injector must never tear a write into a mix that verifies clean
+  // (that would be silent corruption by construction). Hammer writes
+  // whose diffs sit at various offsets and check every tear is caught.
+  Disk disk(1);
+  FaultInjectorOptions options;
+  options.torn_write_probability = 1.0;
+  FaultInjector injector(options, /*seed=*/23);
+  disk.set_fault_injector(&injector);
+  uint64_t tears = 0;
+  for (int round = 0; round < 200; ++round) {
+    Page next;
+    // Vary which slots change so tear points land on both sides of the
+    // changed bytes.
+    next.WriteSlot(static_cast<uint32_t>(round) % Page::NumSlots(), round + 1);
+    next.set_lsn(static_cast<core::Lsn>(round + 1));
+    ASSERT_TRUE(disk.WritePage(0, next).ok());
+    if (injector.HasOutstandingFault(0)) {
+      ++tears;
+      EXPECT_EQ(disk.VerifyPage(0).code(), StatusCode::kCorruption)
+          << "torn write verified clean at round " << round;
+      injector.HealPage(&disk, 0);
+    } else {
+      ASSERT_TRUE(disk.VerifyPage(0).ok());
+    }
+  }
+  EXPECT_GT(tears, 0u);
+}
+
+}  // namespace
+}  // namespace redo::storage

@@ -1,0 +1,50 @@
+#include "util/crc32c.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace redo {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // The CRC32C check value: crc of the ASCII digits "123456789".
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xE3069283u);
+  // Empty input.
+  EXPECT_EQ(Crc32c(digits, 0), 0x00000000u);
+  // 32 zero bytes (RFC 3720 test vector).
+  const std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  // 32 0xFF bytes (RFC 3720 test vector).
+  const std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendComposes) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = 0;
+    crc = Crc32cExtend(crc, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesCrc) {
+  std::vector<uint8_t> data(512, 0xA5);
+  const uint32_t clean = Crc32c(data.data(), data.size());
+  for (size_t byte : {size_t{0}, size_t{255}, size_t{511}}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= uint8_t(1) << bit;
+      EXPECT_NE(Crc32c(data.data(), data.size()), clean);
+      data[byte] ^= uint8_t(1) << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace redo

@@ -96,12 +96,132 @@ TEST(LogManagerTest, UnforcedCheckpointInvisible) {
   EXPECT_FALSE(log.LatestStableCheckpoint().value().has_value());
 }
 
-TEST(LogManagerTest, TornStableTailDetected) {
+TEST(LogManagerTest, TornStableTailTruncatedNotFatal) {
+  // A torn tail is no longer a fatal error: the scan salvages the valid
+  // prefix and reports the damage, so recovery can proceed from it.
   LogManager log;
   log.Append(RecordType::kSlotWrite, {1, 2, 3});
+  log.Append(RecordType::kSlotWrite, {4, 5, 6});
   ASSERT_TRUE(log.ForceAll().ok());
-  log.CorruptStableTail(3);
-  EXPECT_EQ(log.StableRecords(1).status().code(), StatusCode::kCorruption);
+  log.CorruptStableTail(3);  // cuts into the second record
+  const StableScan scan = log.ScanStable(1);
+  EXPECT_TRUE(scan.torn);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].lsn, 1u);
+  EXPECT_EQ(scan.last_valid_lsn, 1u);
+  EXPECT_GT(scan.damaged_bytes, 0u);
+  // StableRecords returns the salvaged prefix instead of erroring.
+  const auto records = log.StableRecords(1);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records.value().size(), 1u);
+}
+
+TEST(LogManagerTest, SalvageTruncatesTornTailAtLastValidRecord) {
+  LogManager log;
+  log.Append(RecordType::kSlotWrite, {1});
+  log.Append(RecordType::kSlotWrite, {2});
+  ASSERT_TRUE(log.ForceAll().ok());
+  log.Append(RecordType::kCheckpoint, {});
+  // The crash interrupts the force: only part of the checkpoint record
+  // reaches stable storage.
+  const size_t pending = log.PendingForceBytes();
+  ASSERT_GT(pending, 4u);
+  EXPECT_EQ(log.TearInFlightForce(pending - 3), pending - 3);
+  EXPECT_EQ(log.stable_lsn(), 2u) << "torn bytes are not acknowledged";
+  log.Crash();
+
+  const SalvageResult salvage = log.SalvageTornTail();
+  EXPECT_TRUE(salvage.torn);
+  EXPECT_EQ(salvage.dropped_bytes, pending - 3);
+  EXPECT_EQ(salvage.salvaged_records, 0u);
+  EXPECT_EQ(salvage.stable_lsn_before, 2u);
+  EXPECT_EQ(salvage.stable_lsn_after, 2u);
+  EXPECT_EQ(log.StableRecords(1).value().size(), 2u);
+  EXPECT_EQ(log.stats().torn_tail_truncations, 1u);
+  EXPECT_EQ(log.stats().torn_bytes_dropped, pending - 3);
+}
+
+TEST(LogManagerTest, SalvageRecoversCompleteUnacknowledgedRecords) {
+  // A torn force can still land complete records. They are genuine
+  // survivors — the crash happened before the ack, but the bytes are
+  // whole and checksummed — so stable_lsn RISES. This is safe because
+  // no page flush can have depended on the unacknowledged force.
+  LogManager log;
+  log.Append(RecordType::kSlotWrite, {1});
+  ASSERT_TRUE(log.ForceAll().ok());
+  log.Append(RecordType::kSlotWrite, {2});
+  log.Append(RecordType::kSlotWrite, {3});
+  const size_t pending = log.PendingForceBytes();
+  // Land ALL pending bytes: both records are complete on stable storage.
+  EXPECT_EQ(log.TearInFlightForce(pending), pending);
+  log.Crash();
+  EXPECT_EQ(log.stable_lsn(), 1u);
+
+  const SalvageResult salvage = log.SalvageTornTail();
+  EXPECT_FALSE(salvage.torn) << "every stable byte decoded";
+  EXPECT_EQ(salvage.salvaged_records, 2u);
+  EXPECT_EQ(salvage.stable_lsn_after, 3u);
+  EXPECT_EQ(log.stable_lsn(), 3u);
+  EXPECT_EQ(log.StableRecords(1).value().size(), 3u);
+  EXPECT_EQ(log.stats().salvaged_records, 2u);
+}
+
+TEST(LogManagerTest, SalvageAfterCorruptStableTailRescansFromScratch) {
+  LogManager log;
+  for (int i = 0; i < 5; ++i) {
+    log.Append(RecordType::kSlotWrite, {static_cast<uint8_t>(i)});
+  }
+  ASSERT_TRUE(log.ForceAll().ok());
+  log.CorruptStableTail(7);  // cuts into record 5
+  log.Crash();
+  const SalvageResult salvage = log.SalvageTornTail();
+  EXPECT_TRUE(salvage.torn);
+  EXPECT_EQ(salvage.stable_lsn_after, 4u);
+  EXPECT_EQ(log.StableRecords(1).value().size(), 4u);
+  // Appends continue from the salvaged LSN.
+  EXPECT_EQ(log.Append(RecordType::kSlotWrite, {9}), 5u);
+}
+
+TEST(LogManagerTest, LatestStableCheckpointUsesCachedOffset) {
+  LogManager log;
+  for (int round = 0; round < 10; ++round) {
+    log.Append(RecordType::kSlotWrite, {static_cast<uint8_t>(round)});
+    log.Append(RecordType::kCheckpoint, {static_cast<uint8_t>(round)});
+    ASSERT_TRUE(log.ForceAll().ok());
+  }
+  const auto checkpoint = log.LatestStableCheckpoint();
+  ASSERT_TRUE(checkpoint.ok());
+  ASSERT_TRUE(checkpoint.value().has_value());
+  EXPECT_EQ(checkpoint.value()->lsn, 20u);
+  EXPECT_EQ(checkpoint.value()->payload, std::vector<uint8_t>{9});
+  EXPECT_EQ(log.stats().checkpoint_cache_hits, 1u);
+  EXPECT_EQ(log.stats().checkpoint_full_scans, 0u);
+}
+
+TEST(LogManagerTest, LatestStableCheckpointFallsBackOnDamage) {
+  LogManager log;
+  log.Append(RecordType::kCheckpoint, {1});
+  log.Append(RecordType::kSlotWrite, {2});
+  log.Append(RecordType::kCheckpoint, {3});
+  ASSERT_TRUE(log.ForceAll().ok());
+  log.CorruptStableTail(2);  // damages the tail past the 2nd checkpoint
+  const auto checkpoint = log.LatestStableCheckpoint();
+  ASSERT_TRUE(checkpoint.ok());
+  ASSERT_TRUE(checkpoint.value().has_value());
+  EXPECT_EQ(checkpoint.value()->lsn, 1u) << "latest INTACT checkpoint";
+  EXPECT_GE(log.stats().checkpoint_full_scans, 1u);
+}
+
+TEST(LogManagerTest, SalvageOnCleanLogIsFreeAndExact) {
+  LogManager log;
+  log.Append(RecordType::kSlotWrite, {1});
+  ASSERT_TRUE(log.ForceAll().ok());
+  log.Crash();
+  const SalvageResult salvage = log.SalvageTornTail();
+  EXPECT_FALSE(salvage.torn);
+  EXPECT_EQ(salvage.dropped_bytes, 0u);
+  EXPECT_EQ(salvage.salvaged_records, 0u);
+  EXPECT_EQ(log.stable_lsn(), 1u);
 }
 
 TEST(LogManagerTest, StatsTrackForces) {

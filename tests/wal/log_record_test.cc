@@ -72,6 +72,45 @@ TEST(LogRecordTest, TruncatedRecordDetected) {
             StatusCode::kCorruption);
 }
 
+TEST(LogRecordTest, TruncationAtEveryByteOffsetDetected) {
+  // A torn force can cut the final record at ANY byte. Wherever the cut
+  // lands — inside the length prefix, the header, the payload, or the
+  // trailing checksum — decoding must fail cleanly (kCorruption) and
+  // must not advance the offset past valid data.
+  LogRecord intact{7, RecordType::kPageSplit, {10, 20, 30, 40, 50}};
+  std::vector<uint8_t> prefix = EncodeRecord(LogRecord{
+      6, RecordType::kSlotWrite, {1, 2}});
+  const size_t prefix_size = prefix.size();
+  const std::vector<uint8_t> tail = EncodeRecord(intact);
+  for (size_t cut = 0; cut < tail.size(); ++cut) {
+    std::vector<uint8_t> bytes = prefix;
+    bytes.insert(bytes.end(), tail.begin(),
+                 tail.begin() + static_cast<ptrdiff_t>(cut));
+    size_t offset = 0;
+    ASSERT_TRUE(DecodeRecord(bytes, &offset).ok()) << "cut=" << cut;
+    ASSERT_EQ(offset, prefix_size) << "cut=" << cut;
+    const Result<LogRecord> torn = DecodeRecord(bytes, &offset);
+    EXPECT_EQ(torn.status().code(), StatusCode::kCorruption) << "cut=" << cut;
+    EXPECT_EQ(offset, prefix_size)
+        << "failed decode must not advance the offset (cut=" << cut << ")";
+  }
+  // And the un-cut record still decodes (the loop's sanity complement).
+  std::vector<uint8_t> whole = prefix;
+  whole.insert(whole.end(), tail.begin(), tail.end());
+  size_t offset = prefix_size;
+  EXPECT_EQ(DecodeRecord(whole, &offset).value(), intact);
+}
+
+TEST(LogRecordTest, ImplausibleLengthPrefixRejected) {
+  // A tear can leave garbage where the next record's length prefix
+  // would be; a huge value must not trigger a huge read-ahead.
+  std::vector<uint8_t> bytes(64, 0xFF);
+  size_t offset = 0;
+  EXPECT_EQ(DecodeRecord(bytes, &offset).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(offset, 0u);
+}
+
 TEST(LogRecordTest, BitFlipDetectedByChecksum) {
   LogRecord record{1, RecordType::kSlotWrite, {1, 2, 3}};
   std::vector<uint8_t> encoded = EncodeRecord(record);

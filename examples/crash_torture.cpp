@@ -6,9 +6,12 @@
 // With `--faults`, each run also injects disk and log faults the paper's
 // model assumes away — torn log tails from interrupted forces, torn page
 // writes with stale checksums, transient write-error bursts, sticky read
-// errors — and enforces the stronger contract: every fault is detected
-// and healed, recovery still matches the oracle exactly, and no page is
-// ever wrong while verifying clean (zero silent corruption).
+// errors, and *log-media* damage to the sealed log body (mid-stream bit
+// rot, lost segment copies, torn seals, archive rot) — and enforces the
+// stronger contract: every fault is detected and healed or explicitly
+// degraded (mirror repair -> media recovery from backup+archive ->
+// diagnosed refusal), recovery still matches the oracle exactly, and no
+// page is ever wrong while verifying clean (zero silent corruption).
 //
 // Usage: crash_torture [--faults] [runs_per_method] [ops_per_segment] [crashes]
 
@@ -39,6 +42,8 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   size_t injected = 0, detected = 0, torn_tails = 0, salvaged = 0, healed = 0,
          retries = 0, silent = 0;
+  size_t log_injected = 0, log_repairs = 0, rung1 = 0, rung2 = 0, rung3 = 0,
+         backups = 0, sealed = 0;
   for (const methods::MethodKind kind :
        {methods::MethodKind::kLogical, methods::MethodKind::kPhysical,
         methods::MethodKind::kPhysiological,
@@ -53,6 +58,11 @@ int main(int argc, char** argv) {
       options.ops_per_segment = ops;
       options.crashes = crashes;
       options.faults.enabled = faults;
+      // Small segments so every run seals (and damages) several; a fresh
+      // backup each cycle so rung 2 has a current anchor.
+      options.faults.log_segment_bytes = 448;
+      options.faults.backup_interval = 1;
+      options.faults.truncate_at_backup = true;
       const checker::CrashSimResult r = checker::RunCrashSim(kind, options, seed);
       actions += r.actions_executed;
       total_crashes += r.crashes;
@@ -65,6 +75,13 @@ int main(int argc, char** argv) {
       healed += r.pages_healed;
       retries += r.recovery_retries;
       silent += r.silent_corruptions;
+      log_injected += r.log_faults_injected;
+      log_repairs += r.log_scrub_repairs;
+      rung1 += r.ladder_mirror_cycles;
+      rung2 += r.ladder_media_cycles;
+      rung3 += r.ladder_refusals;
+      backups += r.backups_taken;
+      sealed += r.segments_sealed;
       if (!r.ok && all_ok) {
         all_ok = false;
         first_failure = r.failure;
@@ -85,6 +102,11 @@ int main(int argc, char** argv) {
         "  SILENT CORRUPTIONS: %zu%s\n",
         injected, detected, torn_tails, salvaged, healed, retries, silent,
         silent == 0 ? " (every fault was caught or healed)" : "  <-- BUG");
+    std::printf(
+        "log-media schedule: injected=%zu scrub_repairs=%zu segments_sealed=%zu\n"
+        "  ladder: rung1(mirror)=%zu rung2(media)=%zu rung3(refused)=%zu"
+        " backups=%zu\n",
+        log_injected, log_repairs, sealed, rung1, rung2, rung3, backups);
     if (silent != 0) exit_code = 1;
   }
   std::printf("\nEvery crash point was validated two ways: the recovery\n"

@@ -1,8 +1,9 @@
 // A recovery debugger: runs a workload, crashes, and dumps everything a
 // recovery engineer would want to see at the crash point — the stable
-// log with record types and sizes, the checkpoint and its dirty page
-// table, per-page LSN tags vs. the redo scan, the redo test's verdict
-// per record, and the formal checker's invariant report.
+// log with record types and sizes, the segment map (boundaries, seal
+// CRCs, archive status) with scrub verdicts, the checkpoint and its
+// dirty page table, per-page LSN tags vs. the redo scan, the redo test's
+// verdict per record, and the formal checker's invariant report.
 //
 // Usage: log_inspector [method: logical|physical|physiological|
 //                       generalized|aries] [actions] [seed]
@@ -10,14 +11,50 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "checker/recovery_checker.h"
+#include "wal/log_manager.h"
 #include "engine/workload.h"
 #include "methods/common.h"
 
 namespace {
 
 using namespace redo;
+
+const char* VerdictName(wal::SegmentVerdict::State state) {
+  switch (state) {
+    case wal::SegmentVerdict::State::kIntact: return "intact";
+    case wal::SegmentVerdict::State::kRepairedFromMirror:
+      return "repaired-from-mirror";
+    case wal::SegmentVerdict::State::kMirrorRebuilt: return "mirror-rebuilt";
+    case wal::SegmentVerdict::State::kResealed: return "resealed";
+    case wal::SegmentVerdict::State::kHole: return "HOLE (unreadable)";
+  }
+  return "?";
+}
+
+void PrintSegments(const char* label, const std::vector<wal::SegmentInfo>& segments) {
+  for (const wal::SegmentInfo& seg : segments) {
+    if (seg.sealed) {
+      std::printf("  %s seg %llu: lsn [%llu, %llu], %zu bytes, sealed, ",
+                  label, (unsigned long long)seg.id,
+                  (unsigned long long)seg.first_lsn,
+                  (unsigned long long)seg.last_lsn, seg.bytes);
+      if (seg.mirror_seal != 0) {  // archive copies carry a single seal
+        std::printf("seal crc %08x/%08x%s\n", seg.primary_seal,
+                    seg.mirror_seal, seg.archived ? ", archived" : "");
+      } else {
+        std::printf("seal crc %08x\n", seg.primary_seal);
+      }
+    } else {
+      std::printf("  %s seg %llu: lsn [%llu, %llu], %zu bytes, active\n",
+                  label, (unsigned long long)seg.id,
+                  (unsigned long long)seg.first_lsn,
+                  (unsigned long long)seg.last_lsn, seg.bytes);
+    }
+  }
+}
 
 methods::MethodKind ParseMethod(const char* name) {
   if (std::strcmp(name, "logical") == 0) return methods::MethodKind::kLogical;
@@ -42,6 +79,9 @@ int main(int argc, char** argv) {
   engine::MiniDbOptions options;
   options.num_pages = 8;
   options.cache_capacity = kind == methods::MethodKind::kLogical ? 0 : 4;
+  // Small segments so the workload seals a few and the segment map below
+  // has something to show.
+  options.wal.segment_bytes = 256;
   engine::MiniDb db(options, methods::MakeMethod(kind, options.num_pages));
   engine::TraceRecorder trace(db.disk());
   db.set_trace(&trace);
@@ -64,6 +104,20 @@ int main(int argc, char** argv) {
   std::printf("=== crash point (method: %s) ===\n", db.method().name());
   std::printf("log: last appended lsn lost with the crash; stable through %llu\n",
               (unsigned long long)db.log().stable_lsn());
+
+  std::printf("\n--- log segments ---\n");
+  PrintSegments("live", db.log().LiveSegments());
+  PrintSegments("arch", db.log().ArchivedSegments());
+  const wal::ScrubReport scrub = db.log().Scrub();
+  std::printf("scrub: %zu sealed live segments, %zu repairs, %zu holes\n",
+              scrub.segments, scrub.repairs, scrub.holes);
+  for (const wal::SegmentVerdict& verdict : scrub.verdicts) {
+    std::printf("  seg %llu lsn [%llu, %llu]: %s\n",
+                (unsigned long long)verdict.id,
+                (unsigned long long)verdict.first_lsn,
+                (unsigned long long)verdict.last_lsn,
+                VerdictName(verdict.state));
+  }
 
   const methods::EngineContext ctx = db.ctx();
   const core::Lsn scan_start = db.method().RedoScanStart(ctx).value();

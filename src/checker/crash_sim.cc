@@ -4,7 +4,10 @@
 #include <sstream>
 #include <vector>
 
+#include "engine/backup.h"
+#include "engine/degraded_recovery.h"
 #include "storage/fault_injector.h"
+#include "wal/log_fault_injector.h"
 
 namespace redo::checker {
 
@@ -77,6 +80,16 @@ std::string CrashSimResult::ToString() const {
         << " recovery_retries=" << recovery_retries
         << " silent_corruptions=" << silent_corruptions;
   }
+  if (log_faults_injected > 0 || backups_taken > 0 || segments_sealed > 0) {
+    out << " | log-media: injected=" << log_faults_injected
+        << " scrub_repairs=" << log_scrub_repairs
+        << " rung1_cycles=" << ladder_mirror_cycles
+        << " rung2_cycles=" << ladder_media_cycles
+        << " rung3_refusals=" << ladder_refusals
+        << " backups=" << backups_taken
+        << " segments_sealed=" << segments_sealed
+        << " segments_truncated=" << segments_truncated;
+  }
   return out.str();
 }
 
@@ -85,6 +98,8 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
   CrashSimResult result;
   std::optional<FaultInjector> injector_storage;
   FaultInjector* injector = nullptr;
+  std::optional<wal::LogFaultInjector> log_injector_storage;
+  wal::LogFaultInjector* log_injector = nullptr;
   auto fail = [&result, &injector](std::string why) {
     result.ok = false;
     if (result.failure.empty()) result.failure = std::move(why);
@@ -101,6 +116,11 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
   db_options.num_pages = options.workload.num_pages;
   db_options.cache_capacity =
       method_kind == methods::MethodKind::kLogical ? 0 : options.cache_capacity;
+  if (options.faults.enabled) {
+    // A segmented, mirrored, archived log — the substrate the log-media
+    // fault schedule and the degradation ladder exercise.
+    db_options.wal.segment_bytes = options.faults.log_segment_bytes;
+  }
   MiniDb db(db_options,
             methods::MakeMethod(method_kind, options.workload.num_pages));
 
@@ -121,7 +141,24 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
     injector_storage.emplace(fi, seed ^ 0xFA017EC7ULL);
     injector = &*injector_storage;
     db.disk().set_fault_injector(injector);
+
+    if (options.faults.log_segment_bytes > 0) {
+      wal::LogFaultOptions lf;
+      lf.bit_rot_probability = options.faults.log_bit_rot_probability;
+      lf.lost_segment_probability =
+          options.faults.log_lost_segment_probability;
+      lf.torn_seal_probability = options.faults.log_torn_seal_probability;
+      lf.double_fault_probability =
+          options.faults.log_double_fault_probability;
+      lf.archive_rot_probability = options.faults.log_archive_rot_probability;
+      log_injector_storage.emplace(lf, seed ^ 0x106FAB17ULL);
+      log_injector = &*log_injector_storage;
+    }
   }
+
+  // The last clean backup (rung 2's anchor), refreshed every
+  // `backup_interval` cycles at a verified clean point.
+  std::optional<engine::Backup> backup;
 
   // Verifies every stable page's write checksum and heals the damage,
   // the way a scrub pass over a mirrored pair would. A page that fails
@@ -334,8 +371,75 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
       if (!st.ok()) return fail(st.ToString());
     }
 
+    // ---- Log-media faults + the degradation ladder ----
+    // The restart discovers body damage to the stable log. A scrub
+    // repairs whatever has an intact twin (rung 1). If a hole remains,
+    // this cycle is *degraded*: skip the log-scan-based invariant
+    // checker (its premise — a readable log — is exactly what failed)
+    // and descend the ladder; the byte-level oracle below still judges
+    // the outcome.
+    bool degraded_cycle = false;
+    if (log_injector != nullptr) {
+      result.log_faults_injected += log_injector->InjectAtCrash(db.log());
+      const wal::ScrubReport scrub_report = db.log().Scrub();
+      result.log_scrub_repairs +=
+          scrub_report.repairs + scrub_report.archive_repairs;
+      if (scrub_report.clean()) {
+        if (scrub_report.repairs + scrub_report.archive_repairs > 0) {
+          ++result.ladder_mirror_cycles;
+        }
+      } else {
+        degraded_cycle = true;
+        // Media recovery rewrites every stable page from the backup;
+        // run it on the quiesced mirror path, like the split above.
+        if (injector != nullptr) {
+          injector->HealAll(&db.disk());
+          injector->set_paused(true);
+        }
+        const engine::LadderReport ladder = engine::RecoverWithDegradation(
+            db, backup.has_value() ? &*backup : nullptr);
+        if (injector != nullptr) injector->set_paused(false);
+        switch (ladder.rung) {
+          case engine::LadderRung::kIntactLog:
+          case engine::LadderRung::kMirrorRepair:
+            return fail("ladder resolved a holed log at rung " +
+                        std::string(engine::LadderRungName(ladder.rung)) +
+                        " — scrub and ladder disagree");
+          case engine::LadderRung::kMediaRecovery: {
+            if (!ladder.status.ok()) {
+              return fail("rung-2 media recovery: " +
+                          ladder.status.ToString());
+            }
+            ++result.ladder_media_cycles;
+            break;
+          }
+          case engine::LadderRung::kRefused: {
+            // The refusal must be loud and precise...
+            if (ladder.status.ok() || ladder.first_unreadable_lsn == 0 ||
+                ladder.diagnosis.empty()) {
+              return fail("rung-3 refusal without a diagnosis: " +
+                          ladder.ToString());
+            }
+            ++result.ladder_refusals;
+            // ...and it must leave the database unrecovered rather than
+            // guessed-at. Model the only sound remedy — an offsite
+            // restore of the damaged segments. The common recovery below
+            // then runs ONCE on the still-cold crash state: recovering
+            // here and again below would replay the suffix twice onto a
+            // warm cache, which the logical method (no page-LSN redo
+            // test) does not tolerate — splits are not idempotent.
+            log_injector->HealAll(db.log());
+            if (db.log().FirstHoleLsn() != 0) {
+              return fail("offsite restore left the log holed");
+            }
+            break;
+          }
+        }
+      }
+    }
+
     // ---- Invariant check against the formal model ----
-    if (options.run_checker) {
+    if (options.run_checker && !degraded_cycle) {
       const CheckResult check = CheckCrashState(db, trace);
       ++result.checker_runs;
       result.stable_ops_at_crashes += check.stable_ops;
@@ -348,8 +452,10 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
     // ---- Crashes during recovery ----
     // Recover, install an arbitrary subset of the redone pages, and
     // crash again: recovery must be idempotent and every intermediate
-    // state must still satisfy the invariant.
-    for (size_t rc = 0; rc < options.recovery_crashes; ++rc) {
+    // state must still satisfy the invariant. (Skipped on degraded
+    // cycles: the ladder already recovered above.)
+    for (size_t rc = 0; rc < (degraded_cycle ? 0 : options.recovery_crashes);
+         ++rc) {
       Status recover_status = tolerant_recover();
       if (!recover_status.ok()) {
         return fail("recovery crash round " + std::to_string(rc) + ": " +
@@ -378,6 +484,11 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
     }
 
     // ---- Recovery ----
+    // On rung-2 cycles the ladder already recovered and re-anchored with
+    // a fresh checkpoint; tolerant_recover is then a rehearsal no-op
+    // (nothing after the checkpoint), which is itself worth exercising.
+    // On rung-3 cycles this is the first (and only) recovery after the
+    // offsite restore, running on the cold crash state.
     Status st = tolerant_recover();
     if (!st.ok()) return fail("recover: " + st.ToString());
     st = tolerant_io("post-recovery flush", [&] { return db.FlushEverything(); });
@@ -413,6 +524,30 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
       ++result.recovered_pages_verified;
     }
 
+    // ---- Backup + checkpoint truncation ----
+    // The state was just oracle-verified, so this backup is known-good —
+    // exactly what rung 2 is allowed to anchor on. Taken on the quiesced
+    // mirror path (a backup of a torn page would poison every later
+    // media recovery), and before the epoch reset so the backup's
+    // checkpoint record stays below the next epoch's first LSN.
+    if (options.faults.enabled && options.faults.backup_interval > 0 &&
+        (crash + 1) % options.faults.backup_interval == 0) {
+      if (injector != nullptr) {
+        injector->HealAll(&db.disk());
+        injector->set_paused(true);
+      }
+      Result<engine::Backup> taken = engine::TakeBackup(db);
+      if (injector != nullptr) injector->set_paused(false);
+      if (!taken.ok()) return fail("backup: " + taken.status().ToString());
+      backup = std::move(taken).value();
+      ++result.backups_taken;
+      if (options.faults.truncate_at_backup &&
+          options.faults.log_segment_bytes > 0) {
+        db.log().SealActiveSegment();
+        db.log().TruncateArchived(backup->backup_lsn);
+      }
+    }
+
     // ---- New epoch for the trace ----
     trace.BeginEpoch(db.disk(), db.log().last_lsn() + 1);
   }
@@ -423,6 +558,8 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
     result.pages_healed = fs.pages_healed;
     db.disk().set_fault_injector(nullptr);
   }
+  result.segments_sealed = db.log().stats().segments_sealed;
+  result.segments_truncated = db.log().stats().segments_truncated;
   result.ok = true;
   return result;
 }

@@ -36,6 +36,28 @@ struct CrashFaultOptions {
   double write_error_probability = 0.05;  ///< per page write (burst start)
   int max_write_error_burst = 2;  ///< < BufferPool::kMaxFlushAttempts
   double read_error_probability = 0.003;  ///< per page read (sticky)
+
+  // ---- Log-media faults (the stable log *body*, not just its tail) ----
+  // Active when `enabled` and log_segment_bytes > 0: the database runs a
+  // segmented, mirrored, archived log, and a LogFaultInjector rolls the
+  // probabilities below per sealed segment at every crash point. A
+  // damaged cycle must resolve at an explicit degradation-ladder rung:
+  // scrub repair (mirror/reseal), media recovery from the last backup +
+  // the archive, or a diagnosed refusal naming the first unreadable LSN.
+  size_t log_segment_bytes = 0;              ///< 0 = flat log, no log faults
+  double log_bit_rot_probability = 0.10;     ///< per sealed segment per crash
+  double log_lost_segment_probability = 0.04;
+  double log_torn_seal_probability = 0.05;
+  /// Given a damaged copy, P(the segment's other copy is damaged too) —
+  /// the mirror cannot repair, forcing rung 2 or 3.
+  double log_double_fault_probability = 0.35;
+  double log_archive_rot_probability = 0.05; ///< per archived segment per crash
+  /// Take a fresh backup every N crash cycles (0 = never). Backups are
+  /// what rung 2 degrades to when the mirror cannot repair a hole.
+  size_t backup_interval = 1;
+  /// Checkpoint-truncate the live log at each backup point (the archive
+  /// retains the sealed segments).
+  bool truncate_at_backup = true;
 };
 
 struct CrashSimOptions {
@@ -70,6 +92,15 @@ struct CrashSimResult {
   size_t pages_healed = 0;
   size_t recovery_retries = 0;   ///< recover attempts repeated after faults
   size_t silent_corruptions = 0; ///< oracle mismatch with a valid checksum
+  // Log-media fault accounting (all zero when log faults are disabled).
+  size_t log_faults_injected = 0;   ///< bit rots + lost copies + torn seals
+  size_t log_scrub_repairs = 0;     ///< mirror repairs + reseals + archive fixes
+  size_t ladder_mirror_cycles = 0;  ///< damaged cycles resolved by scrub (rung 1)
+  size_t ladder_media_cycles = 0;   ///< cycles degraded to media recovery (rung 2)
+  size_t ladder_refusals = 0;       ///< diagnosed refusals (rung 3, then restored)
+  size_t backups_taken = 0;
+  size_t segments_sealed = 0;       ///< log segments sealed over the run
+  size_t segments_truncated = 0;    ///< live segments retired to the archive
 
   std::string ToString() const;
 };

@@ -44,16 +44,20 @@ std::string CheckResult::ToString() const {
 CheckResult CheckCrashState(engine::MiniDb& db, const TraceRecorder& trace) {
   CheckResult result;
 
-  // 1. Read the stable log (recovery's only view of history).
-  Result<std::vector<wal::LogRecord>> stable = db.log().StableRecords(1);
+  // 1. Read the stable log (recovery's only view of history). Records
+  // below the trace epoch are pre-epoch history: their effects are
+  // absorbed into the epoch-initial state, and the epoch boundary is a
+  // checkpoint, so recovery never scans them — scan from the epoch
+  // start, so archived/truncated pre-epoch segments (which may even
+  // carry unrepairable archive rot) are skipped by metadata exactly as
+  // recovery skips them.
+  Result<std::vector<wal::LogRecord>> stable =
+      db.log().StableRecords(std::max<core::Lsn>(1, trace.epoch_min_lsn()));
   if (!stable.ok()) {
     result.problems.push_back("stable log unreadable: " +
                               stable.status().ToString());
     return result;
   }
-  // Records below the trace epoch are pre-epoch history: their effects
-  // are absorbed into the epoch-initial state, and the epoch boundary is
-  // a checkpoint, so recovery never scans them.
   std::map<core::Lsn, const wal::LogRecord*> stable_by_lsn;
   for (const wal::LogRecord& record : stable.value()) {
     if (record.type == wal::RecordType::kCheckpoint) continue;

@@ -109,8 +109,13 @@ Status RestoreAndReplay(MiniDb& db, const Backup& backup, core::Lsn upto_lsn) {
     REDO_RETURN_IF_ERROR(db.disk().WritePage(p, backup.pages[p]));
   }
   // Replay the stable log suffix in order, up to the requested point.
+  // ReadWithArchive pulls from every intact source — live copies first,
+  // archive copies for live holes and truncated-away prefixes — and
+  // verifies the LSN sequence is gap-free, so media recovery either
+  // replays the *whole* suffix or fails naming the first unreadable LSN
+  // (never a silently truncated prefix).
   Result<std::vector<wal::LogRecord>> records =
-      db.log().StableRecords(backup.backup_lsn + 1);
+      db.log().ReadWithArchive(backup.backup_lsn + 1);
   if (!records.ok()) return records.status();
   for (const wal::LogRecord& record : records.value()) {
     if (record.lsn > upto_lsn) break;

@@ -1,0 +1,118 @@
+#include "engine/degraded_recovery.h"
+
+namespace redo::engine {
+
+const char* LadderRungName(LadderRung rung) {
+  switch (rung) {
+    case LadderRung::kIntactLog:
+      return "intact-log";
+    case LadderRung::kMirrorRepair:
+      return "mirror-repair";
+    case LadderRung::kMediaRecovery:
+      return "media-recovery";
+    case LadderRung::kRefused:
+      return "refused";
+  }
+  return "?";
+}
+
+std::string LadderReport::ToString() const {
+  std::string s = "rung=";
+  s += LadderRungName(rung);
+  s += " scrub{segments=" + std::to_string(scrub.segments) +
+       " repairs=" + std::to_string(scrub.repairs) +
+       " holes=" + std::to_string(scrub.holes) +
+       " archive_repairs=" + std::to_string(scrub.archive_repairs) +
+       " archive_holes=" + std::to_string(scrub.archive_holes) + "}";
+  if (rung == LadderRung::kMediaRecovery) {
+    s += used_backup ? " backup=yes" : " backup=genesis";
+    s += " archive_reseeds=" + std::to_string(archive_repairs);
+    s += " amputated=" + std::to_string(segments_amputated);
+  }
+  if (rung == LadderRung::kRefused) {
+    s += " first_unreadable_lsn=" + std::to_string(first_unreadable_lsn);
+    s += " diagnosis=\"" + diagnosis + "\"";
+  }
+  return s;
+}
+
+LadderReport RecoverWithDegradation(MiniDb& db, const Backup* backup) {
+  LadderReport report;
+  wal::LogManager& log = db.log();
+
+  // Salvage the torn tail first, exactly as ordinary recovery would: the
+  // active segment's damage model (a crash mid-force) is handled by
+  // truncation, not by the ladder.
+  if (log.PendingForceBytes() == 0) log.SalvageTornTail();
+
+  // Rungs 0/1: scrub. CRC-verify every sealed copy, repair from the
+  // intact twin, re-derive torn seals. If no hole remains, the log is
+  // whole and ordinary recovery is fully trustworthy.
+  report.scrub = log.Scrub();
+  if (report.scrub.clean()) {
+    report.rung = report.scrub.repairs + report.scrub.archive_repairs > 0
+                      ? LadderRung::kMirrorRepair
+                      : LadderRung::kIntactLog;
+    report.status = db.Recover();
+    return report;
+  }
+
+  // A live hole. Rung 2 is legal only if a backup subsumes everything up
+  // to some LSN b, and every record in (b, stable_lsn] is readable from
+  // *some* intact source (live copy or archive) with no gap.
+  const core::Lsn base = backup != nullptr ? backup->backup_lsn : 0;
+  const core::Lsn uncovered = log.FirstUncoveredLsn(base + 1);
+  if (uncovered != 0) {
+    report.rung = LadderRung::kRefused;
+    report.first_unreadable_lsn = uncovered;
+    report.diagnosis =
+        "stable log unreadable at LSN " + std::to_string(uncovered) +
+        ": no intact live copy and no intact archive copy; " +
+        (backup != nullptr
+             ? "the backup (through LSN " + std::to_string(base) +
+                   ") does not reach it"
+             : "no backup is available") +
+        "; needed: a backup covering LSN >= " + std::to_string(uncovered) +
+        " or an intact copy of the damaged segment. Refusing to recover "
+        "past a gap.";
+    report.status = Status::Corruption(report.diagnosis);
+    return report;
+  }
+
+  // Rung 2: media recovery. Restore the backup (or the genesis state —
+  // an all-zero database explained by the empty log prefix) and replay
+  // the gap-checked archive ∪ live suffix.
+  report.rung = LadderRung::kMediaRecovery;
+  report.used_backup = backup != nullptr;
+  if (backup != nullptr) {
+    report.status = MediaRecover(db, *backup);
+  } else {
+    Backup genesis;
+    genesis.backup_lsn = 0;
+    genesis.pages.assign(db.num_pages(), storage::Page());
+    report.status = MediaRecover(db, genesis);
+  }
+  if (!report.status.ok()) return report;
+
+  // Re-seed unreadable live segments from the archive, then drop what
+  // nothing can rebuild but the backup subsumes — the live log is whole
+  // again above the backup point, so the *next* crash recovers normally.
+  report.archive_repairs = log.RepairFromArchive();
+  report.segments_amputated = log.DropUnreadableThrough(base);
+  if (const core::Lsn hole = log.FirstHoleLsn(); hole != 0) {
+    // Cannot happen if FirstUncoveredLsn was 0; defend anyway.
+    report.status = Status::Corruption(
+        "live log still has a hole at LSN " + std::to_string(hole) +
+        " after archive repair");
+    return report;
+  }
+  // Re-anchor redo with a fresh checkpoint: media recovery *installed*
+  // the whole replayed suffix, so a method without a page-LSN redo test
+  // (logical) must not re-replay it on the next ordinary recovery —
+  // splits are not idempotent against an already-rewritten source page.
+  report.status = db.Checkpoint();
+  if (report.status.ok()) report.status = log.ForceAll();
+  return report;
+}
+
+}  // namespace redo::engine

@@ -6,6 +6,7 @@ MiniDb::MiniDb(const MiniDbOptions& options,
                std::unique_ptr<methods::RecoveryMethod> method)
     : disk_(options.num_pages),
       pool_(&disk_, options.cache_capacity),
+      log_(options.wal),
       method_(std::move(method)) {
   REDO_CHECK(options.cache_capacity == 0 || options.cache_capacity >= 2)
       << "split redo needs two pages cached at once";
@@ -79,6 +80,18 @@ Status MiniDb::Recover() {
   // (Skipped for a recovery rehearsal on a live db with unforced
   // appends; nothing can be torn while the process is still up.)
   if (log_.PendingForceBytes() == 0) log_.SalvageTornTail();
+  // Refuse to recover across a hole in the sealed log body: redo
+  // requires an unbroken record prefix, and replaying a silently
+  // truncated one would "recover" to a state that never existed. The
+  // degradation ladder (engine/degraded_recovery.h) is the sanctioned
+  // way past this refusal.
+  if (const core::Lsn hole = log_.FirstHoleLsn(); hole != 0) {
+    return Status::Corruption(
+        "stable log has an unreadable segment (first unreadable LSN " +
+        std::to_string(hole) +
+        "); refusing to recover past a gap — repair the log or run the "
+        "degradation ladder");
+  }
   methods::EngineContext context = ctx();
   return method_->Recover(context);
 }

@@ -27,6 +27,9 @@ struct MiniDbOptions {
   /// (split redo touches two pages at once). Methods that forbid
   /// background flushes (logical) require 0.
   size_t cache_capacity = 0;
+  /// Stable-log segmentation/redundancy (defaults: one unbounded,
+  /// mirrored active segment — the PR-1 behavior).
+  wal::LogManagerOptions wal;
 };
 
 class MiniDb {

@@ -1,8 +1,25 @@
 #include "wal/log_manager.h"
 
 #include <algorithm>
+#include <array>
+
+#include "util/crc32c.h"
 
 namespace redo::wal {
+
+namespace {
+
+Status GapStatus(core::Lsn lsn) {
+  return Status::Corruption("stable log unreadable: first unreadable LSN " +
+                            std::to_string(lsn));
+}
+
+}  // namespace
+
+LogManager::LogManager(const LogManagerOptions& options) : options_(options) {
+  live_.push_back(Segment{});
+  live_.back().id = next_segment_id_++;
+}
 
 core::Lsn LogManager::Append(RecordType type, std::vector<uint8_t> payload) {
   LogRecord record;
@@ -14,31 +31,88 @@ core::Lsn LogManager::Append(RecordType type, std::vector<uint8_t> payload) {
   return last_lsn_;
 }
 
+void LogManager::StartNewActive() {
+  live_.push_back(Segment{});
+  live_.back().id = next_segment_id_++;
+  verified_prefix_ = 0;
+}
+
+void LogManager::SealActive() {
+  Segment& seg = active();
+  REDO_CHECK(!seg.records.empty());
+  REDO_CHECK(verified_prefix_ == seg.primary.bytes.size());
+  seg.sealed = true;
+  seg.first_lsn = seg.records.front().lsn;
+  seg.last_lsn = seg.records.back().lsn;
+  seg.primary.seal = Crc32c(seg.primary.bytes.data(), seg.primary.bytes.size());
+  if (options_.mirror) {
+    seg.mirror.seal = Crc32c(seg.mirror.bytes.data(), seg.mirror.bytes.size());
+  }
+  if (options_.archive_sealed) {
+    Segment copy;
+    copy.id = seg.id;
+    copy.first_lsn = seg.first_lsn;
+    copy.last_lsn = seg.last_lsn;
+    copy.sealed = true;
+    copy.primary = seg.primary;
+    copy.mirror.lost = true;  // the archive keeps a single copy
+    copy.records = seg.records;
+    copy.records_valid = true;
+    archive_.push_back(std::move(copy));
+    ++stats_.segments_archived;
+  }
+  ++stats_.segments_sealed;
+  StartNewActive();
+}
+
+bool LogManager::SealActiveSegment() {
+  const Segment& seg = active();
+  if (seg.records.empty() || verified_prefix_ != seg.primary.bytes.size()) {
+    return false;
+  }
+  SealActive();
+  return true;
+}
+
 Status LogManager::Force(core::Lsn upto) {
   ++stats_.forces;
-  const bool was_verified = verified_prefix_ == stable_bytes_.size();
+  bool verified = verified_prefix_ == active().primary.bytes.size();
   size_t moved = 0;
   for (const LogRecord& record : volatile_tail_) {
     if (record.lsn > upto) break;
-    const size_t offset = stable_bytes_.size();
+    Segment& seg = active();  // re-fetch: sealing replaces the active segment
     const std::vector<uint8_t> encoded = EncodeRecord(record);
-    stable_bytes_.insert(stable_bytes_.end(), encoded.begin(), encoded.end());
-    if (record.type == RecordType::kCheckpoint) {
-      checkpoints_.push_back(
-          CheckpointOffset{offset, stable_bytes_.size(), record.lsn});
+    seg.primary.bytes.insert(seg.primary.bytes.end(), encoded.begin(),
+                             encoded.end());
+    if (options_.mirror) {
+      seg.mirror.bytes.insert(seg.mirror.bytes.end(), encoded.begin(),
+                              encoded.end());
+    }
+    // An acknowledged force's bytes are durable and framed; extend the
+    // verified prefix (and the parsed-record cache) past them — unless
+    // unverified damage already sits before them (a torn/corrupted tail
+    // nobody salvaged yet), in which case only a salvage scan may
+    // re-verify.
+    if (verified) {
+      if (seg.first_lsn == 0) seg.first_lsn = record.lsn;
+      seg.last_lsn = record.lsn;
+      if (record.type == RecordType::kCheckpoint) {
+        checkpoints_.push_back(CheckpointOffset{seg.id, record.lsn});
+      }
+      seg.records.push_back(record);
+      verified_prefix_ = seg.primary.bytes.size();
+      if (options_.segment_bytes > 0 &&
+          seg.primary.bytes.size() >= options_.segment_bytes) {
+        SealActive();  // verified stays true: the new active is empty
+      }
     }
     stable_lsn_ = record.lsn;
     ++moved;
   }
   volatile_tail_.erase(volatile_tail_.begin(),
                        volatile_tail_.begin() + static_cast<ptrdiff_t>(moved));
-  // An acknowledged force's bytes are durable and framed; extend the
-  // verified prefix past them — unless unverified damage already sits
-  // before them (a torn/corrupted tail nobody salvaged yet), in which
-  // case only a salvage scan may re-verify.
-  if (was_verified) verified_prefix_ = stable_bytes_.size();
   stats_.forced_records += moved;
-  stats_.stable_bytes = stable_bytes_.size();
+  RefreshStableBytes();
   return Status::Ok();
 }
 
@@ -49,23 +123,114 @@ void LogManager::Crash() {
   last_lsn_ = stable_lsn_;
 }
 
-StableScan LogManager::ScanStable(core::Lsn from) const {
-  StableScan scan;
+std::optional<std::vector<LogRecord>> LogManager::DecodeSealedCopy(
+    const Segment& segment, const Copy& copy) const {
+  ++stats_.scan_decodes;
+  std::vector<LogRecord> records;
   size_t offset = 0;
-  while (offset < stable_bytes_.size()) {
-    Result<LogRecord> record = DecodeRecord(stable_bytes_, &offset);
-    if (!record.ok()) {
-      // Torn/corrupt tail: everything from here on is untrustworthy.
-      scan.torn = true;
-      break;
-    }
-    scan.last_valid_lsn = record.value().lsn;
-    if (record.value().lsn >= from) {
-      scan.records.push_back(std::move(record).value());
+  while (offset < copy.bytes.size()) {
+    Result<LogRecord> record = DecodeRecord(copy.bytes, &offset);
+    if (!record.ok()) return std::nullopt;
+    records.push_back(std::move(record).value());
+  }
+  if (records.empty()) return std::nullopt;
+  if (records.front().lsn != segment.first_lsn ||
+      records.back().lsn != segment.last_lsn) {
+    return std::nullopt;
+  }
+  return records;
+}
+
+const std::vector<LogRecord>* LogManager::ReadableSealedRecords(
+    const Segment& segment) const {
+  if (segment.records_valid && !segment.records.empty()) {
+    ++stats_.scan_cache_hits;
+    return &segment.records;
+  }
+  for (const Copy* copy : {&segment.primary, &segment.mirror}) {
+    if (copy->lost) continue;
+    std::optional<std::vector<LogRecord>> decoded =
+        DecodeSealedCopy(segment, *copy);
+    if (decoded.has_value()) {
+      segment.records = std::move(*decoded);
+      segment.records_valid = true;
+      return &segment.records;
     }
   }
-  scan.valid_bytes = offset;
-  scan.damaged_bytes = stable_bytes_.size() - offset;
+  return nullptr;
+}
+
+StableScan LogManager::ScanStable(core::Lsn from) const {
+  StableScan scan;
+  const core::Lsn live_begin = live_begin_lsn();
+  // Truncated-away prefix: served from the archive.
+  if (live_begin == 0 || from < live_begin) {
+    for (const Segment& seg : archive_) {
+      if (live_begin != 0 && seg.last_lsn >= live_begin) break;
+      if (seg.last_lsn < from) {
+        scan.last_valid_lsn = seg.last_lsn;
+        continue;
+      }
+      const std::vector<LogRecord>* records = ReadableSealedRecords(seg);
+      if (records == nullptr) {
+        scan.torn = true;
+        return scan;
+      }
+      scan.last_valid_lsn = seg.last_lsn;
+      for (const LogRecord& record : *records) {
+        if (record.lsn >= from) scan.records.push_back(record);
+      }
+    }
+  }
+  for (size_t i = 0; i < live_.size(); ++i) {
+    const Segment& seg = live_[i];
+    if (seg.sealed) {
+      if (seg.last_lsn < from) {
+        // Metadata skip: recovery does not need these records, so their
+        // integrity is Scrub's business, not the scan's.
+        scan.last_valid_lsn = seg.last_lsn;
+        scan.valid_bytes += seg.primary.bytes.size();
+        continue;
+      }
+      const std::vector<LogRecord>* records = ReadableSealedRecords(seg);
+      if (records == nullptr) {
+        // A hole: everything from here on is untrustworthy — a redo
+        // prefix must be unbroken.
+        scan.torn = true;
+        for (size_t j = i; j < live_.size(); ++j) {
+          scan.damaged_bytes += live_[j].primary.bytes.size();
+        }
+        return scan;
+      }
+      scan.last_valid_lsn = seg.last_lsn;
+      scan.valid_bytes += seg.primary.bytes.size();
+      for (const LogRecord& record : *records) {
+        if (record.lsn >= from) scan.records.push_back(record);
+      }
+    } else {
+      // The active segment: cached verified records, then a tolerant
+      // decode of any unverified (torn, unsalvaged) tail bytes.
+      if (!seg.records.empty()) ++stats_.scan_cache_hits;
+      for (const LogRecord& record : seg.records) {
+        scan.last_valid_lsn = record.lsn;
+        if (record.lsn >= from) scan.records.push_back(record);
+      }
+      size_t offset = verified_prefix_;
+      while (offset < seg.primary.bytes.size()) {
+        Result<LogRecord> record = DecodeRecord(seg.primary.bytes, &offset);
+        if (!record.ok()) {
+          scan.torn = true;
+          break;
+        }
+        scan.last_valid_lsn = record.value().lsn;
+        if (record.value().lsn >= from) {
+          scan.records.push_back(std::move(record).value());
+        }
+      }
+      scan.valid_bytes += offset;
+      scan.damaged_bytes += seg.primary.bytes.size() - offset;
+    }
+  }
   return scan;
 }
 
@@ -79,17 +244,23 @@ SalvageResult LogManager::SalvageTornTail() {
   SalvageResult result;
   result.stable_lsn_before = stable_lsn_;
 
+  Segment& seg = active();
   size_t offset = verified_prefix_;
   core::Lsn last_valid = stable_lsn_;
   if (verified_prefix_ == 0) {
-    // The whole image must be re-verified (CorruptStableTail may have
-    // cut anywhere); rebuild the checkpoint cache as we go.
-    checkpoints_.clear();
-    last_valid = 0;
+    // The whole active segment must be re-verified (CorruptStableTail
+    // may have cut anywhere); rebuild its caches as we go.
+    seg.records.clear();
+    const uint64_t seg_id = seg.id;
+    std::erase_if(checkpoints_, [seg_id](const CheckpointOffset& c) {
+      return c.segment_id == seg_id;
+    });
+    seg.first_lsn = 0;
+    seg.last_lsn = 0;
+    last_valid = live_.size() >= 2 ? live_[live_.size() - 2].last_lsn : 0;
   }
-  while (offset < stable_bytes_.size()) {
-    const size_t start = offset;
-    Result<LogRecord> record = DecodeRecord(stable_bytes_, &offset);
+  while (offset < seg.primary.bytes.size()) {
+    Result<LogRecord> record = DecodeRecord(seg.primary.bytes, &offset);
     if (!record.ok()) {
       result.torn = true;
       break;
@@ -97,17 +268,19 @@ SalvageResult LogManager::SalvageTornTail() {
     last_valid = record.value().lsn;
     if (record.value().lsn > stable_lsn_) ++result.salvaged_records;
     if (record.value().type == RecordType::kCheckpoint) {
-      checkpoints_.push_back(
-          CheckpointOffset{start, offset, record.value().lsn});
+      checkpoints_.push_back(CheckpointOffset{seg.id, record.value().lsn});
     }
+    if (seg.first_lsn == 0) seg.first_lsn = record.value().lsn;
+    seg.last_lsn = record.value().lsn;
+    seg.records.push_back(std::move(record).value());
   }
 
-  result.dropped_bytes = stable_bytes_.size() - offset;
-  stable_bytes_.resize(offset);
+  result.dropped_bytes = seg.primary.bytes.size() - offset;
+  seg.primary.bytes.resize(offset);
+  if (options_.mirror) {
+    seg.mirror.bytes.resize(std::min(seg.mirror.bytes.size(), offset));
+  }
   verified_prefix_ = offset;
-  std::erase_if(checkpoints_, [offset](const CheckpointOffset& c) {
-    return c.end > offset;
-  });
   stable_lsn_ = last_valid;
   last_lsn_ = stable_lsn_;
   result.stable_lsn_after = stable_lsn_;
@@ -117,21 +290,32 @@ SalvageResult LogManager::SalvageTornTail() {
     stats_.torn_bytes_dropped += result.dropped_bytes;
   }
   stats_.salvaged_records += result.salvaged_records;
-  stats_.stable_bytes = stable_bytes_.size();
+  RefreshStableBytes();
   return result;
 }
 
 Result<std::optional<LogRecord>> LogManager::LatestStableCheckpoint() const {
-  if (verified_prefix_ == stable_bytes_.size()) {
-    // Fast path: the whole image is verified, so the cache is complete.
+  if (verified_prefix_ == active().primary.bytes.size()) {
+    // Fast path: the active segment is fully verified, so the
+    // checkpoint cache is complete.
     if (checkpoints_.empty()) return std::optional<LogRecord>{};
-    size_t offset = checkpoints_.back().offset;
-    Result<LogRecord> record = DecodeRecord(stable_bytes_, &offset);
-    if (record.ok() && record.value().type == RecordType::kCheckpoint) {
-      ++stats_.checkpoint_cache_hits;
-      return std::optional<LogRecord>{std::move(record).value()};
+    const CheckpointOffset& latest = checkpoints_.back();
+    const Segment* seg = FindLive(latest.segment_id);
+    if (seg != nullptr) {
+      const std::vector<LogRecord>* records =
+          seg->sealed ? ReadableSealedRecords(*seg) : &seg->records;
+      if (records != nullptr) {
+        const auto it = std::lower_bound(
+            records->begin(), records->end(), latest.lsn,
+            [](const LogRecord& r, core::Lsn lsn) { return r.lsn < lsn; });
+        if (it != records->end() && it->lsn == latest.lsn &&
+            it->type == RecordType::kCheckpoint) {
+          ++stats_.checkpoint_cache_hits;
+          return std::optional<LogRecord>{*it};
+        }
+      }
     }
-    // A cached offset that no longer decodes means the image was
+    // A cached location that no longer resolves means the image was
     // damaged behind our back; fall through to the tolerant scan.
   }
   ++stats_.checkpoint_full_scans;
@@ -151,36 +335,497 @@ size_t LogManager::PendingForceBytes() const {
   return bytes;
 }
 
+// ---- Segments, scrub, archive ----
+
+std::vector<SegmentInfo> LogManager::LiveSegments() const {
+  std::vector<SegmentInfo> infos;
+  infos.reserve(live_.size());
+  for (const Segment& seg : live_) {
+    SegmentInfo info;
+    info.id = seg.id;
+    info.first_lsn = seg.first_lsn;
+    info.last_lsn = seg.last_lsn;
+    info.sealed = seg.sealed;
+    info.bytes = seg.primary.bytes.size();
+    info.primary_seal = seg.primary.seal;
+    info.mirror_seal = seg.mirror.seal;
+    info.archived = FindArchive(seg.id) != nullptr;
+    infos.push_back(info);
+  }
+  return infos;
+}
+
+std::vector<SegmentInfo> LogManager::ArchivedSegments() const {
+  std::vector<SegmentInfo> infos;
+  infos.reserve(archive_.size());
+  for (const Segment& seg : archive_) {
+    SegmentInfo info;
+    info.id = seg.id;
+    info.first_lsn = seg.first_lsn;
+    info.last_lsn = seg.last_lsn;
+    info.sealed = true;
+    info.bytes = seg.primary.bytes.size();
+    info.primary_seal = seg.primary.seal;
+    info.archived = true;
+    infos.push_back(info);
+  }
+  return infos;
+}
+
+core::Lsn LogManager::live_begin_lsn() const {
+  for (const Segment& seg : live_) {
+    if (seg.first_lsn != 0) return seg.first_lsn;
+  }
+  return 0;
+}
+
+core::Lsn LogManager::archived_through() const {
+  return archive_.empty() ? 0 : archive_.back().last_lsn;
+}
+
+ScrubReport LogManager::Scrub() {
+  ScrubReport report;
+  ++stats_.scrub_passes;
+  auto copy_intact = [](const Copy& copy) {
+    return !copy.lost &&
+           Crc32c(copy.bytes.data(), copy.bytes.size()) == copy.seal;
+  };
+  for (Segment& seg : live_) {
+    if (!seg.sealed) continue;
+    ++report.segments;
+    SegmentVerdict verdict;
+    verdict.id = seg.id;
+    verdict.first_lsn = seg.first_lsn;
+    verdict.last_lsn = seg.last_lsn;
+    const bool primary_ok = copy_intact(seg.primary);
+    const bool mirror_ok = options_.mirror && copy_intact(seg.mirror);
+    if (primary_ok && (mirror_ok || !options_.mirror)) {
+      verdict.state = SegmentVerdict::State::kIntact;
+    } else if (primary_ok) {
+      seg.mirror = seg.primary;
+      ++report.repairs;
+      ++stats_.mirror_repairs;
+      verdict.state = SegmentVerdict::State::kMirrorRebuilt;
+    } else if (mirror_ok) {
+      seg.primary = seg.mirror;
+      seg.records_valid = false;
+      ++report.repairs;
+      ++stats_.mirror_repairs;
+      verdict.state = SegmentVerdict::State::kRepairedFromMirror;
+    } else {
+      // Neither seal verifies. The bytes themselves may still be fine
+      // (a torn *seal*): accept a copy that decodes cleanly end-to-end
+      // and matches the segment's LSN range, and re-derive its seal.
+      bool resealed = false;
+      for (Copy* copy : {&seg.primary, &seg.mirror}) {
+        if (copy->lost) continue;
+        std::optional<std::vector<LogRecord>> decoded =
+            DecodeSealedCopy(seg, *copy);
+        if (!decoded.has_value()) continue;
+        copy->seal = Crc32c(copy->bytes.data(), copy->bytes.size());
+        seg.records = std::move(*decoded);
+        seg.records_valid = true;
+        // Both copies now carry the verified, resealed bytes.
+        if (copy == &seg.mirror) seg.primary = seg.mirror;
+        if (options_.mirror) seg.mirror = seg.primary;
+        ++report.repairs;
+        ++stats_.reseals;
+        verdict.state = SegmentVerdict::State::kResealed;
+        resealed = true;
+        break;
+      }
+      if (!resealed) {
+        verdict.state = SegmentVerdict::State::kHole;
+        ++report.holes;
+        if (report.first_unreadable_lsn == 0) {
+          report.first_unreadable_lsn = seg.first_lsn;
+        }
+      }
+    }
+    report.verdicts.push_back(verdict);
+  }
+  // The archive: verify seals; repair a damaged archive copy from its
+  // live twin (now scrubbed) when possible.
+  for (Segment& seg : archive_) {
+    SegmentVerdict verdict;
+    verdict.id = seg.id;
+    verdict.first_lsn = seg.first_lsn;
+    verdict.last_lsn = seg.last_lsn;
+    if (copy_intact(seg.primary)) {
+      verdict.state = SegmentVerdict::State::kIntact;
+    } else if (std::optional<std::vector<LogRecord>> decoded =
+                   !seg.primary.lost ? DecodeSealedCopy(seg, seg.primary)
+                                     : std::nullopt;
+               decoded.has_value()) {
+      seg.primary.seal =
+          Crc32c(seg.primary.bytes.data(), seg.primary.bytes.size());
+      seg.records = std::move(*decoded);
+      seg.records_valid = true;
+      ++report.archive_repairs;
+      ++stats_.reseals;
+      verdict.state = SegmentVerdict::State::kResealed;
+    } else {
+      const Segment* live = FindLive(seg.id);
+      const std::vector<LogRecord>* records =
+          live != nullptr && live->sealed ? ReadableSealedRecords(*live)
+                                          : nullptr;
+      if (records != nullptr) {
+        seg.primary = live->primary;
+        seg.records = *records;
+        seg.records_valid = true;
+        ++report.archive_repairs;
+        verdict.state = SegmentVerdict::State::kRepairedFromMirror;
+      } else {
+        verdict.state = SegmentVerdict::State::kHole;
+        ++report.archive_holes;
+      }
+    }
+    report.archive_verdicts.push_back(verdict);
+  }
+  return report;
+}
+
+core::Lsn LogManager::FirstHoleLsn() const {
+  for (const Segment& seg : live_) {
+    if (!seg.sealed) continue;
+    if (ReadableSealedRecords(seg) == nullptr) return seg.first_lsn;
+  }
+  return 0;
+}
+
+core::Lsn LogManager::FirstUncoveredLsn(core::Lsn from) const {
+  // Same walk as ReadWithArchive, without materializing the records.
+  core::Lsn expected = from;
+  while (expected <= stable_lsn_) {
+    const std::vector<LogRecord>* records = nullptr;
+    for (const Segment& seg : live_) {
+      const core::Lsn first =
+          seg.sealed ? seg.first_lsn
+                     : (seg.records.empty() ? 0 : seg.records.front().lsn);
+      const core::Lsn last =
+          seg.sealed ? seg.last_lsn
+                     : (seg.records.empty() ? 0 : seg.records.back().lsn);
+      if (first == 0 || expected < first || expected > last) continue;
+      if (!seg.sealed) {
+        records = &seg.records;
+        break;
+      }
+      records = ReadableSealedRecords(seg);
+      if (records == nullptr) {
+        const Segment* archived = FindArchive(seg.id);
+        if (archived != nullptr) records = ReadableSealedRecords(*archived);
+      }
+      break;
+    }
+    if (records == nullptr) {
+      for (const Segment& seg : archive_) {
+        if (expected < seg.first_lsn || expected > seg.last_lsn) continue;
+        records = ReadableSealedRecords(seg);
+        break;
+      }
+    }
+    if (records == nullptr) return expected;
+    bool advanced = false;
+    for (const LogRecord& record : *records) {
+      if (record.lsn < expected) continue;
+      if (record.lsn != expected) return expected;
+      ++expected;
+      advanced = true;
+    }
+    if (!advanced) return expected;
+  }
+  return 0;
+}
+
+Result<std::vector<LogRecord>> LogManager::ReadWithArchive(
+    core::Lsn from) const {
+  std::vector<LogRecord> out;
+  core::Lsn expected = from;
+  while (expected <= stable_lsn_) {
+    // Locate an intact source covering `expected`: a live segment (or
+    // its archive twin), else any archive segment (truncated prefix or
+    // an amputated middle).
+    const std::vector<LogRecord>* records = nullptr;
+    for (const Segment& seg : live_) {
+      const core::Lsn first =
+          seg.sealed ? seg.first_lsn
+                     : (seg.records.empty() ? 0 : seg.records.front().lsn);
+      const core::Lsn last =
+          seg.sealed ? seg.last_lsn
+                     : (seg.records.empty() ? 0 : seg.records.back().lsn);
+      if (first == 0 || expected < first || expected > last) continue;
+      if (!seg.sealed) {
+        records = &seg.records;
+        break;
+      }
+      records = ReadableSealedRecords(seg);
+      if (records == nullptr) {
+        const Segment* archived = FindArchive(seg.id);
+        if (archived != nullptr) records = ReadableSealedRecords(*archived);
+      }
+      break;
+    }
+    if (records == nullptr) {
+      for (const Segment& seg : archive_) {
+        if (expected < seg.first_lsn || expected > seg.last_lsn) continue;
+        records = ReadableSealedRecords(seg);
+        break;
+      }
+    }
+    if (records == nullptr) return GapStatus(expected);
+    bool advanced = false;
+    for (const LogRecord& record : *records) {
+      if (record.lsn < expected) continue;
+      if (record.lsn != expected) return GapStatus(expected);
+      out.push_back(record);
+      ++expected;
+      advanced = true;
+    }
+    if (!advanced) return GapStatus(expected);
+  }
+  return out;
+}
+
+size_t LogManager::TruncateArchived(core::Lsn upto) {
+  // Never truncate the latest stable checkpoint (or anything after it):
+  // recovery's scan start must stay in the live log.
+  if (checkpoints_.empty()) return 0;
+  const core::Lsn cap = std::min(upto, checkpoints_.back().lsn - 1);
+  size_t dropped = 0;
+  while (live_.size() > 1) {
+    const Segment& front = live_.front();
+    if (!front.sealed || front.first_lsn == 0 || front.last_lsn > cap) break;
+    if (FindArchive(front.id) == nullptr) break;  // unarchived: must stay
+    const uint64_t id = front.id;
+    std::erase_if(checkpoints_, [id](const CheckpointOffset& c) {
+      return c.segment_id == id;
+    });
+    live_.erase(live_.begin());
+    ++dropped;
+  }
+  stats_.segments_truncated += dropped;
+  RefreshStableBytes();
+  return dropped;
+}
+
+size_t LogManager::RepairFromArchive() {
+  size_t repaired = 0;
+  for (Segment& seg : live_) {
+    if (!seg.sealed) continue;
+    if (ReadableSealedRecords(seg) != nullptr) continue;
+    const Segment* archived = FindArchive(seg.id);
+    if (archived == nullptr) continue;
+    const std::vector<LogRecord>* records = ReadableSealedRecords(*archived);
+    if (records == nullptr) continue;
+    seg.primary = archived->primary;
+    if (options_.mirror) seg.mirror = archived->primary;
+    seg.records = *records;
+    seg.records_valid = true;
+    ++repaired;
+    ++stats_.archive_repairs;
+  }
+  return repaired;
+}
+
+size_t LogManager::DropUnreadableThrough(core::Lsn covered_lsn) {
+  size_t dropped = 0;
+  for (auto it = live_.begin(); it != live_.end();) {
+    Segment& seg = *it;
+    if (seg.sealed && seg.first_lsn != 0 && seg.last_lsn <= covered_lsn &&
+        ReadableSealedRecords(seg) == nullptr &&
+        (FindArchive(seg.id) == nullptr ||
+         ReadableSealedRecords(*FindArchive(seg.id)) == nullptr)) {
+      const uint64_t id = seg.id;
+      std::erase_if(checkpoints_, [id](const CheckpointOffset& c) {
+        return c.segment_id == id;
+      });
+      it = live_.erase(it);
+      ++dropped;
+      ++stats_.segments_amputated;
+    } else {
+      ++it;
+    }
+  }
+  RefreshStableBytes();
+  return dropped;
+}
+
+// ---- Fault hooks ----
+
 size_t LogManager::TearInFlightForce(size_t bytes) {
   size_t appended = 0;
+  Segment& seg = active();
   for (const LogRecord& record : volatile_tail_) {
     if (appended >= bytes) break;
     const std::vector<uint8_t> encoded = EncodeRecord(record);
     const size_t take = std::min(encoded.size(), bytes - appended);
-    stable_bytes_.insert(stable_bytes_.end(), encoded.begin(),
-                         encoded.begin() + static_cast<ptrdiff_t>(take));
+    seg.primary.bytes.insert(seg.primary.bytes.end(), encoded.begin(),
+                             encoded.begin() + static_cast<ptrdiff_t>(take));
+    if (options_.mirror) {
+      seg.mirror.bytes.insert(seg.mirror.bytes.end(), encoded.begin(),
+                              encoded.begin() + static_cast<ptrdiff_t>(take));
+    }
     appended += take;
   }
   // The bytes are unacknowledged: stable_lsn_, the verified prefix, and
-  // the checkpoint cache all stay put until SalvageTornTail() judges
-  // them. The volatile tail is untouched — the caller crashes next.
+  // the caches all stay put until SalvageTornTail() judges them. The
+  // volatile tail is untouched — the caller crashes next.
   if (appended > 0) ++stats_.torn_forces;
-  stats_.stable_bytes = stable_bytes_.size();
+  RefreshStableBytes();
   return appended;
 }
 
 void LogManager::CorruptStableTail(size_t drop_bytes) {
-  const size_t keep = stable_bytes_.size() > drop_bytes
-                          ? stable_bytes_.size() - drop_bytes
-                          : 0;
-  stable_bytes_.resize(keep);
-  // The cut may land mid-record anywhere; nothing is verified until the
-  // next salvage re-scans from the start.
-  verified_prefix_ = 0;
-  std::erase_if(checkpoints_, [keep](const CheckpointOffset& c) {
-    return c.end > keep;
-  });
-  stats_.stable_bytes = stable_bytes_.size();
+  size_t drop = drop_bytes;
+  while (true) {
+    Segment& seg = active();
+    const size_t cut = std::min(drop, seg.primary.bytes.size());
+    seg.primary.bytes.resize(seg.primary.bytes.size() - cut);
+    if (options_.mirror) {
+      seg.mirror.bytes.resize(
+          std::min(seg.mirror.bytes.size(), seg.primary.bytes.size()));
+    }
+    drop -= cut;
+    // The cut may land mid-record anywhere; nothing in this segment is
+    // verified until the next salvage re-scans it.
+    seg.records.clear();
+    seg.first_lsn = 0;
+    seg.last_lsn = 0;
+    const uint64_t id = seg.id;
+    std::erase_if(checkpoints_, [id](const CheckpointOffset& c) {
+      return c.segment_id == id;
+    });
+    verified_prefix_ = 0;
+    if (drop == 0 || live_.size() == 1) break;
+    // The cut consumed the whole active segment: the damage runs into
+    // the sealed segment before it, whose seal is now meaningless.
+    live_.pop_back();
+    Segment& prev = live_.back();
+    prev.sealed = false;
+    prev.records.clear();
+    prev.records_valid = true;
+    prev.primary.seal = 0;
+    prev.mirror.seal = 0;
+    prev.first_lsn = 0;
+    prev.last_lsn = 0;
+    const uint64_t prev_id = prev.id;
+    std::erase_if(checkpoints_, [prev_id](const CheckpointOffset& c) {
+      return c.segment_id == prev_id;
+    });
+    // Tail damage voids the archive copy too (the model: the tail was
+    // never durably shipped).
+    std::erase_if(archive_, [prev_id](const Segment& a) {
+      return a.id == prev_id;
+    });
+  }
+  RefreshStableBytes();
+}
+
+LogManager::Segment* LogManager::FindLive(uint64_t id) {
+  for (Segment& seg : live_) {
+    if (seg.id == id) return &seg;
+  }
+  return nullptr;
+}
+
+const LogManager::Segment* LogManager::FindLive(uint64_t id) const {
+  for (const Segment& seg : live_) {
+    if (seg.id == id) return &seg;
+  }
+  return nullptr;
+}
+
+LogManager::Segment* LogManager::FindArchive(uint64_t id) {
+  for (Segment& seg : archive_) {
+    if (seg.id == id) return &seg;
+  }
+  return nullptr;
+}
+
+const LogManager::Segment* LogManager::FindArchive(uint64_t id) const {
+  for (const Segment& seg : archive_) {
+    if (seg.id == id) return &seg;
+  }
+  return nullptr;
+}
+
+LogManager::Copy* LogManager::FindCopy(uint64_t id, LogCopy copy) {
+  if (copy == LogCopy::kArchive) {
+    Segment* seg = FindArchive(id);
+    return seg == nullptr ? nullptr : &seg->primary;
+  }
+  Segment* seg = FindLive(id);
+  if (seg == nullptr || !seg->sealed) return nullptr;
+  return copy == LogCopy::kMirror ? &seg->mirror : &seg->primary;
+}
+
+size_t LogManager::LiveBytes() const {
+  size_t bytes = 0;
+  for (const Segment& seg : live_) bytes += seg.primary.bytes.size();
+  return bytes;
+}
+
+bool LogManager::CorruptSegmentByte(uint64_t segment_id, LogCopy copy,
+                                    size_t offset, uint8_t xor_mask) {
+  Copy* target = FindCopy(segment_id, copy);
+  if (target == nullptr || offset >= target->bytes.size() || xor_mask == 0) {
+    return false;
+  }
+  target->bytes[offset] ^= xor_mask;
+  Segment* seg = copy == LogCopy::kArchive ? FindArchive(segment_id)
+                                           : FindLive(segment_id);
+  seg->records_valid = false;  // the cache must never mask damage
+  return true;
+}
+
+bool LogManager::LoseSegmentCopy(uint64_t segment_id, LogCopy copy) {
+  Copy* target = FindCopy(segment_id, copy);
+  if (target == nullptr) return false;
+  target->lost = true;
+  Segment* seg = copy == LogCopy::kArchive ? FindArchive(segment_id)
+                                           : FindLive(segment_id);
+  seg->records_valid = false;
+  return true;
+}
+
+bool LogManager::TearSeal(uint64_t segment_id, LogCopy copy,
+                          uint32_t xor_mask) {
+  Copy* target = FindCopy(segment_id, copy);
+  if (target == nullptr || xor_mask == 0) return false;
+  target->seal ^= xor_mask;
+  Segment* seg = copy == LogCopy::kArchive ? FindArchive(segment_id)
+                                           : FindLive(segment_id);
+  seg->records_valid = false;
+  return true;
+}
+
+Result<SegmentCopyImage> LogManager::PeekSegmentCopy(uint64_t segment_id,
+                                                     LogCopy copy) const {
+  // FindCopy is non-const only because it returns a mutable pointer.
+  LogManager* self = const_cast<LogManager*>(this);
+  Copy* target = self->FindCopy(segment_id, copy);
+  if (target == nullptr) {
+    return Status::NotFound("no such segment copy: id=" +
+                            std::to_string(segment_id));
+  }
+  SegmentCopyImage image;
+  image.bytes = target->bytes;
+  image.seal = target->seal;
+  image.lost = target->lost;
+  return image;
+}
+
+bool LogManager::RestoreSegmentCopy(uint64_t segment_id, LogCopy copy,
+                                    const SegmentCopyImage& image) {
+  Copy* target = FindCopy(segment_id, copy);
+  if (target == nullptr) return false;
+  target->bytes = image.bytes;
+  target->seal = image.seal;
+  target->lost = image.lost;
+  Segment* seg = copy == LogCopy::kArchive ? FindArchive(segment_id)
+                                           : FindLive(segment_id);
+  seg->records_valid = false;  // re-derive from the restored bytes
+  return true;
 }
 
 }  // namespace redo::wal

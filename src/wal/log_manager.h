@@ -1,4 +1,5 @@
-// The log manager: a volatile log tail over a stable log.
+// The log manager: a volatile log tail over segmented, mirrored,
+// scrubbable stable storage.
 //
 // Appends go to the volatile tail. Force(lsn) moves records up to lsn to
 // stable storage (serialized + checksummed, modeling the disk format).
@@ -8,13 +9,31 @@
 // log protocol requires an operation's log record be forced to disk
 // before the operation's effects are written to disk").
 //
-// Failure model: a crash can interrupt an in-flight force, leaving a
-// *torn tail* — a prefix of the force's bytes on stable storage. The
-// per-record framing (length prefix + CRC32C) makes the damage evident,
-// and the scan/salvage paths treat it as the expected case: recovery
-// truncates at the last valid record instead of declaring the whole log
-// unreadable. Records before the damage are trusted because forces are
-// sequential appends — an acknowledged force is never rewritten.
+// Stable layout: the log body is a sequence of *segments*. The last
+// segment is the active one — an append-only byte stream exactly like
+// the PR-1 flat log, subject to torn-tail salvage. Once the active
+// segment reaches `segment_bytes`, it is *sealed* at a record boundary:
+// a CRC32C seal over the whole segment is recorded, a copy is shipped to
+// the *archive* (continuous log archiving), and a fresh active segment
+// begins. Every live segment is kept in two copies — primary and mirror
+// — so mid-stream damage to one copy is repairable from the other.
+//
+// Failure model (the log body is NOT assumed incorruptible):
+//  - torn tail: a crash can interrupt an in-flight force, leaving a
+//    byte-granular prefix of the force on the active segment. Per-record
+//    framing (length prefix + CRC32C) makes the damage evident;
+//    SalvageTornTail truncates at the last valid record.
+//  - bit rot: a byte of a sealed segment copy decays; the seal CRC makes
+//    it evident. Scrub repairs the copy from its intact twin.
+//  - lost segment: a whole segment copy becomes unreadable (lost file,
+//    dead device). Repairable from the mirror, else from the archive.
+//  - torn seal: the seal metadata itself is damaged. If the bytes still
+//    decode cleanly end-to-end and match the segment's LSN range, Scrub
+//    re-derives and re-records the seal (a "reseal").
+// A segment with NO intact copy is a *hole*. Recovery must never scan
+// past a hole — redo requires an unbroken record prefix — so holes force
+// the degradation ladder (engine/degraded_recovery.h): media recovery
+// from a backup plus the archive suffix, or a loud, diagnosed refusal.
 
 #ifndef REDO_WAL_LOG_MANAGER_H_
 #define REDO_WAL_LOG_MANAGER_H_
@@ -26,12 +45,26 @@
 
 namespace redo::wal {
 
+/// Configuration for the stable log's segmentation and redundancy.
+struct LogManagerOptions {
+  /// Seal the active segment once it reaches this many bytes; 0 means
+  /// never seal (one unbounded active segment — the PR-1 behavior).
+  size_t segment_bytes = 0;
+  /// Keep a mirror copy of every live segment.
+  bool mirror = true;
+  /// Ship every sealed segment to the archive at seal time.
+  bool archive_sealed = true;
+};
+
+/// Which physical copy of a segment an operation targets.
+enum class LogCopy { kPrimary, kMirror, kArchive };
+
 /// Log manager counters.
 struct LogStats {
   uint64_t appends = 0;
   uint64_t forces = 0;
   uint64_t forced_records = 0;
-  uint64_t stable_bytes = 0;
+  uint64_t stable_bytes = 0;  ///< live primary bytes (all live segments)
   // Fault-model counters.
   uint64_t torn_forces = 0;            ///< in-flight forces torn by a crash
   uint64_t torn_tail_truncations = 0;  ///< salvages that found tail damage
@@ -39,6 +72,19 @@ struct LogStats {
   uint64_t salvaged_records = 0;       ///< unacknowledged records recovered whole
   uint64_t checkpoint_cache_hits = 0;  ///< LatestStableCheckpoint O(1) lookups
   uint64_t checkpoint_full_scans = 0;  ///< LatestStableCheckpoint slow paths
+  // Segment / mirror / archive counters.
+  uint64_t segments_sealed = 0;
+  uint64_t segments_archived = 0;
+  uint64_t segments_truncated = 0;  ///< sealed segments dropped from the live log
+  uint64_t segments_amputated = 0;  ///< unreadable segments dropped under backup cover
+  uint64_t scrub_passes = 0;
+  uint64_t mirror_repairs = 0;   ///< copies rebuilt from their intact twin
+  uint64_t reseals = 0;          ///< seals re-derived from cleanly-decoding bytes
+  uint64_t archive_repairs = 0;  ///< live segments rebuilt from the archive
+  // Parsed-record cache (StableRecords no longer re-deserializes the
+  // whole stable image per call).
+  uint64_t scan_cache_hits = 0;  ///< segments served from the parsed cache
+  uint64_t scan_decodes = 0;     ///< segment decodes forced by a cold/invalid cache
 };
 
 /// Result of one tolerant scan over the stable byte image.
@@ -59,16 +105,67 @@ struct SalvageResult {
   core::Lsn stable_lsn_after = 0;
 };
 
+/// Metadata of one segment, for inspectors and tests.
+struct SegmentInfo {
+  uint64_t id = 0;
+  core::Lsn first_lsn = 0;  ///< 0 while the segment holds no records
+  core::Lsn last_lsn = 0;
+  bool sealed = false;
+  size_t bytes = 0;             ///< primary copy size
+  uint32_t primary_seal = 0;    ///< CRC32C seal (sealed segments)
+  uint32_t mirror_seal = 0;
+  bool archived = false;        ///< an archive copy exists
+};
+
+/// One segment's scrub verdict.
+struct SegmentVerdict {
+  uint64_t id = 0;
+  core::Lsn first_lsn = 0;
+  core::Lsn last_lsn = 0;
+  enum class State {
+    kIntact,              ///< both copies verified
+    kRepairedFromMirror,  ///< primary rebuilt from the mirror
+    kMirrorRebuilt,       ///< mirror rebuilt from the primary
+    kResealed,            ///< seal re-derived from cleanly-decoding bytes
+    kHole,                ///< no intact copy — unreadable
+  } state = State::kIntact;
+};
+
+/// Report of one scrub pass over the sealed live segments (and the
+/// archive, which is verified and — where a live twin is intact —
+/// repaired too).
+struct ScrubReport {
+  size_t segments = 0;  ///< sealed live segments examined
+  size_t repairs = 0;   ///< mirror repairs + reseals (live)
+  size_t holes = 0;     ///< live segments with no intact copy
+  size_t archive_repairs = 0;
+  size_t archive_holes = 0;
+  core::Lsn first_unreadable_lsn = 0;  ///< first LSN of the first live hole
+  std::vector<SegmentVerdict> verdicts;          ///< live segments
+  std::vector<SegmentVerdict> archive_verdicts;  ///< archived segments
+  bool clean() const { return holes == 0; }
+};
+
+/// A snapshot of one segment copy, for fault injectors that must be able
+/// to undo their damage (the offsite-restore model).
+struct SegmentCopyImage {
+  std::vector<uint8_t> bytes;
+  uint32_t seal = 0;
+  bool lost = false;
+};
+
 class LogManager {
  public:
-  LogManager() = default;
+  LogManager() : LogManager(LogManagerOptions{}) {}
+  explicit LogManager(const LogManagerOptions& options);
 
   /// Appends a record to the volatile tail; assigns and returns its LSN
   /// (monotonically increasing from 1).
   core::Lsn Append(RecordType type, std::vector<uint8_t> payload);
 
   /// Makes every record with lsn <= `upto` stable. Forcing beyond the
-  /// last appended LSN is allowed (forces everything).
+  /// last appended LSN is allowed (forces everything). Seals the active
+  /// segment (and archives it) whenever it fills past `segment_bytes`.
   Status Force(core::Lsn upto);
 
   /// Forces the entire log.
@@ -83,31 +180,34 @@ class LogManager {
   /// Discards the volatile tail (the crash). Stable records survive.
   void Crash();
 
-  /// Scans stable records with lsn >= `from`, in LSN order, decoding
-  /// them from the stable byte image and verifying checksums. A torn or
-  /// corrupt tail is NOT an error: the scan returns the valid prefix and
-  /// stops at the damage (recovery must never trust a torn tail, but a
-  /// torn tail must never make the valid prefix unrecoverable).
+  /// Scans stable records with lsn >= `from`, in LSN order, verifying
+  /// integrity. Sealed segments wholly below `from` are skipped by
+  /// metadata; segments in range are read from whichever copy is intact
+  /// (primary, then mirror). Damage with no intact copy is NOT an error:
+  /// the scan returns the valid prefix and stops at the damage (recovery
+  /// must never trust bytes past a hole, but damage must never make the
+  /// valid prefix unrecoverable). Truncated-away segments are read from
+  /// the archive when `from` precedes the live log.
   Result<std::vector<LogRecord>> StableRecords(core::Lsn from) const;
 
   /// Like StableRecords but also reports where the valid prefix ends and
   /// whether damage follows it.
   StableScan ScanStable(core::Lsn from) const;
 
-  /// Truncates the stable byte image at the last valid record, making
-  /// tail damage permanent and acknowledged: stable_lsn() afterwards is
-  /// the LSN of the last decodable record, which may be *higher* than
-  /// before (complete records of a torn in-flight force are salvaged) or
-  /// lower (an acknowledged-but-later-damaged tail is dropped — only the
+  /// Truncates the active segment at the last valid record, making tail
+  /// damage permanent and acknowledged: stable_lsn() afterwards is the
+  /// LSN of the last decodable record, which may be *higher* than before
+  /// (complete records of a torn in-flight force are salvaged) or lower
+  /// (an acknowledged-but-later-damaged tail is dropped — only the
   /// CorruptStableTail test hook can produce that). Must be called with
   /// an empty volatile tail (i.e. after Crash()); recovery calls it
   /// before any redo scan.
   SalvageResult SalvageTornTail();
 
-  /// The latest stable checkpoint record, if any. O(1) when the stable
-  /// image is undamaged: the byte offset of each forced checkpoint is
-  /// cached at force time; a tolerant full scan is the fallback while
-  /// unverified tail bytes exist.
+  /// The latest stable checkpoint record, if any. O(1) when the active
+  /// segment is fully verified: checkpoint locations are cached at force
+  /// time; a tolerant full scan is the fallback while unverified tail
+  /// bytes exist.
   Result<std::optional<LogRecord>> LatestStableCheckpoint() const;
 
   const LogStats& stats() const { return stats_; }
@@ -116,6 +216,68 @@ class LogManager {
   /// Encoded size of the not-yet-forced records — the most bytes an
   /// in-flight force torn by a crash could leave behind.
   size_t PendingForceBytes() const;
+
+  // ---- Segments, scrub, archive ----
+
+  /// Seals the active segment now (if it holds any verified records),
+  /// archiving it per the options. Returns true if a seal happened.
+  /// Useful at clean points (backups) so the whole acked log is sealed.
+  bool SealActiveSegment();
+
+  /// Metadata of every live segment, in log order (last = active).
+  std::vector<SegmentInfo> LiveSegments() const;
+
+  /// Metadata of every archived segment, in log order.
+  std::vector<SegmentInfo> ArchivedSegments() const;
+
+  /// First LSN still present in the live log (0 if the live log is
+  /// empty). Records below it live only in the archive.
+  core::Lsn live_begin_lsn() const;
+
+  /// Last LSN covered by the archive (0 if no segment was archived).
+  core::Lsn archived_through() const;
+
+  /// One scrub pass: CRC-verifies both copies of every sealed live
+  /// segment, repairs a damaged copy from its intact twin, re-derives
+  /// torn seals from cleanly-decoding bytes, and reports the segments
+  /// with no intact copy (holes). Also verifies the archive, repairing
+  /// archived copies whose live twin is intact.
+  ScrubReport Scrub();
+
+  /// First LSN of the first live segment with no intact copy; 0 when the
+  /// live log is readable end-to-end. Recovery must refuse to run while
+  /// this is nonzero (it would silently replay a truncated prefix).
+  core::Lsn FirstHoleLsn() const;
+
+  /// Reads records with lsn >= `from` using every intact source — live
+  /// copies first, archive copies for live holes and truncated-away
+  /// prefixes — and verifies the LSN sequence is gap-free. This is the
+  /// media-recovery read path. Returns kCorruption naming the first
+  /// unreadable LSN if even the archive cannot cover a gap.
+  Result<std::vector<LogRecord>> ReadWithArchive(core::Lsn from) const;
+
+  /// First LSN >= `from` that no intact source can produce; 0 if the
+  /// range [from, stable_lsn] is fully covered.
+  core::Lsn FirstUncoveredLsn(core::Lsn from) const;
+
+  /// Checkpoint truncation: drops live sealed segments whose records are
+  /// all <= `upto`, provided they are archived and precede the latest
+  /// stable checkpoint (recovery must keep its scan start). The archive
+  /// retains them. Returns the number of segments dropped.
+  size_t TruncateArchived(core::Lsn upto);
+
+  /// Rebuilds every unreadable live segment whose archive copy is
+  /// intact. Returns the number of segments repaired.
+  size_t RepairFromArchive();
+
+  /// Drops unreadable live sealed segments whose records are all <=
+  /// `covered_lsn` (a backup covers their effects) and that no intact
+  /// source can rebuild. Used after a rung-2 media recovery so the live
+  /// log is gap-free *above* the backup point again. Returns the number
+  /// of segments dropped.
+  size_t DropUnreadableThrough(core::Lsn covered_lsn);
+
+  // ---- Fault hooks (log-media damage) ----
 
   /// Fault hook: models a crash interrupting a force of the entire
   /// volatile tail after only `bytes` bytes reached stable storage. The
@@ -126,23 +288,94 @@ class LogManager {
   size_t TearInFlightForce(size_t bytes);
 
   /// Test hook: truncates the stable byte image to simulate tail damage
-  /// discovered after acknowledgement. Recovery must stop at the damage.
+  /// discovered after acknowledgement (consuming sealed segments if the
+  /// cut runs past the active one). Recovery must stop at the damage.
   void CorruptStableTail(size_t drop_bytes);
 
+  /// Fault hook: XORs one byte of a segment copy (bit rot). Returns
+  /// false if the segment/copy does not exist or the offset is out of
+  /// range.
+  bool CorruptSegmentByte(uint64_t segment_id, LogCopy copy, size_t offset,
+                          uint8_t xor_mask);
+
+  /// Fault hook: marks a whole segment copy unreadable (lost file).
+  bool LoseSegmentCopy(uint64_t segment_id, LogCopy copy);
+
+  /// Fault hook: XORs the stored seal of a segment copy (torn seal).
+  bool TearSeal(uint64_t segment_id, LogCopy copy, uint32_t xor_mask);
+
+  /// Snapshot of a segment copy, so injectors can undo their damage.
+  Result<SegmentCopyImage> PeekSegmentCopy(uint64_t segment_id,
+                                           LogCopy copy) const;
+
+  /// Restores a segment copy from a snapshot (the offsite-restore
+  /// model). Returns false if the segment no longer exists.
+  bool RestoreSegmentCopy(uint64_t segment_id, LogCopy copy,
+                          const SegmentCopyImage& image);
+
  private:
-  /// A forced checkpoint record's location in the stable image.
+  /// One physical copy of a segment's bytes.
+  struct Copy {
+    std::vector<uint8_t> bytes;
+    uint32_t seal = 0;  ///< CRC32C over bytes, recorded at seal time
+    bool lost = false;
+  };
+
+  /// One log segment. The parsed-record cache (`records`) holds the
+  /// decoded records of the verified region: for sealed segments the
+  /// whole segment (invalidated by fault hooks, rebuilt by decode); for
+  /// the active segment the bytes in [0, verified_prefix_).
+  struct Segment {
+    uint64_t id = 0;
+    core::Lsn first_lsn = 0;
+    core::Lsn last_lsn = 0;
+    bool sealed = false;
+    Copy primary;
+    Copy mirror;
+    mutable std::vector<LogRecord> records;
+    mutable bool records_valid = true;
+  };
+
+  /// A forced checkpoint record's location.
   struct CheckpointOffset {
-    size_t offset;  ///< first byte of the encoded record
-    size_t end;     ///< one past its last byte
+    uint64_t segment_id;
     core::Lsn lsn;
   };
 
+  Segment& active() { return live_.back(); }
+  const Segment& active() const { return live_.back(); }
+
+  void StartNewActive();
+  void SealActive();
+
+  /// Decodes a copy's bytes into records; nullopt unless the decode is
+  /// clean end-to-end and matches the segment's recorded LSN range.
+  std::optional<std::vector<LogRecord>> DecodeSealedCopy(
+      const Segment& segment, const Copy& copy) const;
+
+  /// The records of a sealed segment from whichever copy is intact;
+  /// nullptr if the segment is a hole. Refills the parsed cache.
+  const std::vector<LogRecord>* ReadableSealedRecords(
+      const Segment& segment) const;
+
+  Segment* FindLive(uint64_t id);
+  const Segment* FindLive(uint64_t id) const;
+  Segment* FindArchive(uint64_t id);
+  const Segment* FindArchive(uint64_t id) const;
+  Copy* FindCopy(uint64_t id, LogCopy copy);
+
+  size_t LiveBytes() const;
+  void RefreshStableBytes() { stats_.stable_bytes = LiveBytes(); }
+
+  LogManagerOptions options_;
   core::Lsn last_lsn_ = 0;
   core::Lsn stable_lsn_ = 0;
+  uint64_t next_segment_id_ = 1;
   std::vector<LogRecord> volatile_tail_;  // records with lsn > stable_lsn_
-  std::vector<uint8_t> stable_bytes_;     // serialized stable records
-  size_t verified_prefix_ = 0;  // bytes known to decode cleanly
-  std::vector<CheckpointOffset> checkpoints_;  // within the verified prefix
+  std::vector<Segment> live_;             // last = active (never sealed)
+  std::vector<Segment> archive_;          // sealed copies (primary slot only)
+  size_t verified_prefix_ = 0;  // bytes of the ACTIVE segment known to decode
+  std::vector<CheckpointOffset> checkpoints_;  // in LSN order
   mutable LogStats stats_;
 };
 

@@ -1,0 +1,181 @@
+// The degradation ladder (engine/degraded_recovery.h), parameterized
+// over damage site x mirror state x archive state x backup presence:
+// every combination must resolve at exactly the predicted rung, rungs
+// 0-2 must recover the exact pre-crash values, and rung 3 must refuse
+// loudly, naming the first unreadable LSN.
+
+#include "engine/degraded_recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/backup.h"
+#include "engine/minidb.h"
+
+namespace redo::engine {
+namespace {
+
+using methods::MethodKind;
+
+constexpr size_t kPages = 8;
+
+struct LadderCase {
+  const char* name;
+  bool damage = true;          // corrupt the first sealed segment's primary
+  bool damage_mirror = false;  // ...and its mirror (a double fault)
+  bool damage_archive = false; // ...and its archive copy
+  bool with_backup = false;    // a backup taken after the damaged segment
+  LadderRung expected = LadderRung::kIntactLog;
+};
+
+const LadderCase kMatrix[] = {
+    {"clean_log", false, false, false, false, LadderRung::kIntactLog},
+    {"clean_log_with_backup", false, false, false, true,
+     LadderRung::kIntactLog},
+    {"primary_rot_mirror_intact", true, false, false, false,
+     LadderRung::kMirrorRepair},
+    {"primary_rot_mirror_intact_backup_ignored", true, false, false, true,
+     LadderRung::kMirrorRepair},
+    {"double_fault_archive_covers_no_backup", true, true, false, false,
+     LadderRung::kMediaRecovery},  // genesis + full archive replay
+    {"double_fault_archive_covers_backup", true, true, false, true,
+     LadderRung::kMediaRecovery},
+    {"double_fault_archive_dead_backup_covers", true, true, true, true,
+     LadderRung::kMediaRecovery},  // backup subsumes the dead segment
+    {"double_fault_archive_dead_no_backup", true, true, true, false,
+     LadderRung::kRefused},
+};
+
+struct LadderRig {
+  std::unique_ptr<MiniDb> db;
+  std::optional<Backup> backup;
+  std::map<std::pair<storage::PageId, uint32_t>, int64_t> expected_slots;
+  wal::SegmentInfo target;  // the (to-be-)damaged segment
+};
+
+void MakeRig(MethodKind kind, const LadderCase& c, LadderRig* out) {
+  LadderRig& rig = *out;
+  MiniDbOptions options;
+  options.num_pages = kPages;
+  options.cache_capacity = 0;
+  options.wal.segment_bytes = 160;
+  rig.db = std::make_unique<MiniDb>(options, methods::MakeMethod(kind, kPages));
+  MiniDb& db = *rig.db;
+
+  auto write = [&](storage::PageId page, uint32_t slot, int64_t value) {
+    ASSERT_TRUE(db.WriteSlot(page, slot, value).ok());
+    ASSERT_TRUE(db.log().ForceAll().ok());
+    rig.expected_slots[{page, slot}] = value;
+  };
+
+  // Enough forced writes to seal several segments, with a checkpoint in
+  // the middle so recovery has a scan anchor.
+  for (int i = 0; i < 10; ++i) write(1 + i % (kPages - 1), i % 4, 100 + i);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  for (int i = 10; i < 16; ++i) write(1 + i % (kPages - 1), i % 4, 100 + i);
+
+  // The backup (when present) is taken AFTER the target segment's
+  // records, so it subsumes them — the precondition for amputating an
+  // unrebuildable segment at rung 2.
+  if (c.with_backup) rig.backup = TakeBackup(db).value();
+
+  // Post-backup suffix, so rungs 1-2 must replay real work.
+  for (int i = 16; i < 22; ++i) write(1 + i % (kPages - 1), i % 4, 100 + i);
+
+  db.Crash();
+  const std::vector<wal::SegmentInfo> live = db.log().LiveSegments();
+  ASSERT_GE(live.size(), 3u) << "the rig must seal several segments";
+  ASSERT_TRUE(live[0].sealed);
+  rig.target = live[0];
+
+  if (c.damage) {
+    ASSERT_TRUE(db.log().CorruptSegmentByte(rig.target.id,
+                                            wal::LogCopy::kPrimary, 7, 0x40));
+  }
+  if (c.damage_mirror) {
+    ASSERT_TRUE(db.log().LoseSegmentCopy(rig.target.id, wal::LogCopy::kMirror));
+  }
+  if (c.damage_archive) {
+    ASSERT_TRUE(db.log().CorruptSegmentByte(rig.target.id,
+                                            wal::LogCopy::kArchive, 7, 0x40));
+  }
+}
+
+struct LadderParam {
+  MethodKind method;
+  LadderCase c;
+};
+
+class LadderMatrixTest : public ::testing::TestWithParam<LadderParam> {};
+
+std::vector<LadderParam> LadderParams() {
+  std::vector<LadderParam> params;
+  for (const MethodKind kind :
+       {MethodKind::kLogical, MethodKind::kPhysical, MethodKind::kPhysiological,
+        MethodKind::kGeneralized}) {
+    for (const LadderCase& c : kMatrix) params.push_back(LadderParam{kind, c});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DamageMatrix, LadderMatrixTest, ::testing::ValuesIn(LadderParams()),
+    [](const ::testing::TestParamInfo<LadderParam>& info) {
+      std::string name = methods::MethodKindName(info.param.method);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "_" + info.param.c.name;
+    });
+
+TEST_P(LadderMatrixTest, ResolvesAtThePredictedRung) {
+  const LadderCase& c = GetParam().c;
+  LadderRig rig;
+  MakeRig(GetParam().method, c, &rig);
+  if (::testing::Test::HasFatalFailure()) return;
+  MiniDb& db = *rig.db;
+
+  const LadderReport report =
+      RecoverWithDegradation(db, rig.backup ? &*rig.backup : nullptr);
+  EXPECT_EQ(report.rung, c.expected) << report.ToString();
+
+  if (c.expected == LadderRung::kRefused) {
+    // Rung 3: loud, precise, and terminal — never recover past a gap.
+    EXPECT_FALSE(report.status.ok());
+    EXPECT_EQ(report.first_unreadable_lsn, rig.target.first_lsn)
+        << "the refusal must name the FIRST unreadable LSN";
+    EXPECT_NE(
+        report.diagnosis.find(std::to_string(rig.target.first_lsn)),
+        std::string::npos)
+        << "diagnosis must cite the LSN: " << report.diagnosis;
+    EXPECT_FALSE(db.Recover().ok())
+        << "ordinary recovery must keep refusing while the hole exists";
+    return;
+  }
+
+  // Rungs 0-2 must succeed and reproduce every pre-crash value exactly.
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  if (c.expected == LadderRung::kMediaRecovery) {
+    EXPECT_EQ(report.used_backup, c.with_backup);
+    if (c.damage_archive) {
+      EXPECT_GE(report.segments_amputated, 1u)
+          << "an unrebuildable-but-subsumed segment must be amputated";
+    }
+    // Media recovery must leave the live log whole again: the NEXT
+    // crash recovers ordinarily.
+    EXPECT_EQ(db.log().FirstHoleLsn(), 0u);
+    db.Crash();
+    ASSERT_TRUE(db.Recover().ok());
+  }
+  for (const auto& [key, value] : rig.expected_slots) {
+    EXPECT_EQ(db.ReadSlot(key.first, key.second).value(), value)
+        << "page " << key.first << " slot " << key.second;
+  }
+}
+
+}  // namespace
+}  // namespace redo::engine

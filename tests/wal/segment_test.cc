@@ -1,0 +1,317 @@
+// The segmented stable log: sealing at record boundaries, CRC32C seals,
+// mirror repair, reseals, archiving, checkpoint truncation, the
+// archive-backed media-recovery read path, and the parsed-record cache
+// that keeps repeated scans from re-deserializing the whole image.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "wal/log_manager.h"
+
+namespace redo::wal {
+namespace {
+
+// Every record below is 18 framing bytes + 14 payload bytes = 32 bytes;
+// with 96-byte segments the log seals after every third record.
+constexpr size_t kSegmentBytes = 96;
+constexpr size_t kRecordBytes = 32;
+
+LogManager MakeSegmented(size_t segment_bytes = kSegmentBytes) {
+  LogManagerOptions options;
+  options.segment_bytes = segment_bytes;
+  return LogManager(options);
+}
+
+core::Lsn AppendForced(LogManager& log, uint8_t tag,
+                       RecordType type = RecordType::kSlotWrite) {
+  const size_t payload = type == RecordType::kCheckpoint ? 0 : 14;
+  const core::Lsn lsn = log.Append(type, std::vector<uint8_t>(payload, tag));
+  EXPECT_TRUE(log.ForceAll().ok());
+  return lsn;
+}
+
+// The first sealed live segment (tests damage the oldest history).
+SegmentInfo FirstSealed(const LogManager& log) {
+  for (const SegmentInfo& info : log.LiveSegments()) {
+    if (info.sealed) return info;
+  }
+  ADD_FAILURE() << "no sealed segment";
+  return SegmentInfo{};
+}
+
+TEST(SegmentTest, SealsAtRecordBoundariesAndArchives) {
+  LogManager log = MakeSegmented();
+  for (uint8_t i = 1; i <= 10; ++i) AppendForced(log, i);
+
+  const std::vector<SegmentInfo> live = log.LiveSegments();
+  ASSERT_GE(live.size(), 3u);
+  core::Lsn expected_first = 1;
+  for (size_t i = 0; i < live.size(); ++i) {
+    const SegmentInfo& info = live[i];
+    const bool is_active = i + 1 == live.size();
+    EXPECT_EQ(info.sealed, !is_active) << "only the last segment is active";
+    EXPECT_EQ(info.first_lsn, expected_first) << "segments tile the LSN space";
+    if (info.sealed) {
+      EXPECT_EQ(info.bytes % kRecordBytes, 0u) << "sealed at a record boundary";
+      EXPECT_TRUE(info.archived) << "sealed segments ship to the archive";
+      EXPECT_NE(info.primary_seal, 0u);
+      EXPECT_EQ(info.primary_seal, info.mirror_seal) << "lockstep copies";
+    }
+    expected_first = info.last_lsn + 1;
+  }
+  EXPECT_EQ(log.stats().segments_sealed, live.size() - 1);
+  EXPECT_EQ(log.ArchivedSegments().size(), live.size() - 1);
+  EXPECT_EQ(log.archived_through(), live[live.size() - 2].last_lsn);
+  EXPECT_EQ(log.live_begin_lsn(), 1u);
+
+  Result<std::vector<LogRecord>> all = log.StableRecords(1);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(all.value()[i].lsn, i + 1);
+}
+
+TEST(SegmentTest, FlatLogNeverSeals) {
+  LogManager log;  // segment_bytes = 0: the unbounded PR-1 behavior
+  for (uint8_t i = 1; i <= 20; ++i) AppendForced(log, i);
+  EXPECT_EQ(log.LiveSegments().size(), 1u);
+  EXPECT_EQ(log.stats().segments_sealed, 0u);
+  EXPECT_TRUE(log.ArchivedSegments().empty());
+}
+
+TEST(SegmentTest, ScrubRepairsBitRottenPrimaryFromMirror) {
+  LogManager log = MakeSegmented();
+  for (uint8_t i = 1; i <= 7; ++i) AppendForced(log, i);
+  const SegmentInfo target = FirstSealed(log);
+
+  ASSERT_TRUE(log.CorruptSegmentByte(target.id, LogCopy::kPrimary, 5, 0x40));
+  const ScrubReport report = log.Scrub();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.repairs, 1u);
+  ASSERT_FALSE(report.verdicts.empty());
+  EXPECT_EQ(report.verdicts[0].state,
+            SegmentVerdict::State::kRepairedFromMirror);
+  EXPECT_EQ(log.stats().mirror_repairs, 1u);
+
+  // The repair is durable: a second pass finds everything intact, and
+  // the full record sequence reads back.
+  const ScrubReport again = log.Scrub();
+  EXPECT_TRUE(again.clean());
+  EXPECT_EQ(again.repairs, 0u);
+  EXPECT_EQ(log.StableRecords(1).value().size(), 7u);
+}
+
+TEST(SegmentTest, ScrubRebuildsRottenMirrorFromPrimary) {
+  LogManager log = MakeSegmented();
+  for (uint8_t i = 1; i <= 7; ++i) AppendForced(log, i);
+  const SegmentInfo target = FirstSealed(log);
+
+  ASSERT_TRUE(log.CorruptSegmentByte(target.id, LogCopy::kMirror, 9, 0x01));
+  const ScrubReport report = log.Scrub();
+  EXPECT_TRUE(report.clean());
+  ASSERT_FALSE(report.verdicts.empty());
+  EXPECT_EQ(report.verdicts[0].state, SegmentVerdict::State::kMirrorRebuilt);
+}
+
+TEST(SegmentTest, ScrubRepairsLostCopyFromTwin) {
+  LogManager log = MakeSegmented();
+  for (uint8_t i = 1; i <= 7; ++i) AppendForced(log, i);
+  const SegmentInfo target = FirstSealed(log);
+
+  ASSERT_TRUE(log.LoseSegmentCopy(target.id, LogCopy::kPrimary));
+  EXPECT_TRUE(log.Scrub().clean());
+  EXPECT_EQ(log.StableRecords(1).value().size(), 7u);
+}
+
+TEST(SegmentTest, ScrubResealsWhenOnlySealsAreTorn) {
+  LogManager log = MakeSegmented();
+  for (uint8_t i = 1; i <= 7; ++i) AppendForced(log, i);
+  const SegmentInfo target = FirstSealed(log);
+
+  // Both seals damaged, bytes pristine: the segment still decodes
+  // cleanly end-to-end and matches its LSN range, so the seal is
+  // re-derived instead of declaring a hole.
+  ASSERT_TRUE(log.TearSeal(target.id, LogCopy::kPrimary, 0xdeadbeef));
+  ASSERT_TRUE(log.TearSeal(target.id, LogCopy::kMirror, 0xbadc0ffe));
+  const ScrubReport report = log.Scrub();
+  EXPECT_TRUE(report.clean());
+  ASSERT_FALSE(report.verdicts.empty());
+  EXPECT_EQ(report.verdicts[0].state, SegmentVerdict::State::kResealed);
+  EXPECT_GE(log.stats().reseals, 1u);
+  EXPECT_TRUE(log.Scrub().clean());
+  EXPECT_EQ(log.StableRecords(1).value().size(), 7u);
+}
+
+TEST(SegmentTest, DoubleFaultIsAHoleAndScansStopThere) {
+  LogManager log = MakeSegmented();
+  for (uint8_t i = 1; i <= 10; ++i) AppendForced(log, i);
+  const std::vector<SegmentInfo> live = log.LiveSegments();
+  ASSERT_GE(live.size(), 3u);
+  const SegmentInfo& target = live[1];  // a middle sealed segment
+  ASSERT_TRUE(target.sealed);
+
+  ASSERT_TRUE(log.CorruptSegmentByte(target.id, LogCopy::kPrimary, 3, 0x10));
+  ASSERT_TRUE(log.CorruptSegmentByte(target.id, LogCopy::kMirror, 3, 0x10));
+  const ScrubReport report = log.Scrub();
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.holes, 1u);
+  EXPECT_EQ(report.first_unreadable_lsn, target.first_lsn);
+  EXPECT_EQ(log.FirstHoleLsn(), target.first_lsn);
+
+  // A redo prefix must be unbroken: the scan yields the records before
+  // the hole and reports the damage — never the records past it.
+  const StableScan scan = log.ScanStable(1);
+  EXPECT_TRUE(scan.torn);
+  ASSERT_FALSE(scan.records.empty());
+  EXPECT_EQ(scan.records.back().lsn, target.first_lsn - 1);
+}
+
+TEST(SegmentTest, ArchiveCoversLiveHolesAndRepairsThem) {
+  LogManager log = MakeSegmented();
+  for (uint8_t i = 1; i <= 10; ++i) AppendForced(log, i);
+  const SegmentInfo target = FirstSealed(log);
+  ASSERT_TRUE(log.CorruptSegmentByte(target.id, LogCopy::kPrimary, 3, 0x10));
+  ASSERT_TRUE(log.CorruptSegmentByte(target.id, LogCopy::kMirror, 3, 0x10));
+  ASSERT_NE(log.FirstHoleLsn(), 0u);
+
+  // The media-recovery read path falls back to the archive copy.
+  EXPECT_EQ(log.FirstUncoveredLsn(1), 0u);
+  Result<std::vector<LogRecord>> covered = log.ReadWithArchive(1);
+  ASSERT_TRUE(covered.ok());
+  EXPECT_EQ(covered.value().size(), 10u);
+
+  // And the live log can be re-seeded from it.
+  EXPECT_EQ(log.RepairFromArchive(), 1u);
+  EXPECT_EQ(log.FirstHoleLsn(), 0u);
+  EXPECT_EQ(log.StableRecords(1).value().size(), 10u);
+}
+
+TEST(SegmentTest, UncoverableGapNamesItsFirstUnreadableLsn) {
+  LogManager log = MakeSegmented();
+  for (uint8_t i = 1; i <= 10; ++i) AppendForced(log, i);
+  const SegmentInfo target = FirstSealed(log);
+  ASSERT_TRUE(log.CorruptSegmentByte(target.id, LogCopy::kPrimary, 3, 0x10));
+  ASSERT_TRUE(log.LoseSegmentCopy(target.id, LogCopy::kMirror));
+  ASSERT_TRUE(log.LoseSegmentCopy(target.id, LogCopy::kArchive));
+
+  EXPECT_EQ(log.FirstUncoveredLsn(1), target.first_lsn);
+  const Result<std::vector<LogRecord>> read = log.ReadWithArchive(1);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().ToString().find(std::to_string(target.first_lsn)),
+            std::string::npos)
+      << "the failure must name the first unreadable LSN: "
+      << read.status().ToString();
+
+  // Reading from past the gap is still fine — the gap is below `from`.
+  EXPECT_EQ(log.FirstUncoveredLsn(target.last_lsn + 1), 0u);
+}
+
+TEST(SegmentTest, CheckpointTruncationRetiresToArchive) {
+  LogManager log = MakeSegmented();
+  // No checkpoint yet: truncation has no anchor and must refuse.
+  for (uint8_t i = 1; i <= 6; ++i) AppendForced(log, i);
+  EXPECT_EQ(log.TruncateArchived(log.stable_lsn()), 0u);
+
+  const core::Lsn checkpoint =
+      AppendForced(log, 0, RecordType::kCheckpoint);
+  for (uint8_t i = 7; i <= 10; ++i) AppendForced(log, i);
+  log.SealActiveSegment();  // no-op if lsn 10 already sealed the segment
+
+  const size_t dropped = log.TruncateArchived(checkpoint);
+  EXPECT_GE(dropped, 1u);
+  EXPECT_EQ(log.stats().segments_truncated, dropped);
+  EXPECT_GT(log.live_begin_lsn(), 1u);
+  EXPECT_LT(log.live_begin_lsn(), checkpoint + 1)
+      << "the latest stable checkpoint must stay in the live log";
+
+  // The truncated prefix is still served — transparently — from the
+  // archive, so a scan from LSN 1 sees the full history.
+  Result<std::vector<LogRecord>> all = log.StableRecords(1);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 11u);  // 10 writes + 1 checkpoint
+  for (size_t i = 0; i < all.value().size(); ++i) {
+    EXPECT_EQ(all.value()[i].lsn, i + 1);
+  }
+
+  // The checkpoint anchor survives truncation.
+  Result<std::optional<LogRecord>> latest = log.LatestStableCheckpoint();
+  ASSERT_TRUE(latest.ok());
+  ASSERT_TRUE(latest.value().has_value());
+  EXPECT_EQ(latest.value()->lsn, checkpoint);
+}
+
+TEST(SegmentTest, SealActiveSegmentNeedsVerifiedRecords) {
+  LogManager log = MakeSegmented(1 << 20);  // too large to auto-seal
+  EXPECT_FALSE(log.SealActiveSegment()) << "empty active segment";
+  AppendForced(log, 1);
+  EXPECT_TRUE(log.SealActiveSegment());
+  EXPECT_EQ(log.LiveSegments().size(), 2u);
+  EXPECT_FALSE(log.SealActiveSegment()) << "fresh active segment is empty";
+}
+
+// Satellite regression: StableRecords used to re-deserialize the whole
+// stable byte image on every call. The parsed-record cache must serve
+// repeat scans without any decode, and fault hooks must invalidate it
+// (a cache must never mask damage).
+TEST(SegmentTest, RepeatScansAreServedFromTheParsedCache) {
+  LogManager log = MakeSegmented();
+  for (uint8_t i = 1; i <= 10; ++i) AppendForced(log, i);
+
+  ASSERT_TRUE(log.StableRecords(1).ok());
+  const uint64_t decodes_after_first = log.stats().scan_decodes;
+  const uint64_t hits_after_first = log.stats().scan_cache_hits;
+  EXPECT_EQ(decodes_after_first, 0u)
+      << "records parsed at force time: a scan needs no decode";
+  EXPECT_GT(hits_after_first, 0u);
+
+  ASSERT_TRUE(log.StableRecords(1).ok());
+  EXPECT_EQ(log.stats().scan_decodes, decodes_after_first)
+      << "repeat scan must not re-deserialize";
+  EXPECT_GT(log.stats().scan_cache_hits, hits_after_first);
+}
+
+TEST(SegmentTest, FaultHooksInvalidateTheParsedCache) {
+  LogManager log = MakeSegmented();
+  for (uint8_t i = 1; i <= 10; ++i) AppendForced(log, i);
+  const SegmentInfo target = FirstSealed(log);
+
+  // Damage + undo (the injector's snapshot/restore pattern): the bytes
+  // are byte-identical again, but the cache was invalidated, so the next
+  // scan re-verifies by decoding instead of trusting stale parses.
+  const SegmentCopyImage primary =
+      log.PeekSegmentCopy(target.id, LogCopy::kPrimary).value();
+  ASSERT_TRUE(log.CorruptSegmentByte(target.id, LogCopy::kPrimary, 5, 0x20));
+  ASSERT_TRUE(log.RestoreSegmentCopy(target.id, LogCopy::kPrimary, primary));
+
+  const uint64_t decodes_before = log.stats().scan_decodes;
+  ASSERT_EQ(log.StableRecords(1).value().size(), 10u);
+  EXPECT_GT(log.stats().scan_decodes, decodes_before)
+      << "the invalidated segment must be re-decoded";
+
+  const uint64_t decodes_after = log.stats().scan_decodes;
+  ASSERT_TRUE(log.StableRecords(1).ok());
+  EXPECT_EQ(log.stats().scan_decodes, decodes_after)
+      << "and the refilled cache serves the next scan";
+}
+
+TEST(SegmentTest, TornTailSalvageIsConfinedToTheActiveSegment) {
+  LogManager log = MakeSegmented();
+  for (uint8_t i = 1; i <= 7; ++i) AppendForced(log, i);
+  const core::Lsn stable = log.stable_lsn();
+
+  // A crash tears an in-flight force mid-record; the sealed history is
+  // untouched and salvage only truncates the active segment.
+  log.Append(RecordType::kSlotWrite, std::vector<uint8_t>(14, 0xaa));
+  const size_t pending = log.PendingForceBytes();
+  ASSERT_GT(pending, 4u);
+  ASSERT_EQ(log.TearInFlightForce(pending - 4), pending - 4);
+  log.Crash();
+  const SalvageResult salvage = log.SalvageTornTail();
+  EXPECT_TRUE(salvage.torn);
+  EXPECT_EQ(log.stable_lsn(), stable);
+  EXPECT_TRUE(log.Scrub().clean()) << "sealed segments unaffected";
+  EXPECT_EQ(log.StableRecords(1).value().size(), stable);
+}
+
+}  // namespace
+}  // namespace redo::wal

@@ -13,19 +13,41 @@
 // diagnosed refusal), recovery still matches the oracle exactly, and no
 // page is ever wrong while verifying clean (zero silent corruption).
 //
-// Usage: crash_torture [--faults] [runs_per_method] [ops_per_segment] [crashes]
+// With `--force-unrecoverable` (implies --faults), the offsite-restore
+// remedy for rung-3 refusals is withheld: the first uncoverable hole is
+// a terminal failure, and the failing cycle's recovery timeline (JSONL:
+// phases, method, ladder rung, first unreadable LSN) is written to the
+// --timeline-out path for post-mortem — the artifact CI uploads.
+//
+// Usage: crash_torture [--faults] [--force-unrecoverable]
+//                      [--timeline-out PATH]
+//                      [runs_per_method] [ops_per_segment] [crashes]
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "checker/crash_sim.h"
 
 int main(int argc, char** argv) {
   using namespace redo;
   bool faults = false;
-  if (argc > 1 && std::strcmp(argv[1], "--faults") == 0) {
-    faults = true;
+  bool force_unrecoverable = false;
+  std::string timeline_out = "crash_torture_failing_timeline.jsonl";
+  while (argc > 1) {
+    if (std::strcmp(argv[1], "--faults") == 0) {
+      faults = true;
+    } else if (std::strcmp(argv[1], "--force-unrecoverable") == 0) {
+      faults = true;
+      force_unrecoverable = true;
+    } else if (std::strcmp(argv[1], "--timeline-out") == 0 && argc > 2) {
+      timeline_out = argv[2];
+      --argc;
+      ++argv;
+    } else {
+      break;
+    }
     --argc;
     ++argv;
   }
@@ -34,21 +56,26 @@ int main(int argc, char** argv) {
   const size_t crashes = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 4;
 
   std::printf(
-      "crash torture: %zu runs/method x %zu ops/segment x %zu crashes%s\n\n",
-      runs, ops, crashes, faults ? " [fault injection ON]" : "");
-  std::printf("%-16s %8s %9s %9s %11s %11s %7s\n", "method", "runs", "actions",
-              "crashes", "stable ops", "pages ok", "result");
+      "crash torture: %zu runs/method x %zu ops/segment x %zu crashes%s%s\n\n",
+      runs, ops, crashes, faults ? " [fault injection ON]" : "",
+      force_unrecoverable ? " [offsite restore WITHHELD]" : "");
+  std::printf("%-16s %8s %9s %9s %11s %9s %9s %9s %7s\n", "method", "runs",
+              "actions", "crashes", "pages ok", "applied", "skipped",
+              "notexp", "result");
 
   int exit_code = 0;
   size_t injected = 0, detected = 0, torn_tails = 0, salvaged = 0, healed = 0,
          retries = 0, silent = 0;
   size_t log_injected = 0, log_repairs = 0, rung1 = 0, rung2 = 0, rung3 = 0,
          backups = 0, sealed = 0;
+  std::string failing_timeline;       // last failing cycle's JSONL timeline
+  std::string failing_cycle_metrics;  // its per-cycle metrics delta
   for (const methods::MethodKind kind :
        {methods::MethodKind::kLogical, methods::MethodKind::kPhysical,
         methods::MethodKind::kPhysiological,
         methods::MethodKind::kGeneralized}) {
-    size_t actions = 0, total_crashes = 0, stable_ops = 0, pages = 0;
+    size_t actions = 0, total_crashes = 0, pages = 0;
+    size_t applied = 0, skipped = 0, not_exposed = 0;
     bool all_ok = true;
     std::string first_failure;
     for (size_t seed = 1; seed <= runs; ++seed) {
@@ -59,15 +86,20 @@ int main(int argc, char** argv) {
       options.crashes = crashes;
       options.faults.enabled = faults;
       // Small segments so every run seals (and damages) several; a fresh
-      // backup each cycle so rung 2 has a current anchor.
+      // backup each cycle so rung 2 has a current anchor. Withholding
+      // the backup AND the offsite restore makes the first double-fault
+      // hole unrecoverable — the forced-failure path.
       options.faults.log_segment_bytes = 448;
-      options.faults.backup_interval = 1;
-      options.faults.truncate_at_backup = true;
+      options.faults.backup_interval = force_unrecoverable ? 0 : 1;
+      options.faults.truncate_at_backup = !force_unrecoverable;
+      options.faults.no_offsite_restore = force_unrecoverable;
       const checker::CrashSimResult r = checker::RunCrashSim(kind, options, seed);
       actions += r.actions_executed;
       total_crashes += r.crashes;
-      stable_ops += r.stable_ops_at_crashes;
       pages += r.recovered_pages_verified;
+      applied += r.redo_applied;
+      skipped += r.redo_skipped_installed;
+      not_exposed += r.redo_not_exposed;
       injected += r.faults_injected;
       detected += r.faults_detected;
       torn_tails += r.torn_tails;
@@ -82,14 +114,22 @@ int main(int argc, char** argv) {
       rung3 += r.ladder_refusals;
       backups += r.backups_taken;
       sealed += r.segments_sealed;
-      if (!r.ok && all_ok) {
-        all_ok = false;
-        first_failure = r.failure;
+      if (!r.ok) {
+        if (all_ok) {
+          all_ok = false;
+          first_failure = r.failure;
+        }
+        // Retain the most recent failing cycle's timeline for the
+        // post-mortem artifact.
+        if (!r.failing_timeline_jsonl.empty()) {
+          failing_timeline = r.failing_timeline_jsonl;
+          failing_cycle_metrics = r.last_cycle_metrics_text;
+        }
       }
     }
-    std::printf("%-16s %8zu %9zu %9zu %11zu %11zu %7s\n",
+    std::printf("%-16s %8zu %9zu %9zu %11zu %9zu %9zu %9zu %7s\n",
                 methods::MethodKindName(kind), runs, actions, total_crashes,
-                stable_ops, pages, all_ok ? "OK" : "FAILED");
+                pages, applied, skipped, not_exposed, all_ok ? "OK" : "FAILED");
     if (!all_ok) {
       std::printf("    first failure: %s\n", first_failure.c_str());
       exit_code = 1;
@@ -108,6 +148,17 @@ int main(int argc, char** argv) {
         " backups=%zu\n",
         log_injected, log_repairs, sealed, rung1, rung2, rung3, backups);
     if (silent != 0) exit_code = 1;
+  }
+  if (exit_code != 0 && !failing_timeline.empty()) {
+    if (FILE* out = std::fopen(timeline_out.c_str(), "w")) {
+      std::fputs(failing_timeline.c_str(), out);
+      std::fclose(out);
+      std::printf("\nfailing-cycle recovery timeline written to %s\n",
+                  timeline_out.c_str());
+    } else {
+      std::printf("\ncould not write timeline to %s\n", timeline_out.c_str());
+    }
+    std::printf("failing-cycle metric delta:\n%s", failing_cycle_metrics.c_str());
   }
   std::printf("\nEvery crash point was validated two ways: the recovery\n"
               "invariant (operations(log) - redo_set is an installation-graph\n"

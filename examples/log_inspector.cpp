@@ -5,7 +5,12 @@
 // dirty page table, per-page LSN tags vs. the redo scan, the redo test's
 // verdict per record, and the formal checker's invariant report.
 //
-// Usage: log_inspector [method: logical|physical|physiological|
+// With `--json`, emits the same crash-point inspection as one JSON
+// document (segment map with seal CRCs, scrub verdicts, checkpoint DPT,
+// page LSN tags, recovery outcome) — parseable by `python3 -m json.tool`,
+// which is exactly what CI runs against it.
+//
+// Usage: log_inspector [--json] [method: logical|physical|physiological|
 //                       generalized|aries] [actions] [seed]
 
 #include <cstdio>
@@ -14,6 +19,7 @@
 #include <vector>
 
 #include "checker/recovery_checker.h"
+#include "obs/json_writer.h"
 #include "wal/log_manager.h"
 #include "engine/workload.h"
 #include "methods/common.h"
@@ -56,6 +62,54 @@ void PrintSegments(const char* label, const std::vector<wal::SegmentInfo>& segme
   }
 }
 
+void EmitSegmentsJson(obs::JsonWriter& w,
+                      const std::vector<wal::SegmentInfo>& segments) {
+  w.BeginArray();
+  for (const wal::SegmentInfo& seg : segments) {
+    w.BeginObject();
+    w.Key("id");
+    w.UInt(seg.id);
+    w.Key("first_lsn");
+    w.UInt(seg.first_lsn);
+    w.Key("last_lsn");
+    w.UInt(seg.last_lsn);
+    w.Key("bytes");
+    w.UInt(seg.bytes);
+    w.Key("sealed");
+    w.Bool(seg.sealed);
+    w.Key("archived");
+    w.Bool(seg.archived);
+    if (seg.sealed) {
+      w.Key("primary_seal_crc");
+      w.UInt(seg.primary_seal);
+      if (seg.mirror_seal != 0) {  // archive copies carry a single seal
+        w.Key("mirror_seal_crc");
+        w.UInt(seg.mirror_seal);
+      }
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+void EmitVerdictsJson(obs::JsonWriter& w,
+                      const std::vector<wal::SegmentVerdict>& verdicts) {
+  w.BeginArray();
+  for (const wal::SegmentVerdict& verdict : verdicts) {
+    w.BeginObject();
+    w.Key("segment");
+    w.UInt(verdict.id);
+    w.Key("first_lsn");
+    w.UInt(verdict.first_lsn);
+    w.Key("last_lsn");
+    w.UInt(verdict.last_lsn);
+    w.Key("state");
+    w.String(wal::SegmentVerdictStateName(verdict.state));
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
 methods::MethodKind ParseMethod(const char* name) {
   if (std::strcmp(name, "logical") == 0) return methods::MethodKind::kLogical;
   if (std::strcmp(name, "physical") == 0) return methods::MethodKind::kPhysical;
@@ -71,6 +125,12 @@ methods::MethodKind ParseMethod(const char* name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool json = false;
+  if (argc > 1 && std::strcmp(argv[1], "--json") == 0) {
+    json = true;
+    --argc;
+    ++argv;
+  }
   const methods::MethodKind kind =
       argc > 1 ? ParseMethod(argv[1]) : methods::MethodKind::kPhysiological;
   const int actions = argc > 2 ? std::atoi(argv[2]) : 60;
@@ -101,6 +161,89 @@ int main(int argc, char** argv) {
   }
 
   db.Crash();
+
+  if (json) {
+    const std::vector<wal::SegmentInfo> live = db.log().LiveSegments();
+    const std::vector<wal::SegmentInfo> archived = db.log().ArchivedSegments();
+    const wal::ScrubReport scrub = db.log().Scrub();
+    const methods::EngineContext jctx = db.ctx();
+    const core::Lsn scan_start = db.method().RedoScanStart(jctx).value();
+    const auto dpt = methods::internal_methods::ReadCheckpointDpt(jctx).value();
+    const checker::CheckResult verdict = checker::CheckCrashState(db, trace);
+    const Status recovered = db.Recover();
+
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("method");
+    w.String(db.method().name());
+    w.Key("stable_lsn");
+    w.UInt(db.log().stable_lsn());
+    w.Key("redo_scan_start");
+    w.UInt(scan_start);
+    w.Key("live_segments");
+    EmitSegmentsJson(w, live);
+    w.Key("archived_segments");
+    EmitSegmentsJson(w, archived);
+    w.Key("scrub");
+    w.BeginObject();
+    w.Key("segments");
+    w.UInt(scrub.segments);
+    w.Key("repairs");
+    w.UInt(scrub.repairs);
+    w.Key("holes");
+    w.UInt(scrub.holes);
+    w.Key("archive_repairs");
+    w.UInt(scrub.archive_repairs);
+    w.Key("archive_holes");
+    w.UInt(scrub.archive_holes);
+    w.Key("first_unreadable_lsn");
+    w.UInt(scrub.first_unreadable_lsn);
+    w.Key("verdicts");
+    EmitVerdictsJson(w, scrub.verdicts);
+    w.Key("archive_verdicts");
+    EmitVerdictsJson(w, scrub.archive_verdicts);
+    w.EndObject();
+    w.Key("checkpoint_dirty_page_table");
+    w.BeginArray();
+    for (const auto& [page, rec_lsn] : dpt) {
+      w.BeginObject();
+      w.Key("page");
+      w.UInt(page);
+      w.Key("rec_lsn");
+      w.UInt(rec_lsn);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("page_lsns");
+    w.BeginArray();
+    for (storage::PageId p = 0; p < db.num_pages(); ++p) {
+      w.UInt(db.disk().PeekPage(p).lsn());
+    }
+    w.EndArray();
+    w.Key("invariant_ok");
+    w.Bool(verdict.ok);
+    w.Key("recovery");
+    w.BeginObject();
+    w.Key("ok");
+    w.Bool(recovered.ok());
+    w.Key("status");
+    w.String(recovered.ToString());
+    const methods::RecoveryMethod::RedoScanStats stats =
+        db.method().last_scan_stats();
+    w.Key("scanned");
+    w.UInt(stats.scanned);
+    w.Key("replayed");
+    w.UInt(stats.replayed);
+    w.Key("skipped_without_fetch");
+    w.UInt(stats.skipped_without_fetch);
+    w.Key("page_fetches");
+    w.UInt(stats.page_fetches);
+    w.EndObject();
+    w.EndObject();
+    std::printf("%s\n", w.Take().c_str());
+    return verdict.ok && recovered.ok() ? 0 : 1;
+  }
+
   std::printf("=== crash point (method: %s) ===\n", db.method().name());
   std::printf("log: last appended lsn lost with the crash; stable through %llu\n",
               (unsigned long long)db.log().stable_lsn());

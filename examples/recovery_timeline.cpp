@@ -1,0 +1,168 @@
+// recovery_timeline: run one deterministic crash/recover scenario per
+// recovery method with a RecoveryTracer attached, and print the full
+// per-phase timeline — checkpoint chosen, every redo-test verdict with
+// its reason code, phase I/O costs — plus the per-run metrics-registry
+// delta.
+//
+// The scenario is fixed: writes across five pages, a mid-stream
+// checkpoint, more writes, two pages flushed (so LSN-test methods have
+// something to *skip*), full force, crash, recover. Deterministic by
+// construction; `--no-timing` drops the only nondeterministic field
+// (wall_us), making the output byte-identical across invocations.
+//
+// Usage: recovery_timeline [--json] [--no-timing] [--method NAME]
+//   --json       one JSON document {"runs":[{method, timeline, metrics}]}
+//                (parseable by `python3 -m json.tool`; CI does exactly that)
+//   --no-timing  omit wall-clock fields for byte-identical output
+//   --method     run only one method (logical | physical | physiological
+//                | generalized-lsn)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/minidb.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/recovery_trace.h"
+
+namespace {
+
+using namespace redo;
+
+struct RunOutput {
+  std::string method;
+  std::string timeline_text;
+  std::string timeline_json_array;  // "[{...},{...}]"
+  std::string metrics_json;         // recovery-delta snapshot as JSON
+  std::string metrics_text;
+  bool ok = false;
+};
+
+RunOutput RunScenario(methods::MethodKind kind, bool include_timing) {
+  RunOutput out;
+  out.method = methods::MethodKindName(kind);
+
+  engine::MiniDbOptions options;
+  options.num_pages = 8;
+  // The logical method redoes everything since the checkpoint and has no
+  // page-LSN test; run it write-through like the crash simulator does.
+  options.cache_capacity = kind == methods::MethodKind::kLogical ? 0 : 4;
+  engine::MiniDb db(options, methods::MakeMethod(kind, options.num_pages));
+  obs::RecoveryTracer tracer(&db.metrics());
+  db.set_recovery_tracer(&tracer);
+
+  // Phase 1: three writes, then a checkpoint — these land *behind* the
+  // redo-scan anchor and should not produce verdicts.
+  (void)db.WriteSlot(1, 0, 100).value();
+  (void)db.WriteSlot(2, 0, 200).value();
+  (void)db.WriteSlot(3, 0, 300).value();
+  (void)db.Checkpoint();
+
+  // Phase 2: five more writes; flush pages 1 and 2 so their records are
+  // installed on disk (LSN-test methods will report skipped-installed;
+  // redo-all methods will reapply them anyway).
+  (void)db.WriteSlot(1, 1, 101).value();
+  (void)db.WriteSlot(2, 1, 201).value();
+  (void)db.WriteSlot(4, 0, 400).value();
+  (void)db.WriteSlot(5, 0, 500).value();
+  (void)db.WriteSlot(4, 1, 401).value();
+  (void)db.MaybeFlushPage(1);
+  (void)db.MaybeFlushPage(2);
+  (void)db.log().ForceAll();
+
+  const obs::Snapshot before = db.metrics().TakeSnapshot();
+  db.Crash();
+  const Status status = db.Recover();
+  out.ok = status.ok();
+
+  out.timeline_text = tracer.ToText(include_timing);
+  {
+    obs::JsonWriter w;
+    w.BeginArray();
+    for (const obs::TraceEvent& event : tracer.events()) {
+      w.Raw(event.ToJson(include_timing));
+    }
+    w.EndArray();
+    out.timeline_json_array = w.Take();
+  }
+  obs::Snapshot delta = db.metrics().TakeSnapshot().Delta(before);
+  if (!include_timing) {
+    // The phase-duration histogram is the one wall-clock metric; drop it
+    // so --no-timing output is byte-identical across invocations.
+    delta = delta.WithoutPrefix("recovery.phase_us");
+  }
+  out.metrics_json = delta.ToJson();
+  out.metrics_text = delta.ToText();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool include_timing = true;
+  std::string only_method;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--no-timing") == 0) {
+      include_timing = false;
+    } else if (std::strcmp(argv[i], "--method") == 0 && i + 1 < argc) {
+      only_method = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: recovery_timeline [--json] [--no-timing] "
+                   "[--method NAME]\n");
+      return 2;
+    }
+  }
+
+  std::vector<RunOutput> runs;
+  bool all_ok = true;
+  for (const methods::MethodKind kind :
+       {methods::MethodKind::kLogical, methods::MethodKind::kPhysical,
+        methods::MethodKind::kPhysiological,
+        methods::MethodKind::kGeneralized}) {
+    if (!only_method.empty() &&
+        only_method != methods::MethodKindName(kind)) {
+      continue;
+    }
+    runs.push_back(RunScenario(kind, include_timing));
+    all_ok = all_ok && runs.back().ok;
+  }
+  if (runs.empty()) {
+    std::fprintf(stderr, "unknown method '%s'\n", only_method.c_str());
+    return 2;
+  }
+
+  if (json) {
+    redo::obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("runs");
+    w.BeginArray();
+    for (const RunOutput& run : runs) {
+      w.BeginObject();
+      w.Key("method");
+      w.String(run.method);
+      w.Key("ok");
+      w.Bool(run.ok);
+      w.Key("timeline");
+      w.Raw(run.timeline_json_array);
+      w.Key("metrics");
+      w.Raw(run.metrics_json);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::printf("%s\n", w.Take().c_str());
+  } else {
+    for (const RunOutput& run : runs) {
+      std::printf("=== %s ===\n%s\n--- recovery metrics delta ---\n%s\n",
+                  run.method.c_str(), run.timeline_text.c_str(),
+                  run.metrics_text.c_str());
+    }
+  }
+  return all_ok ? 0 : 1;
+}

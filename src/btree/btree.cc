@@ -26,6 +26,24 @@ uint32_t ChildFor(const NodeRef& node, int64_t key) {
 
 }  // namespace
 
+void BtreeOpStats::EmitMetrics(obs::MetricEmitter& emit) const {
+  emit.Counter("inserts", inserts);
+  emit.Counter("lookups", lookups);
+  emit.Counter("removes", removes);
+  emit.Counter("scans", scans);
+  emit.Counter("node_splits", node_splits);
+  emit.Counter("leaf_merges", leaf_merges);
+  emit.Counter("pages_allocated", pages_allocated);
+  emit.Counter("pages_freed", pages_freed);
+}
+
+void BtreeOpStats::RegisterMetrics(obs::MetricsRegistry& registry,
+                                   const std::string& prefix) {
+  registry.Register(
+      prefix, [this](obs::MetricEmitter& emit) { EmitMetrics(emit); },
+      [this]() { *this = BtreeOpStats{}; });
+}
+
 Result<Btree> Btree::Create(engine::MiniDb* db) {
   REDO_CHECK(db != nullptr);
   if (db->num_pages() < 3) {
@@ -68,6 +86,7 @@ Result<PageId> Btree::AllocatePage() {
     REDO_RETURN_IF_ERROR(
         db_->WriteSlot(kMetaPage, kFreeCountSlot, free_count.value() - 1)
             .status());
+    if (op_stats_ != nullptr) ++op_stats_->pages_allocated;
     return static_cast<PageId>(top.value());
   }
   Result<int64_t> next = db_->ReadSlot(kMetaPage, kNextFreeSlot);
@@ -77,6 +96,7 @@ Result<PageId> Btree::AllocatePage() {
   }
   REDO_RETURN_IF_ERROR(
       db_->WriteSlot(kMetaPage, kNextFreeSlot, next.value() + 1).status());
+  if (op_stats_ != nullptr) ++op_stats_->pages_allocated;
   return static_cast<PageId>(next.value());
 }
 
@@ -88,11 +108,13 @@ Status Btree::FreePage(PageId page) {
     return Status::Ok();  // free stack full: leak the page (harmless)
   }
   REDO_RETURN_IF_ERROR(db_->WriteSlot(kMetaPage, slot, page).status());
+  if (op_stats_ != nullptr) ++op_stats_->pages_freed;
   return db_->WriteSlot(kMetaPage, kFreeCountSlot, free_count.value() + 1)
       .status();
 }
 
 Status Btree::Insert(int64_t key, int64_t value) {
+  if (op_stats_ != nullptr) ++op_stats_->inserts;
   // Grow the root first if it is full (preemptive splitting keeps every
   // parent non-full when a child splits).
   for (;;) {
@@ -111,6 +133,7 @@ Status Btree::Insert(int64_t key, int64_t value) {
         db_->Split(SplitOp{SplitTransform::kBtreeNode, root_page.value(),
                            new_right.value()})
             .status());
+    if (op_stats_ != nullptr) ++op_stats_->node_splits;
     Result<PageId> new_root = AllocatePage();
     if (!new_root.ok()) return new_root.status();
     REDO_RETURN_IF_ERROR(
@@ -159,6 +182,7 @@ Status Btree::Insert(int64_t key, int64_t value) {
           db_->Split(SplitOp{SplitTransform::kBtreeNode, child,
                              new_right.value()})
               .status());
+      if (op_stats_ != nullptr) ++op_stats_->node_splits;
       REDO_RETURN_IF_ERROR(
           db_->Apply(MakeBtreeInsert(page, separator,
                                      static_cast<int64_t>(new_right.value())))
@@ -170,6 +194,7 @@ Status Btree::Insert(int64_t key, int64_t value) {
 }
 
 Result<std::optional<int64_t>> Btree::Lookup(int64_t key) {
+  if (op_stats_ != nullptr) ++op_stats_->lookups;
   Result<PageId> current = root();
   if (!current.ok()) return current.status();
   PageId page = current.value();
@@ -192,6 +217,7 @@ Result<std::optional<int64_t>> Btree::Lookup(int64_t key) {
 }
 
 Status Btree::Remove(int64_t key) {
+  if (op_stats_ != nullptr) ++op_stats_->removes;
   Result<PageId> current = root();
   if (!current.ok()) return current.status();
   PageId page = current.value();
@@ -276,6 +302,7 @@ Status Btree::MaybeMergeLeaf(const std::vector<PageId>& path) {
   // (the cache manager orders left-before-right under generalized-LSN).
   REDO_RETURN_IF_ERROR(
       db_->Split(SplitOp{SplitTransform::kBtreeMerge, right, left}).status());
+  if (op_stats_ != nullptr) ++op_stats_->leaf_merges;
   REDO_RETURN_IF_ERROR(
       db_->Apply(MakeBtreeRemove(parent, parent_keys[separator_index]))
           .status());
@@ -303,6 +330,7 @@ Status Btree::MaybeMergeLeaf(const std::vector<PageId>& path) {
 
 Result<std::vector<std::pair<int64_t, int64_t>>> Btree::Scan(int64_t lo,
                                                              int64_t hi) {
+  if (op_stats_ != nullptr) ++op_stats_->scans;
   std::vector<std::pair<int64_t, int64_t>> out;
   Result<PageId> current = root();
   if (!current.ok()) return current.status();

@@ -20,14 +20,39 @@
 #define REDO_BTREE_BTREE_H_
 
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "engine/minidb.h"
+#include "obs/metrics.h"
 
 namespace redo::btree {
 
 using storage::PageId;
+
+/// B-tree operation counters. Owned by the caller (Btree handles are
+/// copyable values; the stats sink outlives them) and attached with
+/// set_op_stats; registerable as a metrics source like every other
+/// stats struct.
+struct BtreeOpStats {
+  uint64_t inserts = 0;
+  uint64_t lookups = 0;
+  uint64_t removes = 0;
+  uint64_t scans = 0;
+  uint64_t node_splits = 0;   ///< preemptive splits during descent (incl. root)
+  uint64_t leaf_merges = 0;   ///< underflow merges on remove
+  uint64_t pages_allocated = 0;
+  uint64_t pages_freed = 0;
+
+  /// Emits every counter (metrics-registry source enumeration).
+  void EmitMetrics(obs::MetricEmitter& emit) const;
+
+  /// Registers this struct as a source named `prefix`. The struct must
+  /// outlive the registry or be unregistered first.
+  void RegisterMetrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "btree");
+};
 
 class Btree {
  public:
@@ -108,6 +133,9 @@ class Btree {
   /// if none).
   Result<Cursor> Seek(int64_t lo);
 
+  /// Attaches an operation-counter sink (not owned; nullptr detaches).
+  void set_op_stats(BtreeOpStats* stats) { op_stats_ = stats; }
+
  private:
   explicit Btree(engine::MiniDb* db) : db_(db) {}
 
@@ -136,6 +164,7 @@ class Btree {
                          std::vector<PageId>* leftmost_leaves);
 
   engine::MiniDb* db_;
+  BtreeOpStats* op_stats_ = nullptr;
 };
 
 }  // namespace redo::btree

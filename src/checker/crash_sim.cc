@@ -6,6 +6,8 @@
 
 #include "engine/backup.h"
 #include "engine/degraded_recovery.h"
+#include "obs/metrics.h"
+#include "obs/recovery_trace.h"
 #include "storage/fault_injector.h"
 #include "wal/log_fault_injector.h"
 
@@ -90,6 +92,11 @@ std::string CrashSimResult::ToString() const {
         << " segments_sealed=" << segments_sealed
         << " segments_truncated=" << segments_truncated;
   }
+  if (redo_applied + redo_skipped_installed + redo_not_exposed > 0) {
+    out << " | redo verdicts: applied=" << redo_applied
+        << " skipped_installed=" << redo_skipped_installed
+        << " not_exposed=" << redo_not_exposed;
+  }
   return out.str();
 }
 
@@ -100,17 +107,6 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
   FaultInjector* injector = nullptr;
   std::optional<wal::LogFaultInjector> log_injector_storage;
   wal::LogFaultInjector* log_injector = nullptr;
-  auto fail = [&result, &injector](std::string why) {
-    result.ok = false;
-    if (result.failure.empty()) result.failure = std::move(why);
-    if (injector != nullptr) {
-      const storage::FaultInjectorStats& fs = injector->stats();
-      result.faults_injected =
-          fs.torn_writes + fs.write_bursts + fs.sticky_pages;
-      result.pages_healed = fs.pages_healed;
-    }
-    return result;
-  };
 
   engine::MiniDbOptions db_options;
   db_options.num_pages = options.workload.num_pages;
@@ -126,6 +122,34 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
 
   engine::TraceRecorder trace(db.disk());
   db.set_trace(&trace);
+
+  // Recovery timeline + per-cycle metric deltas. The timeline restarts
+  // each cycle, so a failure hands back exactly the failing cycle's
+  // events; the metrics baseline restarts with it.
+  obs::RecoveryTracer tracer(&db.metrics());
+  db.set_recovery_tracer(&tracer);
+  obs::Snapshot cycle_start = db.metrics().TakeSnapshot();
+
+  auto finalize_observability = [&] {
+    result.redo_applied = tracer.total_verdicts().applied;
+    result.redo_skipped_installed = tracer.total_verdicts().skipped_installed;
+    result.redo_not_exposed = tracer.total_verdicts().not_exposed;
+    result.last_cycle_metrics_text =
+        db.metrics().TakeSnapshot().Delta(cycle_start).ToText();
+  };
+  auto fail = [&](std::string why) {
+    result.ok = false;
+    if (result.failure.empty()) result.failure = std::move(why);
+    if (injector != nullptr) {
+      const storage::FaultInjectorStats& fs = injector->stats();
+      result.faults_injected =
+          fs.torn_writes + fs.write_bursts + fs.sticky_pages;
+      result.pages_healed = fs.pages_healed;
+    }
+    result.failing_timeline_jsonl = tracer.ToJsonl(/*include_timing=*/true);
+    finalize_observability();
+    return result;
+  };
 
   engine::Workload workload(options.workload, seed);
   Rng rng(seed ^ 0x5117ab1eULL);
@@ -153,6 +177,7 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
       lf.archive_rot_probability = options.faults.log_archive_rot_probability;
       log_injector_storage.emplace(lf, seed ^ 0x106FAB17ULL);
       log_injector = &*log_injector_storage;
+      log_injector->RegisterMetrics(db.metrics());
     }
   }
 
@@ -251,6 +276,10 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
   };
 
   for (size_t crash = 0; crash < options.crashes; ++crash) {
+    // A fresh timeline and metrics baseline per cycle.
+    tracer.Clear();
+    cycle_start = db.metrics().TakeSnapshot();
+
     // ---- Normal operation segment ----
     for (size_t step = 0; step < options.ops_per_segment; ++step) {
       const Action action = workload.Next();
@@ -421,6 +450,18 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
                           ladder.ToString());
             }
             ++result.ladder_refusals;
+            // With no offsite restore available the refusal is terminal:
+            // the database stays unrecovered, which for the simulator is
+            // the end of the run. The failing-cycle timeline (captured
+            // by fail) names the phase, method, rung, and offending LSN.
+            if (options.faults.no_offsite_restore) {
+              return fail(
+                  "unrecoverable: method=" + std::string(db.method().name()) +
+                  " rung=" + engine::LadderRungName(ladder.rung) +
+                  " first_unreadable_lsn=" +
+                  std::to_string(ladder.first_unreadable_lsn) +
+                  " (no offsite restore available): " + ladder.diagnosis);
+            }
             // ...and it must leave the database unrecovered rather than
             // guessed-at. Model the only sound remedy — an offsite
             // restore of the damaged segments. The common recovery below
@@ -560,6 +601,8 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
   }
   result.segments_sealed = db.log().stats().segments_sealed;
   result.segments_truncated = db.log().stats().segments_truncated;
+  finalize_observability();
+  db.set_recovery_tracer(nullptr);
   result.ok = true;
   return result;
 }

@@ -58,6 +58,13 @@ struct CrashFaultOptions {
   /// Checkpoint-truncate the live log at each backup point (the archive
   /// retains the sealed segments).
   bool truncate_at_backup = true;
+  /// Normally a rung-3 refusal is resolved by modeling an offsite
+  /// restore (the injector heals its own damage) and the cycle
+  /// continues. With this knob the restore is unavailable: the refusal
+  /// becomes a terminal sim failure whose failing-cycle timeline names
+  /// the recovery phase, method, rung, and first unreadable LSN —
+  /// the forced-unrecoverable path crash_torture exposes.
+  bool no_offsite_restore = false;
 };
 
 struct CrashSimOptions {
@@ -101,6 +108,17 @@ struct CrashSimResult {
   size_t backups_taken = 0;
   size_t segments_sealed = 0;       ///< log segments sealed over the run
   size_t segments_truncated = 0;    ///< live segments retired to the archive
+  // Recovery-timeline accounting (from the attached RecoveryTracer).
+  size_t redo_applied = 0;            ///< records redone across all recoveries
+  size_t redo_skipped_installed = 0;  ///< skipped: page LSN proved installed
+  size_t redo_not_exposed = 0;        ///< skipped by analysis without page I/O
+  /// JSONL timeline of the cycle that failed (empty when ok): the
+  /// last-failing-cycle artifact crash_torture writes to disk.
+  std::string failing_timeline_jsonl;
+  /// Metrics-registry delta over the last completed (or failing) crash
+  /// cycle, in the text exporter's format — the per-cycle view torture
+  /// reporting uses.
+  std::string last_cycle_metrics_text;
 
   std::string ToString() const;
 };

@@ -2,6 +2,34 @@
 
 namespace redo::engine {
 
+namespace {
+
+/// Emits the scrub's findings into the timeline: the summary plus one
+/// segment-verdict event per segment the scrub had to touch (intact
+/// segments stay silent — the evidence is the damage).
+void TraceScrub(obs::RecoveryTracer* tracer, const wal::ScrubReport& scrub) {
+  if (tracer == nullptr) return;
+  tracer->ScrubSummary(scrub.segments, scrub.repairs, scrub.holes,
+                       scrub.archive_repairs, scrub.archive_holes,
+                       scrub.first_unreadable_lsn);
+  for (const wal::SegmentVerdict& verdict : scrub.verdicts) {
+    if (verdict.state == wal::SegmentVerdict::State::kIntact) continue;
+    tracer->SegmentVerdict(verdict.id, verdict.first_lsn, verdict.last_lsn,
+                           wal::SegmentVerdictStateName(verdict.state));
+  }
+  for (const wal::SegmentVerdict& verdict : scrub.archive_verdicts) {
+    if (verdict.state == wal::SegmentVerdict::State::kIntact) continue;
+    tracer->SegmentVerdict(verdict.id, verdict.first_lsn, verdict.last_lsn,
+                           std::string("archive-") +
+                               wal::SegmentVerdictStateName(verdict.state));
+  }
+}
+
+LadderReport RunLadder(MiniDb& db, const Backup* backup,
+                       obs::RecoveryTracer* tracer);
+
+}  // namespace
+
 const char* LadderRungName(LadderRung rung) {
   switch (rung) {
     case LadderRung::kIntactLog:
@@ -37,22 +65,55 @@ std::string LadderReport::ToString() const {
 }
 
 LadderReport RecoverWithDegradation(MiniDb& db, const Backup* backup) {
+  // The ladder and the ordinary recovery it may invoke are ONE timeline:
+  // BeginRun nests, so db.Recover() below joins this run.
+  obs::RecoveryTracer* tracer = db.recovery_tracer();
+  if (tracer != nullptr) tracer->BeginRun(db.method().name());
+  LadderReport report = RunLadder(db, backup, tracer);
+  if (tracer != nullptr) {
+    tracer->EndRun(report.status.ok(),
+                   report.status.ok() ? "ok" : report.status.ToString());
+  }
+  return report;
+}
+
+namespace {
+
+LadderReport RunLadder(MiniDb& db, const Backup* backup,
+                       obs::RecoveryTracer* tracer) {
   LadderReport report;
   wal::LogManager& log = db.log();
 
   // Salvage the torn tail first, exactly as ordinary recovery would: the
   // active segment's damage model (a crash mid-force) is handled by
   // truncation, not by the ladder.
-  if (log.PendingForceBytes() == 0) log.SalvageTornTail();
+  if (log.PendingForceBytes() == 0) {
+    obs::PhaseScope phase(tracer, "salvage");
+    const wal::SalvageResult salvage = log.SalvageTornTail();
+    if (tracer != nullptr) {
+      tracer->Salvage(salvage.torn, salvage.dropped_bytes,
+                      salvage.salvaged_records, salvage.stable_lsn_after);
+    }
+  }
 
   // Rungs 0/1: scrub. CRC-verify every sealed copy, repair from the
   // intact twin, re-derive torn seals. If no hole remains, the log is
   // whole and ordinary recovery is fully trustworthy.
-  report.scrub = log.Scrub();
+  {
+    obs::PhaseScope phase(tracer, "scrub");
+    report.scrub = log.Scrub();
+    TraceScrub(tracer, report.scrub);
+  }
   if (report.scrub.clean()) {
-    report.rung = report.scrub.repairs + report.scrub.archive_repairs > 0
-                      ? LadderRung::kMirrorRepair
-                      : LadderRung::kIntactLog;
+    const size_t repairs = report.scrub.repairs + report.scrub.archive_repairs;
+    report.rung =
+        repairs > 0 ? LadderRung::kMirrorRepair : LadderRung::kIntactLog;
+    if (tracer != nullptr) {
+      tracer->Rung(LadderRungName(report.rung), 0,
+                   repairs > 0 ? "scrub repaired " + std::to_string(repairs) +
+                                     " damaged segment copies"
+                               : "scrub found no damage");
+    }
     report.status = db.Recover();
     return report;
   }
@@ -75,6 +136,9 @@ LadderReport RecoverWithDegradation(MiniDb& db, const Backup* backup) {
         "; needed: a backup covering LSN >= " + std::to_string(uncovered) +
         " or an intact copy of the damaged segment. Refusing to recover "
         "past a gap.";
+    if (tracer != nullptr) {
+      tracer->Rung(LadderRungName(report.rung), uncovered, report.diagnosis);
+    }
     report.status = Status::Corruption(report.diagnosis);
     return report;
   }
@@ -84,21 +148,33 @@ LadderReport RecoverWithDegradation(MiniDb& db, const Backup* backup) {
   // the gap-checked archive ∪ live suffix.
   report.rung = LadderRung::kMediaRecovery;
   report.used_backup = backup != nullptr;
-  if (backup != nullptr) {
-    report.status = MediaRecover(db, *backup);
-  } else {
-    Backup genesis;
-    genesis.backup_lsn = 0;
-    genesis.pages.assign(db.num_pages(), storage::Page());
-    report.status = MediaRecover(db, genesis);
+  if (tracer != nullptr) {
+    tracer->Rung(LadderRungName(report.rung), report.scrub.first_unreadable_lsn,
+                 std::string("live log hole covered by ") +
+                     (backup != nullptr
+                          ? "backup through LSN " + std::to_string(base) +
+                                " plus the archive"
+                          : "the genesis state plus the archive"));
   }
-  if (!report.status.ok()) return report;
+  {
+    obs::PhaseScope phase(tracer, "media-recovery");
+    if (backup != nullptr) {
+      report.status = MediaRecover(db, *backup);
+    } else {
+      Backup genesis;
+      genesis.backup_lsn = 0;
+      genesis.pages.assign(db.num_pages(), storage::Page());
+      report.status = MediaRecover(db, genesis);
+    }
+    if (!report.status.ok()) return report;
 
-  // Re-seed unreadable live segments from the archive, then drop what
-  // nothing can rebuild but the backup subsumes — the live log is whole
-  // again above the backup point, so the *next* crash recovers normally.
-  report.archive_repairs = log.RepairFromArchive();
-  report.segments_amputated = log.DropUnreadableThrough(base);
+    // Re-seed unreadable live segments from the archive, then drop what
+    // nothing can rebuild but the backup subsumes — the live log is
+    // whole again above the backup point, so the *next* crash recovers
+    // normally.
+    report.archive_repairs = log.RepairFromArchive();
+    report.segments_amputated = log.DropUnreadableThrough(base);
+  }
   if (const core::Lsn hole = log.FirstHoleLsn(); hole != 0) {
     // Cannot happen if FirstUncoveredLsn was 0; defend anyway.
     report.status = Status::Corruption(
@@ -110,9 +186,17 @@ LadderReport RecoverWithDegradation(MiniDb& db, const Backup* backup) {
   // the whole replayed suffix, so a method without a page-LSN redo test
   // (logical) must not re-replay it on the next ordinary recovery —
   // splits are not idempotent against an already-rewritten source page.
+  obs::PhaseScope phase(tracer, "re-anchor");
+  if (tracer != nullptr) {
+    tracer->Note("re-anchoring redo with a fresh checkpoint after media "
+                 "recovery (amputated " +
+                 std::to_string(report.segments_amputated) + " segments)");
+  }
   report.status = db.Checkpoint();
   if (report.status.ok()) report.status = log.ForceAll();
   return report;
 }
+
+}  // namespace
 
 }  // namespace redo::engine

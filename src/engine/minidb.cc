@@ -15,6 +15,14 @@ MiniDb::MiniDb(const MiniDbOptions& options,
       << method_->name()
       << " forbids background flushes; use an unbounded cache";
   pool_.set_wal_hook([this](core::Lsn lsn) { return log_.Force(lsn); });
+
+  // Federate every subsystem's stats into the unified registry: one
+  // snapshot call dumps the whole engine.
+  disk_.RegisterMetrics(metrics_, "disk");
+  pool_.RegisterMetrics(metrics_, "pool");
+  log_.RegisterMetrics(metrics_, "wal");
+  log_.set_append_size_histogram(
+      metrics_.GetHistogram("wal.append_bytes", obs::SizeBucketsBytes()));
 }
 
 Result<core::Lsn> MiniDb::WriteSlot(storage::PageId page, uint32_t slot,
@@ -73,19 +81,39 @@ void MiniDb::Crash() {
 }
 
 Status MiniDb::Recover() {
+  if (tracer_ != nullptr) tracer_->BeginRun(method_->name());
+  const Status status = RecoverInternal();
+  if (tracer_ != nullptr) {
+    tracer_->EndRun(status.ok(), status.ok() ? "ok" : status.ToString());
+  }
+  return status;
+}
+
+Status MiniDb::RecoverInternal() {
   // First salvage the stable log: a crash mid-force may have left a torn
   // tail, and every recovery method's log scan must see a clean prefix.
   // Truncating unacknowledged bytes is always safe — the WAL rule means
   // no stable page depends on a record whose force was never acked.
   // (Skipped for a recovery rehearsal on a live db with unforced
   // appends; nothing can be torn while the process is still up.)
-  if (log_.PendingForceBytes() == 0) log_.SalvageTornTail();
+  if (log_.PendingForceBytes() == 0) {
+    obs::PhaseScope phase(tracer_, "salvage");
+    const wal::SalvageResult salvage = log_.SalvageTornTail();
+    if (tracer_ != nullptr) {
+      tracer_->Salvage(salvage.torn, salvage.dropped_bytes,
+                       salvage.salvaged_records, salvage.stable_lsn_after);
+    }
+  }
   // Refuse to recover across a hole in the sealed log body: redo
   // requires an unbroken record prefix, and replaying a silently
   // truncated one would "recover" to a state that never existed. The
   // degradation ladder (engine/degraded_recovery.h) is the sanctioned
   // way past this refusal.
   if (const core::Lsn hole = log_.FirstHoleLsn(); hole != 0) {
+    if (tracer_ != nullptr) {
+      tracer_->Note("refusing to recover past a log hole at LSN " +
+                    std::to_string(hole));
+    }
     return Status::Corruption(
         "stable log has an unreadable segment (first unreadable LSN " +
         std::to_string(hole) +

@@ -15,6 +15,8 @@
 #include "engine/ops.h"
 #include "engine/trace.h"
 #include "methods/method.h"
+#include "obs/metrics.h"
+#include "obs/recovery_trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk.h"
 #include "wal/log_manager.h"
@@ -73,7 +75,10 @@ class MiniDb {
   /// The crash: volatile state (cache, unforced log tail) vanishes.
   void Crash();
 
-  /// Post-crash recovery via the method.
+  /// Post-crash recovery via the method. With a tracer attached, the
+  /// whole run (salvage, refusals, the method's phases) is recorded as
+  /// one timeline; nested calls from the degradation ladder join the
+  /// enclosing run.
   Status Recover();
 
   // ---- Introspection ----
@@ -92,16 +97,31 @@ class MiniDb {
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
   TraceRecorder* trace() { return trace_; }
 
+  /// The unified metrics registry. The disk ("disk", "disk_faults"),
+  /// buffer pool ("pool"), and log manager ("wal") register themselves
+  /// at construction; callers may register more sources (B-tree stats,
+  /// log fault injectors, the recovery tracer).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Attaches a recovery tracer (owned by the caller); Recover() then
+  /// records a per-phase event timeline. Pass nullptr to detach.
+  void set_recovery_tracer(obs::RecoveryTracer* tracer) { tracer_ = tracer; }
+  obs::RecoveryTracer* recovery_tracer() { return tracer_; }
+
   methods::EngineContext ctx() {
-    return methods::EngineContext{&disk_, &pool_, &log_, trace_};
+    return methods::EngineContext{&disk_, &pool_, &log_, trace_, tracer_};
   }
 
  private:
+  Status RecoverInternal();
+
+  obs::MetricsRegistry metrics_;  ///< destroyed last: sources deregister into it
   storage::Disk disk_;
   storage::BufferPool pool_;
   wal::LogManager log_;
   std::unique_ptr<methods::RecoveryMethod> method_;
   TraceRecorder* trace_ = nullptr;
+  obs::RecoveryTracer* tracer_ = nullptr;
 };
 
 }  // namespace redo::engine

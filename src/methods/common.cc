@@ -34,6 +34,17 @@ Result<core::Lsn> ReadRedoScanStart(const EngineContext& ctx) {
   return core::Lsn{redo_start.value()};
 }
 
+Status TraceCheckpointChosen(EngineContext& ctx, core::Lsn scan_start) {
+  if (ctx.tracer == nullptr) return Status::Ok();
+  Result<std::optional<wal::LogRecord>> checkpoint =
+      ctx.log->LatestStableCheckpoint();
+  if (!checkpoint.ok()) return checkpoint.status();
+  const core::Lsn checkpoint_lsn =
+      checkpoint.value().has_value() ? checkpoint.value()->lsn : 0;
+  ctx.tracer->CheckpointChosen(checkpoint_lsn, scan_start);
+  return Status::Ok();
+}
+
 core::Lsn FuzzyRedoPoint(const EngineContext& ctx) {
   core::Lsn redo_point = ctx.log->last_lsn() + 1;
   for (const storage::DirtyPageEntry& entry : ctx.pool->DirtyPages()) {
@@ -76,8 +87,10 @@ Status TraceLoggedOp(EngineContext& ctx, core::Lsn lsn, std::string name,
 Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
                    const std::map<storage::PageId, core::Lsn>* dpt,
                    RecoveryMethod::RedoScanStats* stats) {
+  obs::PhaseScope phase(ctx.tracer, "redo-scan");
   Result<core::Lsn> redo_start = ReadRedoScanStart(ctx);
   if (!redo_start.ok()) return redo_start.status();
+  REDO_RETURN_IF_ERROR(TraceCheckpointChosen(ctx, redo_start.value()));
   Result<std::vector<wal::LogRecord>> records =
       ctx.log->StableRecords(redo_start.value());
   if (!records.ok()) return records.status();
@@ -86,18 +99,37 @@ Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
   RecoveryMethod::RedoScanStats& s = stats != nullptr ? *stats : local_stats;
   s = RecoveryMethod::RedoScanStats{};
 
+  obs::RecoveryTracer* tracer = ctx.tracer;
   // Skip test from the analysis-produced dirty page table: a record on a
   // page outside the table, or older than the page's rec_lsn, is
-  // installed — decided without any page I/O.
-  auto analysis_says_installed = [dpt, &s](storage::PageId page,
-                                           core::Lsn lsn) {
+  // installed — decided without any page I/O (§4.3: the operation is
+  // provably not exposed, so the scan never even reads the page).
+  auto analysis_says_installed = [dpt, &s, tracer](storage::PageId page,
+                                                   core::Lsn lsn) {
     if (dpt == nullptr) return false;
     const auto it = dpt->find(page);
     if (it == dpt->end() || lsn < it->second) {
       ++s.skipped_without_fetch;
+      if (tracer != nullptr) {
+        tracer->Verdict(lsn, page, obs::RedoVerdict::kNotExposed,
+                        "analysis-dpt");
+      }
       return true;
     }
     return false;
+  };
+  // The two page-LSN redo-test outcomes, in timeline form.
+  auto installed = [tracer](core::Lsn lsn, storage::PageId page) {
+    if (tracer != nullptr) {
+      tracer->Verdict(lsn, page, obs::RedoVerdict::kSkippedInstalled,
+                      "page-lsn-current");
+    }
+  };
+  auto applied = [tracer](core::Lsn lsn, storage::PageId page) {
+    if (tracer != nullptr) {
+      tracer->Verdict(lsn, page, obs::RedoVerdict::kApplied,
+                      "page-lsn-older");
+    }
   };
   auto fetch = [&ctx, &s](storage::PageId page) {
     ++s.page_fetches;
@@ -117,9 +149,13 @@ Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
         if (analysis_says_installed(page, record.lsn)) break;
         Result<storage::Page*> cached = fetch(page);
         if (!cached.ok()) return cached.status();
-        if (cached.value()->lsn() >= record.lsn) break;  // installed
+        if (cached.value()->lsn() >= record.lsn) {  // installed
+          installed(record.lsn, page);
+          break;
+        }
         REDO_RETURN_IF_ERROR(RedoPageImage(ctx, page, image, record.lsn));
         ++s.replayed;
+        applied(record.lsn, page);
         break;
       }
       case wal::RecordType::kPageSplit: {
@@ -128,7 +164,10 @@ Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
         if (analysis_says_installed(split.value().dst, record.lsn)) break;
         Result<storage::Page*> dst = fetch(split.value().dst);
         if (!dst.ok()) return dst.status();
-        if (dst.value()->lsn() >= record.lsn) break;  // installed
+        if (dst.value()->lsn() >= record.lsn) {  // installed
+          installed(record.lsn, split.value().dst);
+          break;
+        }
         Result<storage::Page*> src = fetch(split.value().src);
         if (!src.ok()) return src.status();
         // Copy src out: fetching one page may evict the other under a
@@ -140,6 +179,7 @@ Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
         REDO_RETURN_IF_ERROR(
             ctx.pool->MarkDirty(split.value().dst, record.lsn));
         ++s.replayed;
+        applied(record.lsn, split.value().dst);
         if (add_split_constraints) {
           // Same acyclicity rule as during normal operation.
           if (ctx.pool->HasPendingOrderPath(split.value().src,
@@ -160,9 +200,13 @@ Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
         if (analysis_says_installed(op.value().page, record.lsn)) break;
         Result<storage::Page*> cached = fetch(op.value().page);
         if (!cached.ok()) return cached.status();
-        if (cached.value()->lsn() >= record.lsn) break;  // installed
+        if (cached.value()->lsn() >= record.lsn) {  // installed
+          installed(record.lsn, op.value().page);
+          break;
+        }
         REDO_RETURN_IF_ERROR(RedoSinglePageOp(ctx, op.value(), record.lsn));
         ++s.replayed;
+        applied(record.lsn, op.value().page);
         break;
       }
     }

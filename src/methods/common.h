@@ -18,6 +18,11 @@ Status WriteCheckpointRecord(EngineContext& ctx, core::Lsn redo_start);
 /// (1 if there is none).
 Result<core::Lsn> ReadRedoScanStart(const EngineContext& ctx);
 
+/// Emits the checkpoint-chosen timeline event: the LSN of the checkpoint
+/// record recovery anchored on (0 when there is none) and the decoded
+/// scan start. No-op without a tracer.
+Status TraceCheckpointChosen(EngineContext& ctx, core::Lsn scan_start);
+
 /// The fuzzy redo point (§6.3-style): the minimum rec_lsn of any dirty
 /// page, or last_lsn+1 when the cache is clean. Records below this LSN
 /// are fully installed.

@@ -106,11 +106,20 @@ class LogicalMethod : public RecoveryMethod {
   Status Recover(EngineContext& ctx) override {
     // A crash voids any staging not committed by a checkpoint record.
     staged_.clear();
+    obs::PhaseScope phase(ctx.tracer, "redo-scan");
     Result<core::Lsn> redo_start = internal_methods::ReadRedoScanStart(ctx);
     if (!redo_start.ok()) return redo_start.status();
+    REDO_RETURN_IF_ERROR(
+        internal_methods::TraceCheckpointChosen(ctx, redo_start.value()));
     Result<std::vector<wal::LogRecord>> records =
         ctx.log->StableRecords(redo_start.value());
     if (!records.ok()) return records.status();
+    // Redo-all test: everything since the checkpoint is uninstalled.
+    auto applied = [&ctx](core::Lsn lsn, PageId page) {
+      if (ctx.tracer != nullptr) {
+        ctx.tracer->Verdict(lsn, page, obs::RedoVerdict::kApplied, "redo-all");
+      }
+    };
     for (const wal::LogRecord& record : records.value()) {
       switch (record.type) {
         case wal::RecordType::kCheckpoint:
@@ -126,12 +135,14 @@ class LogicalMethod : public RecoveryMethod {
           if (!op.ok()) return op.status();
           REDO_RETURN_IF_ERROR(
               internal_methods::RedoSinglePageOp(ctx, op.value(), record.lsn));
+          applied(record.lsn, op.value().page);
           break;
         }
         case wal::RecordType::kPageSplit: {
           Result<SplitOp> split = engine::DecodeSplitOp(record.payload);
           if (!split.ok()) return split.status();
           REDO_RETURN_IF_ERROR(ApplyWholeSplit(ctx, split.value(), record.lsn));
+          applied(record.lsn, split.value().dst);
           break;
         }
         default:

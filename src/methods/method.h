@@ -15,6 +15,7 @@
 
 #include "engine/ops.h"
 #include "engine/trace.h"
+#include "obs/recovery_trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk.h"
 #include "util/status.h"
@@ -27,7 +28,8 @@ struct EngineContext {
   storage::Disk* disk = nullptr;
   storage::BufferPool* pool = nullptr;
   wal::LogManager* log = nullptr;
-  engine::TraceRecorder* trace = nullptr;  ///< optional
+  engine::TraceRecorder* trace = nullptr;   ///< optional
+  obs::RecoveryTracer* tracer = nullptr;    ///< optional recovery timeline
 };
 
 class RecoveryMethod {

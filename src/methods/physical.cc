@@ -66,8 +66,11 @@ class PhysicalMethod : public RecoveryMethod {
   }
 
   Status Recover(EngineContext& ctx) override {
+    obs::PhaseScope phase(ctx.tracer, "redo-scan");
     Result<core::Lsn> redo_start = internal_methods::ReadRedoScanStart(ctx);
     if (!redo_start.ok()) return redo_start.status();
+    REDO_RETURN_IF_ERROR(
+        internal_methods::TraceCheckpointChosen(ctx, redo_start.value()));
     Result<std::vector<wal::LogRecord>> records =
         ctx.log->StableRecords(redo_start.value());
     if (!records.ok()) return records.status();
@@ -82,6 +85,10 @@ class PhysicalMethod : public RecoveryMethod {
       if (!decoded.ok()) return decoded.status();
       REDO_RETURN_IF_ERROR(internal_methods::RedoPageImage(
           ctx, decoded.value().first, decoded.value().second, record.lsn));
+      if (ctx.tracer != nullptr) {
+        ctx.tracer->Verdict(record.lsn, decoded.value().first,
+                            obs::RedoVerdict::kApplied, "redo-all");
+      }
     }
     return Status::Ok();
   }

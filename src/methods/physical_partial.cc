@@ -75,8 +75,11 @@ class PartialPhysicalMethod : public RecoveryMethod {
   }
 
   Status Recover(EngineContext& ctx) override {
+    obs::PhaseScope phase(ctx.tracer, "redo-scan");
     Result<core::Lsn> redo_start = internal_methods::ReadRedoScanStart(ctx);
     if (!redo_start.ok()) return redo_start.status();
+    REDO_RETURN_IF_ERROR(
+        internal_methods::TraceCheckpointChosen(ctx, redo_start.value()));
     Result<std::vector<wal::LogRecord>> records =
         ctx.log->StableRecords(redo_start.value());
     if (!records.ok()) return records.status();
@@ -84,20 +87,27 @@ class PartialPhysicalMethod : public RecoveryMethod {
     for (const wal::LogRecord& record : records.value()) {
       if (record.type == wal::RecordType::kCheckpoint) continue;
       ++last_stats_.scanned;
+      PageId target = 0;
       if (record.type == wal::RecordType::kPageImage) {
         Result<std::pair<PageId, Page>> decoded =
             engine::DecodePageImage(record.payload);
         if (!decoded.ok()) return decoded.status();
         REDO_RETURN_IF_ERROR(internal_methods::RedoPageImage(
             ctx, decoded.value().first, decoded.value().second, record.lsn));
+        target = decoded.value().first;
       } else {
         Result<SinglePageOp> op =
             engine::DecodeSinglePageOp(record.type, record.payload);
         if (!op.ok()) return op.status();
         REDO_RETURN_IF_ERROR(
             internal_methods::RedoSinglePageOp(ctx, op.value(), record.lsn));
+        target = op.value().page;
       }
       ++last_stats_.replayed;
+      if (ctx.tracer != nullptr) {
+        ctx.tracer->Verdict(record.lsn, target, obs::RedoVerdict::kApplied,
+                            "redo-all");
+      }
     }
     return Status::Ok();
   }

@@ -8,6 +8,9 @@
 // page's contents are logged *physically* (a full page image) — exactly
 // the cost §6.4's generalized operations eliminate.
 
+#include <map>
+#include <utility>
+
 #include "methods/common.h"
 #include "methods/method.h"
 
@@ -97,50 +100,55 @@ class PhysiologicalMethod : public RecoveryMethod {
     // Analysis pass (§4.3): start from the checkpoint's DPT and extend
     // it with every page a post-checkpoint record dirties. The redo scan
     // then skips installed records without page I/O.
-    Result<std::map<storage::PageId, core::Lsn>> dpt =
-        internal_methods::ReadCheckpointDpt(ctx);
-    if (!dpt.ok()) return dpt.status();
-    Result<std::optional<wal::LogRecord>> checkpoint =
-        ctx.log->LatestStableCheckpoint();
-    if (!checkpoint.ok()) return checkpoint.status();
-    const core::Lsn analysis_from =
-        checkpoint.value().has_value() ? checkpoint.value()->lsn + 1 : 1;
-    Result<std::vector<wal::LogRecord>> tail =
-        ctx.log->StableRecords(analysis_from);
-    if (!tail.ok()) return tail.status();
-    for (const wal::LogRecord& record : tail.value()) {
-      std::vector<storage::PageId> written;
-      switch (record.type) {
-        case wal::RecordType::kCheckpoint:
-          continue;
-        case wal::RecordType::kPageImage: {
-          Result<std::pair<storage::PageId, storage::Page>> decoded =
-              engine::DecodePageImage(record.payload);
-          if (!decoded.ok()) return decoded.status();
-          written.push_back(decoded.value().first);
-          break;
+    std::map<storage::PageId, core::Lsn> dpt;
+    {
+      obs::PhaseScope analysis_phase(ctx.tracer, "analysis");
+      Result<std::map<storage::PageId, core::Lsn>> checkpoint_dpt =
+          internal_methods::ReadCheckpointDpt(ctx);
+      if (!checkpoint_dpt.ok()) return checkpoint_dpt.status();
+      dpt = std::move(checkpoint_dpt).value();
+      Result<std::optional<wal::LogRecord>> checkpoint =
+          ctx.log->LatestStableCheckpoint();
+      if (!checkpoint.ok()) return checkpoint.status();
+      const core::Lsn analysis_from =
+          checkpoint.value().has_value() ? checkpoint.value()->lsn + 1 : 1;
+      Result<std::vector<wal::LogRecord>> tail =
+          ctx.log->StableRecords(analysis_from);
+      if (!tail.ok()) return tail.status();
+      for (const wal::LogRecord& record : tail.value()) {
+        std::vector<storage::PageId> written;
+        switch (record.type) {
+          case wal::RecordType::kCheckpoint:
+            continue;
+          case wal::RecordType::kPageImage: {
+            Result<std::pair<storage::PageId, storage::Page>> decoded =
+                engine::DecodePageImage(record.payload);
+            if (!decoded.ok()) return decoded.status();
+            written.push_back(decoded.value().first);
+            break;
+          }
+          case wal::RecordType::kPageSplit: {
+            Result<engine::SplitOp> split =
+                engine::DecodeSplitOp(record.payload);
+            if (!split.ok()) return split.status();
+            written.push_back(split.value().dst);
+            break;
+          }
+          default: {
+            Result<engine::SinglePageOp> op =
+                engine::DecodeSinglePageOp(record.type, record.payload);
+            if (!op.ok()) return op.status();
+            written.push_back(op.value().page);
+            break;
+          }
         }
-        case wal::RecordType::kPageSplit: {
-          Result<engine::SplitOp> split =
-              engine::DecodeSplitOp(record.payload);
-          if (!split.ok()) return split.status();
-          written.push_back(split.value().dst);
-          break;
+        for (storage::PageId page : written) {
+          dpt.emplace(page, record.lsn);  // keeps the earliest rec_lsn
         }
-        default: {
-          Result<engine::SinglePageOp> op =
-              engine::DecodeSinglePageOp(record.type, record.payload);
-          if (!op.ok()) return op.status();
-          written.push_back(op.value().page);
-          break;
-        }
-      }
-      for (storage::PageId page : written) {
-        dpt.value().emplace(page, record.lsn);  // keeps the earliest rec_lsn
       }
     }
     return internal_methods::LsnRedoScan(ctx, /*add_split_constraints=*/false,
-                                         &dpt.value(), &last_stats_);
+                                         &dpt, &last_stats_);
   }
 
   RedoScanStats last_scan_stats() const override { return last_stats_; }

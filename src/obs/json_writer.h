@@ -1,0 +1,88 @@
+// A minimal streaming JSON writer.
+//
+// The observability exporters (metrics snapshots, recovery timelines,
+// log_inspector --json) all need to emit machine-readable JSON without a
+// third-party dependency. This writer produces compact, deterministic
+// output: keys appear in the order written, strings are escaped per RFC
+// 8259, and numbers are integers (the code base has no float metrics —
+// determinism matters more than generality).
+//
+// Usage:
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("lsn"); w.Int(42);
+//   w.Key("verdicts"); w.BeginArray(); w.String("applied"); w.EndArray();
+//   w.EndObject();
+//   std::string out = w.Take();
+//
+// The writer inserts commas automatically; misuse (a value with no
+// pending key inside an object) is a programming error left to review,
+// not runtime-checked — this is an internal tool, not a library.
+
+#ifndef REDO_OBS_JSON_WRITER_H_
+#define REDO_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redo::obs {
+
+class JsonWriter {
+ public:
+  void BeginObject() { Value("{"); Push(/*object=*/true); }
+  void EndObject() { Pop(); out_ += '}'; }
+  void BeginArray() { Value("["); Push(/*object=*/false); }
+  void EndArray() { Pop(); out_ += ']'; }
+
+  void Key(const std::string& key) {
+    MaybeComma();
+    AppendString(key);
+    out_ += ':';
+    key_pending_ = true;
+  }
+
+  void String(const std::string& value) { Value(""); AppendString(value); }
+  void Int(int64_t value) { Value(std::to_string(value)); }
+  void UInt(uint64_t value) { Value(std::to_string(value)); }
+  void Bool(bool value) { Value(value ? "true" : "false"); }
+  void Null() { Value("null"); }
+
+  /// Splices a pre-rendered JSON value (e.g. a nested document).
+  void Raw(const std::string& json) { Value(json); }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+  /// Escapes `s` as a standalone JSON string literal.
+  static std::string Escape(const std::string& s);
+
+ private:
+  void Value(const std::string& text) {
+    if (!key_pending_) MaybeComma();
+    key_pending_ = false;
+    out_ += text;
+  }
+  void MaybeComma() {
+    if (!needs_comma_.empty() && needs_comma_.back()) out_ += ',';
+    if (!needs_comma_.empty()) needs_comma_.back() = true;
+  }
+  void Push(bool object) {
+    (void)object;
+    needs_comma_.push_back(false);
+    key_pending_ = false;
+  }
+  void Pop() {
+    if (!needs_comma_.empty()) needs_comma_.pop_back();
+    key_pending_ = false;
+  }
+  void AppendString(const std::string& s) { out_ += Escape(s); }
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool key_pending_ = false;
+};
+
+}  // namespace redo::obs
+
+#endif  // REDO_OBS_JSON_WRITER_H_

@@ -9,6 +9,34 @@ BufferPool::BufferPool(Disk* disk, size_t capacity)
   REDO_CHECK(disk != nullptr);
 }
 
+void BufferPoolStats::EmitMetrics(obs::MetricEmitter& emit) const {
+  emit.Counter("fetches", fetches);
+  emit.Counter("hits", hits);
+  emit.Counter("misses", misses);
+  emit.Counter("flushes", flushes);
+  emit.Counter("evictions", evictions);
+  emit.Counter("wal_forces", wal_forces);
+  emit.Counter("ordered_cascades", ordered_cascades);
+  emit.Counter("clean_evictions", clean_evictions);
+  emit.Counter("write_retries", write_retries);
+  emit.Counter("backoff_ticks", backoff_ticks);
+  emit.Counter("flush_failures", flush_failures);
+}
+
+void BufferPool::RegisterMetrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) {
+  registry.Register(
+      prefix,
+      [this](obs::MetricEmitter& emit) {
+        stats_.EmitMetrics(emit);
+        emit.Gauge("cached_pages", static_cast<int64_t>(frames_.size()));
+        emit.Gauge("dirty_pages", static_cast<int64_t>(DirtyPages().size()));
+        emit.Gauge("pending_order_constraints",
+                   static_cast<int64_t>(constraints_.size()));
+      },
+      [this]() { ResetStats(); });
+}
+
 Result<Page*> BufferPool::Fetch(PageId id) {
   ++stats_.fetches;
   auto it = frames_.find(id);

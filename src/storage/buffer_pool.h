@@ -12,9 +12,11 @@
 #define REDO_STORAGE_BUFFER_POOL_H_
 
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/disk.h"
 #include "storage/page.h"
 #include "util/status.h"
@@ -34,6 +36,9 @@ struct BufferPoolStats {
   uint64_t write_retries = 0;      ///< flush attempts retried after kUnavailable
   uint64_t backoff_ticks = 0;      ///< simulated backoff time spent retrying
   uint64_t flush_failures = 0;     ///< flushes that failed after all retries
+
+  /// Emits every counter (metrics-registry source enumeration).
+  void EmitMetrics(obs::MetricEmitter& emit) const;
 };
 
 /// An entry of the dirty page table.
@@ -114,6 +119,11 @@ class BufferPool {
   size_t capacity() const { return capacity_; }
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  /// Registers the pool's counters plus cached/dirty gauges as a source
+  /// named `prefix`.
+  void RegisterMetrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "pool");
 
   /// Retry budget for transient (kUnavailable) write failures during a
   /// flush. Bursty fault models should keep their burst length below

@@ -16,6 +16,31 @@ uint32_t ZeroPageCrc() {
 Disk::Disk(size_t num_pages)
     : pages_(num_pages), write_crcs_(num_pages, ZeroPageCrc()) {}
 
+void DiskStats::EmitMetrics(obs::MetricEmitter& emit) const {
+  emit.Counter("reads", reads);
+  emit.Counter("writes", writes);
+  emit.Counter("bytes_written", bytes_written);
+  emit.Counter("torn_writes", torn_writes);
+  emit.Counter("write_faults", write_faults);
+  emit.Counter("read_faults", read_faults);
+  emit.Counter("checksum_failures", checksum_failures);
+  emit.Counter("repairs", repairs);
+}
+
+void Disk::RegisterMetrics(obs::MetricsRegistry& registry,
+                           const std::string& prefix) {
+  registry.Register(
+      prefix, [this](obs::MetricEmitter& emit) { stats_.EmitMetrics(emit); },
+      [this]() { ResetStats(); });
+  registry.Register(prefix + "_faults", [this](obs::MetricEmitter& emit) {
+    // The injector is attachable/detachable, so resolve it per collect;
+    // with none attached the source emits zeros (a stable metric set).
+    const FaultInjectorStats stats =
+        injector_ != nullptr ? injector_->stats() : FaultInjectorStats{};
+    stats.EmitMetrics(emit);
+  });
+}
+
 Result<Page> Disk::ReadPage(PageId id) const {
   if (id >= pages_.size()) {
     return Status::NotFound("disk: page " + std::to_string(id) +

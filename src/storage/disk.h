@@ -13,8 +13,10 @@
 #define REDO_STORAGE_DISK_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/fault_injector.h"
 #include "storage/page.h"
 #include "util/status.h"
@@ -32,6 +34,9 @@ struct DiskStats {
   uint64_t read_faults = 0;        ///< read attempts failed by the injector
   uint64_t checksum_failures = 0;  ///< reads/verifies that caught a torn page
   uint64_t repairs = 0;            ///< RepairPage calls
+
+  /// Emits every counter (metrics-registry source enumeration).
+  void EmitMetrics(obs::MetricEmitter& emit) const;
 };
 
 /// A stable array of pages with atomic page writes and per-page write
@@ -83,6 +88,12 @@ class Disk {
 
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats{}; }
+
+  /// Registers this disk's counters (and its attached fault injector's,
+  /// under `<prefix>_faults`) as a source named `prefix`. The disk must
+  /// outlive the registry or be unregistered first.
+  void RegisterMetrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "disk");
 
  private:
   std::vector<Page> pages_;

@@ -14,6 +14,15 @@ constexpr size_t kSectorSize = 512;
 
 }  // namespace
 
+void FaultInjectorStats::EmitMetrics(obs::MetricEmitter& emit) const {
+  emit.Counter("torn_writes", torn_writes);
+  emit.Counter("write_errors", write_errors);
+  emit.Counter("write_bursts", write_bursts);
+  emit.Counter("read_errors", read_errors);
+  emit.Counter("sticky_pages", sticky_pages);
+  emit.Counter("pages_healed", pages_healed);
+}
+
 FaultInjector::WriteOutcome FaultInjector::OnWrite(PageId id,
                                                    const Page& current,
                                                    Page* incoming) {

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "storage/page.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -52,6 +53,9 @@ struct FaultInjectorStats {
   uint64_t read_errors = 0;    ///< read attempts failed (incl. sticky repeats)
   uint64_t sticky_pages = 0;   ///< pages turned sticky-unreadable
   uint64_t pages_healed = 0;   ///< faults repaired via Heal*
+
+  /// Emits every counter (metrics-registry source enumeration).
+  void EmitMetrics(obs::MetricEmitter& emit) const;
 };
 
 class FaultInjector {

@@ -2,6 +2,24 @@
 
 namespace redo::wal {
 
+void LogFaultStats::EmitMetrics(obs::MetricEmitter& emit) const {
+  emit.Counter("bit_rots", bit_rots);
+  emit.Counter("lost_copies", lost_copies);
+  emit.Counter("torn_seals", torn_seals);
+  emit.Counter("double_faults", double_faults);
+  emit.Counter("archive_rots", archive_rots);
+  emit.Counter("injections", injections);
+  emit.Counter("heals", heals);
+}
+
+void LogFaultInjector::RegisterMetrics(obs::MetricsRegistry& registry,
+                                       const std::string& prefix) {
+  registry.Register(
+      prefix,
+      [this](obs::MetricEmitter& emit) { stats_.EmitMetrics(emit); },
+      [this]() { ResetStats(); });
+}
+
 LogFaultInjector::Damage LogFaultInjector::Roll() {
   const double r = rng_.NextDouble();
   double edge = options_.bit_rot_probability;

@@ -28,8 +28,10 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "wal/log_manager.h"
 
@@ -56,6 +58,9 @@ struct LogFaultStats {
   uint64_t archive_rots = 0;
   uint64_t injections = 0;     ///< total successful fault injections
   uint64_t heals = 0;          ///< copies restored by HealAll
+
+  /// Emits every counter (metrics-registry source enumeration).
+  void EmitMetrics(obs::MetricEmitter& emit) const;
 };
 
 class LogFaultInjector {
@@ -83,6 +88,10 @@ class LogFaultInjector {
 
   const LogFaultStats& stats() const { return stats_; }
   void ResetStats() { stats_ = LogFaultStats{}; }
+
+  /// Registers the injector's counters as a source named `prefix`.
+  void RegisterMetrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "wal_faults");
 
  private:
   /// The damage kinds a single roll can pick.

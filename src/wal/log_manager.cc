@@ -16,6 +16,22 @@ Status GapStatus(core::Lsn lsn) {
 
 }  // namespace
 
+const char* SegmentVerdictStateName(SegmentVerdict::State state) {
+  switch (state) {
+    case SegmentVerdict::State::kIntact:
+      return "intact";
+    case SegmentVerdict::State::kRepairedFromMirror:
+      return "repaired-from-mirror";
+    case SegmentVerdict::State::kMirrorRebuilt:
+      return "mirror-rebuilt";
+    case SegmentVerdict::State::kResealed:
+      return "resealed";
+    case SegmentVerdict::State::kHole:
+      return "hole";
+  }
+  return "?";
+}
+
 LogManager::LogManager(const LogManagerOptions& options) : options_(options) {
   live_.push_back(Segment{});
   live_.back().id = next_segment_id_++;
@@ -26,9 +42,51 @@ core::Lsn LogManager::Append(RecordType type, std::vector<uint8_t> payload) {
   record.lsn = ++last_lsn_;
   record.type = type;
   record.payload = std::move(payload);
+  if (append_size_histogram_ != nullptr) {
+    append_size_histogram_->Observe(record.payload.size());
+  }
   volatile_tail_.push_back(std::move(record));
   ++stats_.appends;
   return last_lsn_;
+}
+
+void LogStats::EmitMetrics(obs::MetricEmitter& emit) const {
+  emit.Counter("appends", appends);
+  emit.Counter("forces", forces);
+  emit.Counter("forced_records", forced_records);
+  emit.Gauge("stable_bytes", static_cast<int64_t>(stable_bytes));
+  emit.Counter("torn_forces", torn_forces);
+  emit.Counter("torn_tail_truncations", torn_tail_truncations);
+  emit.Counter("torn_bytes_dropped", torn_bytes_dropped);
+  emit.Counter("salvaged_records", salvaged_records);
+  emit.Counter("checkpoint_cache_hits", checkpoint_cache_hits);
+  emit.Counter("checkpoint_full_scans", checkpoint_full_scans);
+  emit.Counter("segments_sealed", segments_sealed);
+  emit.Counter("segments_archived", segments_archived);
+  emit.Counter("segments_truncated", segments_truncated);
+  emit.Counter("segments_amputated", segments_amputated);
+  emit.Counter("scrub_passes", scrub_passes);
+  emit.Counter("mirror_repairs", mirror_repairs);
+  emit.Counter("reseals", reseals);
+  emit.Counter("archive_repairs", archive_repairs);
+  emit.Counter("scan_cache_hits", scan_cache_hits);
+  emit.Counter("scan_decodes", scan_decodes);
+}
+
+void LogManager::RegisterMetrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) {
+  registry.Register(
+      prefix,
+      [this](obs::MetricEmitter& emit) {
+        stats_.EmitMetrics(emit);
+        emit.Gauge("last_lsn", static_cast<int64_t>(last_lsn_));
+        emit.Gauge("stable_lsn", static_cast<int64_t>(stable_lsn_));
+        emit.Gauge("live_segments", static_cast<int64_t>(live_.size()));
+        emit.Gauge("archived_segments", static_cast<int64_t>(archive_.size()));
+        emit.Gauge("volatile_records",
+                   static_cast<int64_t>(volatile_tail_.size()));
+      },
+      [this]() { ResetStats(); });
 }
 
 void LogManager::StartNewActive() {

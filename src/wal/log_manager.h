@@ -39,8 +39,10 @@
 #define REDO_WAL_LOG_MANAGER_H_
 
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "wal/log_record.h"
 
 namespace redo::wal {
@@ -85,6 +87,9 @@ struct LogStats {
   // whole stable image per call).
   uint64_t scan_cache_hits = 0;  ///< segments served from the parsed cache
   uint64_t scan_decodes = 0;     ///< segment decodes forced by a cold/invalid cache
+
+  /// Emits every counter (metrics-registry source enumeration).
+  void EmitMetrics(obs::MetricEmitter& emit) const;
 };
 
 /// Result of one tolerant scan over the stable byte image.
@@ -130,6 +135,9 @@ struct SegmentVerdict {
     kHole,                ///< no intact copy — unreadable
   } state = State::kIntact;
 };
+
+/// Short stable name of a scrub verdict state ("intact", "hole", ...).
+const char* SegmentVerdictStateName(SegmentVerdict::State state);
 
 /// Report of one scrub pass over the sealed live segments (and the
 /// archive, which is verified and — where a live twin is intact —
@@ -212,6 +220,17 @@ class LogManager {
 
   const LogStats& stats() const { return stats_; }
   void ResetStats() { stats_ = LogStats{}; }
+
+  /// Registers the log's counters plus live-segment gauges as a source
+  /// named `prefix`.
+  void RegisterMetrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "wal");
+
+  /// Attaches a size histogram that Append observes with each record's
+  /// payload size (nullptr detaches). Not owned.
+  void set_append_size_histogram(obs::Histogram* histogram) {
+    append_size_histogram_ = histogram;
+  }
 
   /// Encoded size of the not-yet-forced records — the most bytes an
   /// in-flight force torn by a crash could leave behind.
@@ -377,6 +396,7 @@ class LogManager {
   size_t verified_prefix_ = 0;  // bytes of the ACTIVE segment known to decode
   std::vector<CheckpointOffset> checkpoints_;  // in LSN order
   mutable LogStats stats_;
+  obs::Histogram* append_size_histogram_ = nullptr;  // not owned
 };
 
 }  // namespace redo::wal

@@ -7,7 +7,9 @@
 // (physical logs images, logical logs intents), stable-state write
 // traffic (logical writes only at checkpoints), and recovery behavior.
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <utility>
@@ -95,9 +97,151 @@ MatrixRow RunMethod(MethodKind kind, size_t seeds) {
   return row;
 }
 
+// ---- `--parallel`: the redo-apply speedup table ----
+//
+// One heavy workload per method, no checkpoints (the whole log replays),
+// then the same crash state recovered with 1/2/4/8 redo workers (disk
+// restored between runs). Two numbers per run:
+//
+//  * wall — elapsed time, best of `kRepeats`. On a host with >= workers
+//    cores this is the speedup directly; on the 1-core CI container the
+//    kernel time-slices the workers, so wall can only degrade.
+//  * model — the critical-path model: each worker reports its
+//    thread-CPU time (CLOCK_THREAD_CPUTIME_ID, excludes time spent
+//    descheduled), and `wall - busy_total + busy_max` removes the
+//    serialized sibling work the single core forced, leaving the
+//    slowest worker's chain plus the serial sections (plan build,
+//    partition split/merge, verdict sort). This is what the write-graph
+//    schedule *permits*, independent of host core count, and is the
+//    number the x4 target checks.
+
+struct RecoverTiming {
+  uint64_t wall_us = 0;
+  uint64_t busy_total_us = 0;  // sum of worker thread-CPU times
+  uint64_t busy_max_us = 0;    // slowest worker (the critical path)
+
+  uint64_t ModeledUs() const {
+    // On a many-core host busy_total can exceed wall (the workers really
+    // ran concurrently); the model is then the critical path itself.
+    const int64_t modeled = static_cast<int64_t>(wall_us) -
+                            static_cast<int64_t>(busy_total_us) +
+                            static_cast<int64_t>(busy_max_us);
+    return modeled > static_cast<int64_t>(busy_max_us)
+               ? static_cast<uint64_t>(modeled)
+               : busy_max_us;
+  }
+};
+
+RecoverTiming TimedRecover(engine::MiniDb& db, size_t workers,
+                           const std::vector<storage::Page>& crash_disk) {
+  db.Crash();
+  for (storage::PageId p = 0; p < db.num_pages(); ++p) {
+    db.disk().RepairPage(p, crash_disk[p]);
+  }
+  methods::RecoveryOptions recovery;
+  recovery.parallel_workers = workers;
+  db.set_recovery_options(recovery);
+  const redo::par::ParallelRedoMetrics before = db.parallel_redo_metrics();
+  const auto start = std::chrono::steady_clock::now();
+  REDO_CHECK(db.Recover().ok());
+  const auto end = std::chrono::steady_clock::now();
+  const redo::par::ParallelRedoMetrics after = db.parallel_redo_metrics();
+  RecoverTiming t;
+  t.wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count());
+  t.busy_total_us = after.apply_busy_us - before.apply_busy_us;
+  t.busy_max_us = after.apply_critical_path_us - before.apply_critical_path_us;
+  // Serial runs bypass the scheduler entirely; the whole wall is the
+  // one chain.
+  if (workers <= 1) {
+    t.busy_total_us = t.wall_us;
+    t.busy_max_us = t.wall_us;
+  }
+  return t;
+}
+
+int RunParallelSpeedup() {
+  constexpr size_t kPages = 96;
+  constexpr size_t kActions = 6000;
+  constexpr size_t kRepeats = 5;
+  constexpr size_t kWorkerCounts[] = {1, 2, 4, 8};
+
+  std::printf(
+      "Parallel redo speedup: one workload per method (%zu actions,\n"
+      "%zu pages, no checkpoints — the full log replays), the identical\n"
+      "crash state recovered with 1/2/4/8 write-graph-scheduled workers.\n"
+      "All times are the best of %zu runs. `model` is the critical-path\n"
+      "model (wall - sum(worker cpu) + max(worker cpu)): the wall time a\n"
+      "host with >= workers cores would see; on a 1-core host the wall\n"
+      "column only measures time-slicing overhead.\n\n",
+      kActions, kPages, kRepeats);
+  std::printf("%-16s %8s %9s %8s %8s %8s %9s %9s\n", "method", "records",
+              "serial ms", "2w wall", "4w wall", "8w wall", "4w model",
+              "model x4");
+
+  bool physical_meets_target = false;
+  for (const MethodKind kind :
+       {MethodKind::kLogical, MethodKind::kPhysical, MethodKind::kPhysiological,
+        MethodKind::kGeneralized, MethodKind::kPhysiologicalAnalysis,
+        MethodKind::kPhysicalPartial}) {
+    engine::MiniDbOptions db_options;
+    db_options.num_pages = kPages;
+    db_options.cache_capacity = 0;  // unbounded: time redo, not eviction
+    engine::MiniDb db(db_options, methods::MakeMethod(kind, kPages));
+
+    checker::CrashSimOptions workload_options;
+    workload_options.workload.num_pages = kPages;
+    workload_options.workload.checkpoint_probability = 0.0;
+    engine::Workload workload(workload_options.workload, /*seed=*/17);
+    Rng rng(0x5117ab1eULL);
+    for (size_t i = 0; i < kActions; ++i) {
+      REDO_CHECK(engine::ExecuteAction(db, workload.Next(), rng).ok());
+    }
+    REDO_CHECK(db.log().ForceAll().ok());
+    const size_t records = db.log().StableRecords(1).value().size();
+    db.Crash();
+    std::vector<storage::Page> crash_disk;
+    crash_disk.reserve(kPages);
+    for (storage::PageId p = 0; p < kPages; ++p) {
+      crash_disk.push_back(db.disk().PeekPage(p));
+    }
+
+    uint64_t best_wall[4] = {~0ull, ~0ull, ~0ull, ~0ull};
+    uint64_t best_model[4] = {~0ull, ~0ull, ~0ull, ~0ull};
+    for (size_t repeat = 0; repeat < kRepeats; ++repeat) {
+      for (size_t w = 0; w < 4; ++w) {
+        const RecoverTiming t = TimedRecover(db, kWorkerCounts[w], crash_disk);
+        if (t.wall_us < best_wall[w]) best_wall[w] = t.wall_us;
+        if (t.ModeledUs() < best_model[w]) best_model[w] = t.ModeledUs();
+      }
+    }
+    const double speedup4 =
+        best_model[2] > 0 ? double(best_model[0]) / double(best_model[2]) : 0.0;
+    std::printf("%-16s %8zu %9.2f %8.2f %8.2f %8.2f %9.2f %8.2fx\n",
+                methods::MethodKindName(kind), records, best_wall[0] / 1000.0,
+                best_wall[1] / 1000.0, best_wall[2] / 1000.0,
+                best_wall[3] / 1000.0, best_model[2] / 1000.0, speedup4);
+    if (kind == MethodKind::kPhysical && speedup4 >= 1.5) {
+      physical_meets_target = true;
+    }
+  }
+  std::printf(
+      "\nRedo-all methods parallelize best: pure per-page image chains\n"
+      "with blind first-touch installs (no disk reads). The LSN-test\n"
+      "methods read each first-touched page to consult its LSN; split\n"
+      "hand-offs serialize the bridged chains.\n");
+  std::printf("physical x4 target (model >=1.50x): %s\n",
+              physical_meets_target ? "MET" : "NOT MET");
+  return physical_meets_target ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--parallel") == 0) {
+    return RunParallelSpeedup();
+  }
   constexpr size_t kSeeds = 4;
   std::printf("Experiment S6: the §6 method matrix (identical workloads,\n"
               "%zu seeds x 4 crash segments x 250 actions, 16 pages)\n\n",

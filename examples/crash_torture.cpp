@@ -19,7 +19,14 @@
 // phases, method, ladder rung, first unreadable LSN) is written to the
 // --timeline-out path for post-mortem — the artifact CI uploads.
 //
-// Usage: crash_torture [--faults] [--force-unrecoverable]
+// With `--parallel`, every non-degraded crash point additionally runs
+// the serial-vs-parallel redo equivalence oracle: recovery is repeated
+// with 2, 4, and 8 redo workers (crash state restored between runs) and
+// must produce byte-identical effective pages, page LSNs, and
+// redo-verdict multisets as the serial run. Any divergence fails the
+// run.
+//
+// Usage: crash_torture [--faults] [--force-unrecoverable] [--parallel]
 //                      [--timeline-out PATH]
 //                      [runs_per_method] [ops_per_segment] [crashes]
 
@@ -34,6 +41,7 @@ int main(int argc, char** argv) {
   using namespace redo;
   bool faults = false;
   bool force_unrecoverable = false;
+  bool parallel = false;
   std::string timeline_out = "crash_torture_failing_timeline.jsonl";
   while (argc > 1) {
     if (std::strcmp(argv[1], "--faults") == 0) {
@@ -41,6 +49,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[1], "--force-unrecoverable") == 0) {
       faults = true;
       force_unrecoverable = true;
+    } else if (std::strcmp(argv[1], "--parallel") == 0) {
+      parallel = true;
     } else if (std::strcmp(argv[1], "--timeline-out") == 0 && argc > 2) {
       timeline_out = argv[2];
       --argc;
@@ -56,12 +66,19 @@ int main(int argc, char** argv) {
   const size_t crashes = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 4;
 
   std::printf(
-      "crash torture: %zu runs/method x %zu ops/segment x %zu crashes%s%s\n\n",
+      "crash torture: %zu runs/method x %zu ops/segment x %zu crashes%s%s%s\n\n",
       runs, ops, crashes, faults ? " [fault injection ON]" : "",
-      force_unrecoverable ? " [offsite restore WITHHELD]" : "");
-  std::printf("%-16s %8s %9s %9s %11s %9s %9s %9s %7s\n", "method", "runs",
-              "actions", "crashes", "pages ok", "applied", "skipped",
-              "notexp", "result");
+      force_unrecoverable ? " [offsite restore WITHHELD]" : "",
+      parallel ? " [parallel equivalence oracle: 2/4/8 workers]" : "");
+  if (parallel) {
+    std::printf("%-16s %8s %9s %9s %11s %9s %9s %9s %8s %7s %7s\n", "method",
+                "runs", "actions", "crashes", "pages ok", "applied", "skipped",
+                "notexp", "eqchk", "diverge", "result");
+  } else {
+    std::printf("%-16s %8s %9s %9s %11s %9s %9s %9s %7s\n", "method", "runs",
+                "actions", "crashes", "pages ok", "applied", "skipped",
+                "notexp", "result");
+  }
 
   int exit_code = 0;
   size_t injected = 0, detected = 0, torn_tails = 0, salvaged = 0, healed = 0,
@@ -76,6 +93,7 @@ int main(int argc, char** argv) {
         methods::MethodKind::kGeneralized}) {
     size_t actions = 0, total_crashes = 0, pages = 0;
     size_t applied = 0, skipped = 0, not_exposed = 0;
+    size_t eq_checks = 0, eq_divergences = 0;
     bool all_ok = true;
     std::string first_failure;
     for (size_t seed = 1; seed <= runs; ++seed) {
@@ -93,6 +111,7 @@ int main(int argc, char** argv) {
       options.faults.backup_interval = force_unrecoverable ? 0 : 1;
       options.faults.truncate_at_backup = !force_unrecoverable;
       options.faults.no_offsite_restore = force_unrecoverable;
+      if (parallel) options.equivalence_workers = {2, 4, 8};
       const checker::CrashSimResult r = checker::RunCrashSim(kind, options, seed);
       actions += r.actions_executed;
       total_crashes += r.crashes;
@@ -114,6 +133,8 @@ int main(int argc, char** argv) {
       rung3 += r.ladder_refusals;
       backups += r.backups_taken;
       sealed += r.segments_sealed;
+      eq_checks += r.equivalence_checks;
+      eq_divergences += r.equivalence_divergences;
       if (!r.ok) {
         if (all_ok) {
           all_ok = false;
@@ -127,9 +148,18 @@ int main(int argc, char** argv) {
         }
       }
     }
-    std::printf("%-16s %8zu %9zu %9zu %11zu %9zu %9zu %9zu %7s\n",
-                methods::MethodKindName(kind), runs, actions, total_crashes,
-                pages, applied, skipped, not_exposed, all_ok ? "OK" : "FAILED");
+    if (parallel) {
+      std::printf("%-16s %8zu %9zu %9zu %11zu %9zu %9zu %9zu %8zu %7zu %7s\n",
+                  methods::MethodKindName(kind), runs, actions, total_crashes,
+                  pages, applied, skipped, not_exposed, eq_checks,
+                  eq_divergences, all_ok ? "OK" : "FAILED");
+      if (eq_divergences != 0) exit_code = 1;
+    } else {
+      std::printf("%-16s %8zu %9zu %9zu %11zu %9zu %9zu %9zu %7s\n",
+                  methods::MethodKindName(kind), runs, actions, total_crashes,
+                  pages, applied, skipped, not_exposed,
+                  all_ok ? "OK" : "FAILED");
+    }
     if (!all_ok) {
       std::printf("    first failure: %s\n", first_failure.c_str());
       exit_code = 1;

@@ -97,6 +97,10 @@ std::string CrashSimResult::ToString() const {
         << " skipped_installed=" << redo_skipped_installed
         << " not_exposed=" << redo_not_exposed;
   }
+  if (equivalence_checks > 0 || equivalence_divergences > 0) {
+    out << " | parallel equivalence: checks=" << equivalence_checks
+        << " divergences=" << equivalence_divergences;
+  }
   return out.str();
 }
 
@@ -522,6 +526,101 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
                       std::to_string(rc) + ": " + recheck.ToString());
         }
       }
+    }
+
+    // ---- Serial vs. parallel redo equivalence oracle ----
+    // Recover this cycle's crash state once serially and once per
+    // configured worker count, restoring the crash state between runs,
+    // and require identical *effective* state (cache-else-disk bytes
+    // and page LSNs) plus identical verdict multisets. Runs with
+    // injection paused: the oracle compares scheduling, not fault luck.
+    // Skipped on degraded cycles — the ladder already recovered those.
+    if (!degraded_cycle && !options.equivalence_workers.empty()) {
+      if (injector != nullptr) {
+        injector->HealAll(&db.disk());
+        injector->set_paused(true);
+      }
+      std::vector<Page> crash_disk;
+      crash_disk.reserve(db.num_pages());
+      for (PageId p = 0; p < db.num_pages(); ++p) {
+        crash_disk.push_back(db.disk().PeekPage(p));
+      }
+      struct RecoveryFingerprint {
+        Status status = Status::Ok();
+        std::vector<std::pair<uint64_t, core::Lsn>> pages;  ///< hash, LSN
+        std::vector<std::string> verdicts;                  ///< sorted
+      };
+      auto fingerprint = [&](size_t workers) {
+        RecoveryFingerprint fp;
+        // A scratch tracer (no registry: the cycle's "recovery" source
+        // stays singly registered) so oracle runs don't pollute the
+        // cycle timeline; options are restored to serial afterwards.
+        obs::RecoveryTracer scratch;
+        obs::RecoveryTracer* main_tracer = db.recovery_tracer();
+        db.set_recovery_tracer(&scratch);
+        db.set_recovery_options(methods::RecoveryOptions{workers});
+        fp.status = db.Recover();
+        db.set_recovery_options(methods::RecoveryOptions{});
+        db.set_recovery_tracer(main_tracer);
+        if (fp.status.ok()) {
+          for (PageId p = 0; p < db.num_pages(); ++p) {
+            const Page* cached = db.pool().PeekCached(p);
+            const Page& effective =
+                cached != nullptr ? *cached : db.disk().PeekPage(p);
+            fp.pages.emplace_back(effective.ContentHash(), effective.lsn());
+          }
+          for (const obs::TraceEvent& event : scratch.events()) {
+            if (event.event != "redo-verdict") continue;
+            std::ostringstream v;
+            for (const auto& [key, value] : event.numbers) {
+              v << key << "=" << value << " ";
+            }
+            for (const auto& [key, value] : event.strings) {
+              v << key << "=" << value << " ";
+            }
+            fp.verdicts.push_back(v.str());
+          }
+          std::sort(fp.verdicts.begin(), fp.verdicts.end());
+        }
+        // Put the crash state back for the next run.
+        db.Crash();
+        for (PageId p = 0; p < db.num_pages(); ++p) {
+          db.disk().RepairPage(p, crash_disk[p]);
+        }
+        return fp;
+      };
+      const RecoveryFingerprint serial = fingerprint(1);
+      if (!serial.status.ok()) {
+        return fail("equivalence oracle: serial recover: " +
+                    serial.status.ToString());
+      }
+      for (size_t workers : options.equivalence_workers) {
+        const RecoveryFingerprint parallel = fingerprint(workers);
+        ++result.equivalence_checks;
+        if (!parallel.status.ok()) {
+          ++result.equivalence_divergences;
+          return fail("equivalence oracle: parallel recover (" +
+                      std::to_string(workers) +
+                      " workers): " + parallel.status.ToString());
+        }
+        for (PageId p = 0; p < db.num_pages(); ++p) {
+          if (parallel.pages[p] != serial.pages[p]) {
+            ++result.equivalence_divergences;
+            return fail("equivalence oracle: " + std::to_string(workers) +
+                        "-worker redo diverges from serial on page " +
+                        std::to_string(p) + " at crash " +
+                        std::to_string(crash));
+          }
+        }
+        if (parallel.verdicts != serial.verdicts) {
+          ++result.equivalence_divergences;
+          return fail("equivalence oracle: " + std::to_string(workers) +
+                      "-worker redo verdict multiset differs from serial "
+                      "at crash " +
+                      std::to_string(crash));
+        }
+      }
+      if (injector != nullptr) injector->set_paused(false);
     }
 
     // ---- Recovery ----

@@ -13,6 +13,7 @@
 #define REDO_CHECKER_CRASH_SIM_H_
 
 #include <string>
+#include <vector>
 
 #include "checker/recovery_checker.h"
 #include "engine/workload.h"
@@ -79,6 +80,12 @@ struct CrashSimOptions {
   /// recovery must be idempotent and partially-installed recoveries must
   /// remain recoverable.
   size_t recovery_crashes = 0;
+  /// Serial-vs-parallel redo equivalence oracle: on every non-degraded
+  /// cycle, recover the crash state once serially and once per listed
+  /// worker count (restoring the crash state between runs, injection
+  /// paused), and require byte-identical effective pages, page LSNs,
+  /// and redo-verdict multisets. Empty = off.
+  std::vector<size_t> equivalence_workers;
   CrashFaultOptions faults;
 };
 
@@ -108,6 +115,9 @@ struct CrashSimResult {
   size_t backups_taken = 0;
   size_t segments_sealed = 0;       ///< log segments sealed over the run
   size_t segments_truncated = 0;    ///< live segments retired to the archive
+  // Serial/parallel equivalence-oracle accounting (zero when off).
+  size_t equivalence_checks = 0;       ///< parallel recoveries compared
+  size_t equivalence_divergences = 0;  ///< mismatches vs the serial run
   // Recovery-timeline accounting (from the attached RecoveryTracer).
   size_t redo_applied = 0;            ///< records redone across all recoveries
   size_t redo_skipped_installed = 0;  ///< skipped: page LSN proved installed

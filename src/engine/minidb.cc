@@ -21,6 +21,10 @@ MiniDb::MiniDb(const MiniDbOptions& options,
   disk_.RegisterMetrics(metrics_, "disk");
   pool_.RegisterMetrics(metrics_, "pool");
   log_.RegisterMetrics(metrics_, "wal");
+  metrics_.Register(
+      "redo.parallel",
+      [this](obs::MetricEmitter& emit) { parallel_metrics_.EmitMetrics(emit); },
+      [this]() { parallel_metrics_ = par::ParallelRedoMetrics{}; });
   log_.set_append_size_histogram(
       metrics_.GetHistogram("wal.append_bytes", obs::SizeBucketsBytes()));
 }

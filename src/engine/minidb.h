@@ -17,6 +17,7 @@
 #include "methods/method.h"
 #include "obs/metrics.h"
 #include "obs/recovery_trace.h"
+#include "redo/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk.h"
 #include "wal/log_manager.h"
@@ -108,8 +109,25 @@ class MiniDb {
   void set_recovery_tracer(obs::RecoveryTracer* tracer) { tracer_ = tracer; }
   obs::RecoveryTracer* recovery_tracer() { return tracer_; }
 
+  /// How recovery executes (e.g. parallel redo workers). Takes effect
+  /// on the next Recover(); the default (serial) replays in exact log
+  /// order.
+  void set_recovery_options(const methods::RecoveryOptions& options) {
+    recovery_options_ = options;
+  }
+  const methods::RecoveryOptions& recovery_options() const {
+    return recovery_options_;
+  }
+
+  /// Parallel-redo counters (registered as the "redo.parallel" source).
+  const par::ParallelRedoMetrics& parallel_redo_metrics() const {
+    return parallel_metrics_;
+  }
+
   methods::EngineContext ctx() {
-    return methods::EngineContext{&disk_, &pool_, &log_, trace_, tracer_};
+    return methods::EngineContext{&disk_,  &pool_,           &log_,
+                                  trace_,  tracer_,          recovery_options_,
+                                  &parallel_metrics_};
   }
 
  private:
@@ -122,6 +140,8 @@ class MiniDb {
   std::unique_ptr<methods::RecoveryMethod> method_;
   TraceRecorder* trace_ = nullptr;
   obs::RecoveryTracer* tracer_ = nullptr;
+  methods::RecoveryOptions recovery_options_;
+  par::ParallelRedoMetrics parallel_metrics_;
 };
 
 }  // namespace redo::engine

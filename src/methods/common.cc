@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "redo/plan.h"
+#include "redo/scheduler.h"
+
 namespace redo::methods {
 
 Result<core::Lsn> RecoveryMethod::RedoScanStart(const EngineContext& ctx) const {
@@ -84,21 +87,16 @@ Status TraceLoggedOp(EngineContext& ctx, core::Lsn lsn, std::string name,
   return Status::Ok();
 }
 
-Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
-                   const std::map<storage::PageId, core::Lsn>* dpt,
-                   RecoveryMethod::RedoScanStats* stats) {
-  obs::PhaseScope phase(ctx.tracer, "redo-scan");
-  Result<core::Lsn> redo_start = ReadRedoScanStart(ctx);
-  if (!redo_start.ok()) return redo_start.status();
-  REDO_RETURN_IF_ERROR(TraceCheckpointChosen(ctx, redo_start.value()));
-  Result<std::vector<wal::LogRecord>> records =
-      ctx.log->StableRecords(redo_start.value());
-  if (!records.ok()) return records.status();
+namespace {
 
-  RecoveryMethod::RedoScanStats local_stats;
-  RecoveryMethod::RedoScanStats& s = stats != nullptr ? *stats : local_stats;
-  s = RecoveryMethod::RedoScanStats{};
-
+// Serial LSN-test apply over the already-read stable records. Counts
+// into `s` in place; LsnRedoScan folds `s` into the caller's stats so
+// partial work is still reported after a mid-scan failure.
+Status SerialLsnApply(EngineContext& ctx,
+                      const std::vector<wal::LogRecord>& records,
+                      bool add_split_constraints,
+                      const std::map<storage::PageId, core::Lsn>* dpt,
+                      RecoveryMethod::RedoScanStats& s) {
   obs::RecoveryTracer* tracer = ctx.tracer;
   // Skip test from the analysis-produced dirty page table: a record on a
   // page outside the table, or older than the page's rec_lsn, is
@@ -136,7 +134,7 @@ Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
     return ctx.pool->Fetch(page);
   };
 
-  for (const wal::LogRecord& record : records.value()) {
+  for (const wal::LogRecord& record : records) {
     if (record.type != wal::RecordType::kCheckpoint) ++s.scanned;
     switch (record.type) {
       case wal::RecordType::kCheckpoint:
@@ -175,6 +173,14 @@ Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
         const storage::Page src_copy = *src.value();
         dst = fetch(split.value().dst);
         if (!dst.ok()) return dst.status();
+        // Re-run the redo test on the refetched dst: the test above and
+        // this apply are separated by a fetch that can change what the
+        // cache holds, and an already-current dst must never absorb the
+        // split twice (a kSlotTransfer double-apply corrupts the slot).
+        if (dst.value()->lsn() >= record.lsn) {  // installed
+          installed(record.lsn, split.value().dst);
+          break;
+        }
         engine::ApplySplitToDst(split.value(), src_copy, dst.value());
         REDO_RETURN_IF_ERROR(
             ctx.pool->MarkDirty(split.value().dst, record.lsn));
@@ -212,6 +218,112 @@ Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
     }
   }
   return Status::Ok();
+}
+
+// Parallel LSN-test apply: partition pages across workers, replay the
+// write-graph chains concurrently, then finish the serial-order parts
+// (tracer verdicts, §6.4 constraint re-arming) from the merged result.
+Status ParallelLsnApply(EngineContext& ctx,
+                        std::vector<wal::LogRecord> records,
+                        bool add_split_constraints,
+                        const std::map<storage::PageId, core::Lsn>* dpt,
+                        RecoveryMethod::RedoScanStats& s) {
+  Result<par::RedoPlan> plan =
+      par::BuildRedoPlan(std::move(records), /*whole_splits=*/false);
+  if (!plan.ok()) return plan.status();
+  par::ParallelRedoOptions options;
+  options.workers = ctx.recovery.parallel_workers;
+  options.mode = par::ParallelRedoOptions::Mode::kLsnTest;
+  options.dpt = dpt;
+  // The LSN test reads every touched page's on-disk LSN, so no first
+  // touch may skip its disk read.
+  options.blind_first_touch = false;
+  const par::ParallelRedoReport report = par::RunParallelRedo(
+      ctx.pool, plan.value(), options, ctx.parallel_metrics);
+  s.scanned += report.scanned;
+  s.replayed += report.replayed;
+  s.skipped_without_fetch += report.skipped_without_fetch;
+  s.page_fetches += report.page_fetches;
+  if (ctx.tracer != nullptr) {
+    for (const par::TaskVerdict& v : report.verdicts) {
+      ctx.tracer->Verdict(v.lsn, v.page, v.verdict, v.reason);
+    }
+  }
+  REDO_RETURN_IF_ERROR(report.status);
+  if (add_split_constraints) {
+    // Re-arm write-order constraints single-threaded in LSN order over
+    // the merged pool — same acyclicity rule as the serial scan.
+    for (size_t index : report.replayed_splits) {
+      const engine::SplitOp& split = plan.value().tasks[index].split;
+      const core::Lsn lsn = plan.value().tasks[index].lsn;
+      if (ctx.pool->HasPendingOrderPath(split.src, split.dst)) {
+        REDO_RETURN_IF_ERROR(ctx.pool->FlushPageCascading(split.dst));
+      } else {
+        ctx.pool->AddWriteOrderConstraint(split.dst, lsn, split.src);
+      }
+    }
+  }
+  // Partitions are unbounded; shrink back under the pool's capacity now
+  // that eviction-triggered flushes see the re-armed constraints.
+  return ctx.pool->ReduceToCapacity();
+}
+
+}  // namespace
+
+Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
+                   const std::map<storage::PageId, core::Lsn>* dpt,
+                   RecoveryMethod::RedoScanStats* stats) {
+  obs::PhaseScope phase(ctx.tracer, "redo-scan");
+  Result<core::Lsn> redo_start = ReadRedoScanStart(ctx);
+  if (!redo_start.ok()) return redo_start.status();
+  REDO_RETURN_IF_ERROR(TraceCheckpointChosen(ctx, redo_start.value()));
+  Result<std::vector<wal::LogRecord>> records =
+      ctx.log->StableRecords(redo_start.value());
+  if (!records.ok()) return records.status();
+
+  // Count into a local struct and *add* to the caller's at the end:
+  // callers that recover repeatedly (the degradation ladder's reruns)
+  // keep earlier rungs' counts — per-rung work comes from deltas,
+  // totals from the sum — instead of having rung 0 zeroed away.
+  RecoveryMethod::RedoScanStats local;
+  const Status status =
+      ctx.recovery.parallel_workers > 1
+          ? ParallelLsnApply(ctx, std::move(records.value()),
+                             add_split_constraints, dpt, local)
+          : SerialLsnApply(ctx, records.value(), add_split_constraints, dpt,
+                           local);
+  if (stats != nullptr) {
+    stats->scanned += local.scanned;
+    stats->replayed += local.replayed;
+    stats->skipped_without_fetch += local.skipped_without_fetch;
+    stats->page_fetches += local.page_fetches;
+  }
+  return status;
+}
+
+Status ParallelRedoAll(EngineContext& ctx, std::vector<wal::LogRecord> records,
+                       bool whole_splits,
+                       RecoveryMethod::RedoScanStats* stats) {
+  Result<par::RedoPlan> plan =
+      par::BuildRedoPlan(std::move(records), whole_splits);
+  if (!plan.ok()) return plan.status();
+  par::ParallelRedoOptions options;
+  options.workers = ctx.recovery.parallel_workers;
+  options.mode = par::ParallelRedoOptions::Mode::kRedoAll;
+  const par::ParallelRedoReport report = par::RunParallelRedo(
+      ctx.pool, plan.value(), options, ctx.parallel_metrics);
+  if (stats != nullptr) {
+    stats->scanned += report.scanned;
+    stats->replayed += report.replayed;
+    stats->page_fetches += report.page_fetches;
+  }
+  if (ctx.tracer != nullptr) {
+    for (const par::TaskVerdict& v : report.verdicts) {
+      ctx.tracer->Verdict(v.lsn, v.page, v.verdict, v.reason);
+    }
+  }
+  REDO_RETURN_IF_ERROR(report.status);
+  return ctx.pool->ReduceToCapacity();
 }
 
 Status WriteCheckpointRecordWithDpt(EngineContext& ctx, core::Lsn redo_start) {

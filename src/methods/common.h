@@ -4,8 +4,10 @@
 #define REDO_METHODS_COMMON_H_
 
 #include <map>
+#include <vector>
 
 #include "methods/method.h"
+#include "wal/log_record.h"
 
 namespace redo::methods {
 namespace internal_methods {
@@ -57,6 +59,18 @@ Status TraceLoggedOp(EngineContext& ctx, core::Lsn lsn, std::string name,
 Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
                    const std::map<storage::PageId, core::Lsn>* dpt = nullptr,
                    RecoveryMethod::RedoScanStats* stats = nullptr);
+
+/// Parallel redo-all apply (§6.1/§6.2 methods) over the already-read
+/// stable records, used when ctx.recovery.parallel_workers > 1:
+/// partitions pages across workers (src/redo), replays every record,
+/// emits the merged verdicts in LSN order, and re-enforces the pool's
+/// capacity. `whole_splits` selects the logical method's one-record
+/// split shape. `stats`, if non-null, accumulates scan counters. Takes
+/// the records by value so their payloads (notably 4KB page images)
+/// move into the plan rather than being copied in the serial section.
+Status ParallelRedoAll(EngineContext& ctx, std::vector<wal::LogRecord> records,
+                       bool whole_splits,
+                       RecoveryMethod::RedoScanStats* stats = nullptr);
 
 /// Appends a checkpoint record carrying the redo-scan start AND the
 /// current dirty page table (for analysis-based recovery), then forces

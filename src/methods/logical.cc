@@ -114,6 +114,20 @@ class LogicalMethod : public RecoveryMethod {
     Result<std::vector<wal::LogRecord>> records =
         ctx.log->StableRecords(redo_start.value());
     if (!records.ok()) return records.status();
+    if (ctx.recovery.parallel_workers > 1) {
+      // whole_splits: a kPageSplit record replays both halves (dst and
+      // the src rewrite) as one atomic task, exactly like
+      // ApplyWholeSplit below.
+      for (const wal::LogRecord& record : records.value()) {
+        if (record.type != wal::RecordType::kCheckpoint &&
+            record.type != wal::RecordType::kLogicalOp &&
+            record.type != wal::RecordType::kPageSplit) {
+          return Status::Corruption("unexpected record type in logical log");
+        }
+      }
+      return internal_methods::ParallelRedoAll(ctx, std::move(records.value()),
+                                               /*whole_splits=*/true);
+    }
     // Redo-all test: everything since the checkpoint is uninstalled.
     auto applied = [&ctx](core::Lsn lsn, PageId page) {
       if (ctx.tracer != nullptr) {

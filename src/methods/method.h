@@ -21,7 +21,21 @@
 #include "util/status.h"
 #include "wal/log_manager.h"
 
+namespace redo::par {
+struct ParallelRedoMetrics;
+}  // namespace redo::par
+
 namespace redo::methods {
+
+/// Knobs controlling how a method executes recovery — not what it
+/// recovers. Every method recovers the same state at any setting.
+struct RecoveryOptions {
+  /// Redo worker threads. <= 1 replays serially, in exact log order
+  /// (the default; golden byte-identical timelines rely on it). > 1
+  /// partitions pages across workers (src/redo) and replays each
+  /// write-graph chain concurrently.
+  size_t parallel_workers = 1;
+};
 
 /// The engine components a method operates on. Non-owning.
 struct EngineContext {
@@ -30,6 +44,8 @@ struct EngineContext {
   wal::LogManager* log = nullptr;
   engine::TraceRecorder* trace = nullptr;   ///< optional
   obs::RecoveryTracer* tracer = nullptr;    ///< optional recovery timeline
+  RecoveryOptions recovery;                 ///< execution knobs
+  par::ParallelRedoMetrics* parallel_metrics = nullptr;  ///< optional sink
 };
 
 class RecoveryMethod {
@@ -78,8 +94,11 @@ class RecoveryMethod {
   /// (decoded from the latest stable checkpoint record; 1 if none).
   Result<core::Lsn> RedoScanStart(const EngineContext& ctx) const;
 
-  /// What the last Recover() call did (methods that do not track this
-  /// return zeros).
+  /// Redo-scan work, accumulated across every Recover() call on this
+  /// method instance (methods that do not track this return zeros).
+  /// Accumulation — never zeroing — is what lets degradation-ladder
+  /// reruns report per-rung and total work instead of clobbering the
+  /// earlier rungs' counts.
   struct RedoScanStats {
     size_t scanned = 0;              ///< records examined
     size_t replayed = 0;             ///< records redone

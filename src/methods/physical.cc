@@ -74,6 +74,20 @@ class PhysicalMethod : public RecoveryMethod {
     Result<std::vector<wal::LogRecord>> records =
         ctx.log->StableRecords(redo_start.value());
     if (!records.ok()) return records.status();
+    if (ctx.recovery.parallel_workers > 1) {
+      // Page images on different pages never conflict, so the write
+      // graph is pure per-page chains — the ideal parallel shape.
+      // Validate the log's record types up front, as the serial loop
+      // would.
+      for (const wal::LogRecord& record : records.value()) {
+        if (record.type != wal::RecordType::kCheckpoint &&
+            record.type != wal::RecordType::kPageImage) {
+          return Status::Corruption("physical log contains a non-image record");
+        }
+      }
+      return internal_methods::ParallelRedoAll(ctx, std::move(records.value()),
+                                               /*whole_splits=*/false);
+    }
     // Redo everything, unconditionally, in log order.
     for (const wal::LogRecord& record : records.value()) {
       if (record.type == wal::RecordType::kCheckpoint) continue;

@@ -83,7 +83,13 @@ class PartialPhysicalMethod : public RecoveryMethod {
     Result<std::vector<wal::LogRecord>> records =
         ctx.log->StableRecords(redo_start.value());
     if (!records.ok()) return records.status();
-    last_stats_ = RedoScanStats{};
+    if (ctx.recovery.parallel_workers > 1) {
+      return internal_methods::ParallelRedoAll(ctx, std::move(records.value()),
+                                               /*whole_splits=*/false,
+                                               &last_stats_);
+    }
+    // Counters accumulate across Recover() calls (see last_scan_stats):
+    // ladder reruns add to, never clobber, earlier rungs' work.
     for (const wal::LogRecord& record : records.value()) {
       if (record.type == wal::RecordType::kCheckpoint) continue;
       ++last_stats_.scanned;

@@ -1,0 +1,17 @@
+#include "redo/metrics.h"
+
+namespace redo::par {
+
+void ParallelRedoMetrics::EmitMetrics(obs::MetricEmitter& emit) const {
+  emit.Counter("runs", runs);
+  emit.Counter("workers_spawned", workers_spawned);
+  emit.Counter("tasks", tasks);
+  emit.Counter("handoffs", handoffs);
+  emit.Counter("cross_edges", cross_edges);
+  emit.Counter("blind_installs", blind_installs);
+  emit.Counter("verdicts_merged", verdicts_merged);
+  emit.Counter("apply_busy_us", apply_busy_us);
+  emit.Counter("apply_critical_path_us", apply_critical_path_us);
+}
+
+}  // namespace redo::par

@@ -1,0 +1,37 @@
+// Counters for the parallel redo scheduler, exported through the
+// metrics registry as the "redo.parallel" source (see src/obs). The
+// engine owns one instance and hands it to every parallel run.
+
+#ifndef REDO_REDO_METRICS_H_
+#define REDO_REDO_METRICS_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace redo::par {
+
+/// Cumulative counters across every parallel redo invocation.
+struct ParallelRedoMetrics {
+  uint64_t runs = 0;             ///< parallel redo invocations
+  uint64_t workers_spawned = 0;  ///< worker threads launched (sum)
+  uint64_t tasks = 0;            ///< planned redo tasks executed
+  uint64_t handoffs = 0;         ///< cross-worker page transfers
+  uint64_t cross_edges = 0;      ///< multi-page tasks spanning two workers
+  uint64_t blind_installs = 0;   ///< first-touch installs skipping a read
+  uint64_t verdicts_merged = 0;  ///< verdicts LSN-sorted at the join
+
+  /// Thread-CPU time spent in worker loops (sum across workers), and
+  /// the per-run critical path (the slowest worker's CPU time, summed
+  /// across runs). busy/critical ≈ the speedup the write-graph
+  /// schedule permits, independent of how many cores the host has.
+  uint64_t apply_busy_us = 0;
+  uint64_t apply_critical_path_us = 0;
+
+  /// Emits every counter (metrics-registry source enumeration).
+  void EmitMetrics(obs::MetricEmitter& emit) const;
+};
+
+}  // namespace redo::par
+
+#endif  // REDO_REDO_METRICS_H_

@@ -222,6 +222,11 @@ void BufferPool::Crash() {
 
 void BufferPool::DropPage(PageId id) { frames_.erase(id); }
 
+const Page* BufferPool::PeekCached(PageId id) const {
+  const auto it = frames_.find(id);
+  return it != frames_.end() ? &it->second.page : nullptr;
+}
+
 bool BufferPool::IsDirty(PageId id) const {
   const auto it = frames_.find(id);
   return it != frames_.end() && it->second.dirty;
@@ -252,34 +257,135 @@ Status BufferPool::EvictOne() {
   for (const auto& [id, frame] : frames_) {
     newest = std::max(newest, frame.last_use);
   }
-  PageId clean_victim = 0, dirty_victim = 0;
-  bool have_clean = false, have_dirty = false;
+  // std::optional, not a sentinel page id: page 0 is a perfectly
+  // ordinary cacheable page, so "no victim yet" must be unrepresentable
+  // as a victim.
+  std::optional<PageId> clean_victim, dirty_victim;
   uint64_t clean_best = 0, dirty_best = 0;
   for (const auto& [id, frame] : frames_) {
     if (frame.last_use == newest && frames_.size() > 1) continue;
     if (frame.dirty) {
-      if (!have_dirty || frame.last_use < dirty_best) {
+      if (!dirty_victim.has_value() || frame.last_use < dirty_best) {
         dirty_best = frame.last_use;
         dirty_victim = id;
-        have_dirty = true;
       }
-    } else if (!have_clean || frame.last_use < clean_best) {
+    } else if (!clean_victim.has_value() || frame.last_use < clean_best) {
       clean_best = frame.last_use;
       clean_victim = id;
-      have_clean = true;
     }
   }
-  if (!have_clean && !have_dirty) {
+  if (!clean_victim.has_value() && !dirty_victim.has_value()) {
     return Status::FailedPrecondition("buffer pool: nothing to evict");
   }
-  const PageId victim = have_clean ? clean_victim : dirty_victim;
-  if (!have_clean) {
+  const PageId victim =
+      clean_victim.has_value() ? *clean_victim : *dirty_victim;
+  if (!clean_victim.has_value()) {
     REDO_RETURN_IF_ERROR(FlushPageCascading(victim));
   } else {
     ++stats_.clean_evictions;
   }
   ++stats_.evictions;
   frames_.erase(victim);
+  return Status::Ok();
+}
+
+// ---- Parallel-redo partitioning ----
+
+Result<Page*> BufferPool::RedoPartition::Fetch(PageId id) {
+  ++fetches_;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++hits_;
+    return &it->second.page;
+  }
+  ++misses_;
+  Result<Page> from_disk = [&] {
+    std::lock_guard<std::mutex> lock(*disk_mutex_);
+    return disk_->ReadPage(id);
+  }();
+  if (!from_disk.ok()) return from_disk.status();
+  Frame frame;
+  frame.page = std::move(from_disk).value();
+  auto [inserted, ok] = frames_.emplace(id, std::move(frame));
+  REDO_CHECK(ok);
+  return &inserted->second.page;
+}
+
+Page* BufferPool::RedoPartition::FetchBlind(PageId id) {
+  REDO_CHECK(frames_.count(id) == 0)
+      << "blind install of an already-cached page";
+  ++fetches_;
+  ++blind_installs_;
+  auto [inserted, ok] = frames_.emplace(id, Frame{});
+  REDO_CHECK(ok);
+  return &inserted->second.page;
+}
+
+Status BufferPool::RedoPartition::MarkDirty(PageId id, core::Lsn lsn) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    return Status::FailedPrecondition("redo partition: page not cached");
+  }
+  Frame& frame = it->second;
+  if (!frame.dirty) {
+    frame.dirty = true;
+    frame.rec_lsn = lsn;
+  }
+  frame.page.set_lsn(lsn);
+  return Status::Ok();
+}
+
+std::vector<BufferPool::RedoPartition> BufferPool::SplitForRedo(
+    size_t workers, const std::function<size_t(PageId)>& owner,
+    std::mutex* disk_mutex) {
+  REDO_CHECK(workers >= 1);
+  std::vector<RedoPartition> partitions;
+  partitions.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    partitions.push_back(RedoPartition(disk_, disk_mutex));
+  }
+  // Move the pool's frames into their owning partitions: a cached —
+  // possibly dirty — page must keep shadowing the disk copy, or the
+  // LSN-based redo test would see a stale page LSN.
+  for (auto& [id, frame] : frames_) {
+    const size_t w = owner(id);
+    REDO_CHECK(w < workers);
+    partitions[w].frames_.emplace(id, std::move(frame));
+  }
+  frames_.clear();
+  return partitions;
+}
+
+void BufferPool::MergeRedoPartitions(std::vector<RedoPartition>& partitions) {
+  // Re-enter frames in page-id order with fresh last_use stamps: the
+  // post-merge LRU state (and therefore every later eviction decision)
+  // is a function of the final page set alone, never of how the worker
+  // threads happened to interleave.
+  std::vector<std::pair<PageId, RedoPartition*>> pages;
+  for (RedoPartition& partition : partitions) {
+    stats_.fetches += partition.fetches_;
+    stats_.hits += partition.hits_;
+    stats_.misses += partition.misses_;
+    for (auto& [id, frame] : partition.frames_) {
+      pages.emplace_back(id, &partition);
+    }
+  }
+  std::sort(pages.begin(), pages.end());
+  for (auto& [id, partition] : pages) {
+    auto it = partition->frames_.find(id);
+    REDO_CHECK(it != partition->frames_.end());
+    it->second.last_use = ++use_clock_;
+    const auto [_, ok] = frames_.emplace(id, std::move(it->second));
+    REDO_CHECK(ok) << "page " << id << " cached in two redo partitions";
+  }
+  for (RedoPartition& partition : partitions) partition.frames_.clear();
+}
+
+Status BufferPool::ReduceToCapacity() {
+  if (capacity_ == 0) return Status::Ok();
+  while (frames_.size() > capacity_) {
+    REDO_RETURN_IF_ERROR(EvictOne());
+  }
   return Status::Ok();
 }
 

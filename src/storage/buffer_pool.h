@@ -12,6 +12,8 @@
 #define REDO_STORAGE_BUFFER_POOL_H_
 
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -109,6 +111,11 @@ class BufferPool {
   /// True if `id` is currently cached.
   bool IsCached(PageId id) const { return frames_.count(id) != 0; }
 
+  /// Const view of a cached page (nullptr if uncached). Unlike Fetch,
+  /// never reads disk, never evicts, and does not touch the LRU clock —
+  /// safe for oracles that fingerprint the effective state.
+  const Page* PeekCached(PageId id) const;
+
   /// True if `id` is cached and dirty.
   bool IsDirty(PageId id) const;
 
@@ -138,6 +145,77 @@ class BufferPool {
     uint64_t last_use = 0;
   };
 
+ public:
+  // ---- Parallel-redo partitioning ----
+
+  /// A shared-nothing sub-pool for one parallel-redo worker. Pages are
+  /// hashed to workers, so two partitions never hold the same page and
+  /// no latches are needed on the redo hot path. Created by
+  /// SplitForRedo (which moves the pool's frames into their owning
+  /// partitions) and dissolved by MergeRedoPartitions.
+  ///
+  /// Partitions are unbounded: eviction — and with it flushing, WAL
+  /// forces, and write-order constraint checks — never happens during
+  /// parallel redo; capacity is re-enforced at merge (ReduceToCapacity).
+  /// Disk reads on a miss are serialized by the shared mutex (the Disk
+  /// mutates its stats and consults its fault injector on every read).
+  class RedoPartition {
+   public:
+    RedoPartition(RedoPartition&&) = default;
+    RedoPartition& operator=(RedoPartition&&) = default;
+
+    /// Fetch-or-read, like BufferPool::Fetch, but never evicting: the
+    /// returned pointer stays valid until the partition is merged.
+    Result<Page*> Fetch(PageId id);
+
+    /// Installs a zeroed frame without reading disk: the caller's first
+    /// touch fully overwrites the page (a redo-all page image or split
+    /// target), so the on-disk bytes are dead. Requires: not cached.
+    Page* FetchBlind(PageId id);
+
+    /// Marks a partition-cached page dirty and tags it with `lsn`.
+    Status MarkDirty(PageId id, core::Lsn lsn);
+
+    bool IsCached(PageId id) const { return frames_.count(id) != 0; }
+    size_t num_cached() const { return frames_.size(); }
+    uint64_t fetches() const { return fetches_; }
+    uint64_t blind_installs() const { return blind_installs_; }
+
+   private:
+    friend class BufferPool;
+    RedoPartition(Disk* disk, std::mutex* disk_mutex)
+        : disk_(disk), disk_mutex_(disk_mutex) {}
+
+    Disk* disk_;
+    std::mutex* disk_mutex_;
+    std::unordered_map<PageId, Frame> frames_;
+    uint64_t fetches_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t blind_installs_ = 0;
+  };
+
+  /// Carves the pool into `workers` shared-nothing partitions, moving
+  /// every cached frame (dirty bits and rec_lsns intact) to its owner:
+  /// partition `owner(page)`, which must be < workers. The pool is left
+  /// empty and must not serve Fetch/Flush until MergeRedoPartitions.
+  std::vector<RedoPartition> SplitForRedo(
+      size_t workers, const std::function<size_t(PageId)>& owner,
+      std::mutex* disk_mutex);
+
+  /// Moves every partition frame back into the pool. Deterministic
+  /// regardless of worker interleaving: frames re-enter in page-id
+  /// order (re-stamping last_use), partition fetch counters are summed
+  /// into the pool's stats, and dirty bits / rec_lsns survive the round
+  /// trip. Does NOT enforce capacity: the caller re-arms write-order
+  /// constraints first, then calls ReduceToCapacity.
+  void MergeRedoPartitions(std::vector<RedoPartition>& partitions);
+
+  /// Evicts (flushing dirty victims, honoring constraints) until the
+  /// pool is back within capacity. No-op for an unbounded pool.
+  Status ReduceToCapacity();
+
+ private:
   struct OrderConstraint {
     PageId before;
     core::Lsn before_lsn;

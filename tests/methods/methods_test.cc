@@ -270,6 +270,48 @@ TEST(GeneralizedMethodTest, ConstraintRearmedDuringRecovery) {
   EXPECT_TRUE(db->pool().FlushPageCascading(1).ok());
 }
 
+// ---- Redo-scan stats accumulate across recoveries ----
+
+TEST(RedoScanStatsTest, StatsAccumulateAcrossRecoverCalls) {
+  // Regression: LsnRedoScan used to zero the caller's stats struct on
+  // entry, so a second Recover() (a degradation-ladder rerun, a
+  // recovery rehearsal) clobbered the first run's counts instead of
+  // reporting per-rung and total work.
+  for (const MethodKind kind :
+       {MethodKind::kPhysiological, MethodKind::kGeneralized,
+        MethodKind::kPhysicalPartial}) {
+    auto db = MakeDb(kind);
+    obs::RecoveryTracer tracer;
+    db->set_recovery_tracer(&tracer);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(db->WriteSlot(1, i, i + 10).ok());
+    }
+    ASSERT_TRUE(db->log().ForceAll().ok());
+    db->Crash();
+    ASSERT_TRUE(db->Recover().ok());
+    const size_t after_first = db->method().last_scan_stats().scanned;
+    EXPECT_EQ(after_first, 3u) << MethodKindName(kind);
+
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(db->WriteSlot(2, i, i + 20).ok());
+    }
+    ASSERT_TRUE(db->log().ForceAll().ok());
+    db->Crash();
+    ASSERT_TRUE(db->Recover().ok());
+    // The second scan sees all 5 records; the total is cumulative.
+    EXPECT_EQ(db->method().last_scan_stats().scanned, after_first + 5)
+        << MethodKindName(kind) << ": second Recover() clobbered the total";
+    EXPECT_GE(db->method().last_scan_stats().replayed, 2u)
+        << MethodKindName(kind);
+    // The tracer separates runs: per-run counts stay per-run while the
+    // stats struct totals.
+    EXPECT_EQ(tracer.total_verdicts().total(), 3u + 5u)
+        << MethodKindName(kind);
+    EXPECT_EQ(tracer.run_verdicts().total(), 5u) << MethodKindName(kind);
+    db->set_recovery_tracer(nullptr);
+  }
+}
+
 // ---- Factory coverage ----
 
 TEST(MethodFactoryTest, NamesAndKindsAreConsistent) {

@@ -1,0 +1,308 @@
+// The parallel redo scheduler: plan construction, the write-graph DAG,
+// cross-worker split hand-off, and end-to-end serial/parallel
+// equivalence through every recovery method.
+
+#include "redo/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/minidb.h"
+#include "redo/plan.h"
+#include "storage/page.h"
+
+namespace redo::par {
+namespace {
+
+using engine::MiniDb;
+using engine::SplitOp;
+using engine::SplitTransform;
+using methods::MethodKind;
+using storage::Page;
+using storage::PageId;
+
+constexpr size_t kPages = 16;
+
+std::unique_ptr<MiniDb> MakeDb(MethodKind kind, size_t capacity = 0) {
+  engine::MiniDbOptions options;
+  options.num_pages = kPages;
+  options.cache_capacity = kind == MethodKind::kLogical ? 0 : capacity;
+  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, kPages));
+}
+
+std::vector<wal::LogRecord> StableRecords(MiniDb& db) {
+  EXPECT_TRUE(db.log().ForceAll().ok());
+  return db.log().StableRecords(1).value();
+}
+
+// The effective (cache-else-disk) post-recovery state: per-page content
+// hash and page LSN — what the serial/parallel comparison is about.
+std::vector<std::pair<uint64_t, core::Lsn>> EffectiveState(MiniDb& db) {
+  std::vector<std::pair<uint64_t, core::Lsn>> state;
+  for (PageId p = 0; p < db.num_pages(); ++p) {
+    const Page* cached = db.pool().PeekCached(p);
+    const Page& page = cached != nullptr ? *cached : db.disk().PeekPage(p);
+    state.emplace_back(page.ContentHash(), page.lsn());
+  }
+  return state;
+}
+
+std::vector<Page> SnapshotDisk(MiniDb& db) {
+  std::vector<Page> pages;
+  for (PageId p = 0; p < db.num_pages(); ++p) {
+    pages.push_back(db.disk().PeekPage(p));
+  }
+  return pages;
+}
+
+void RestoreCrashState(MiniDb& db, const std::vector<Page>& disk) {
+  db.Crash();
+  for (PageId p = 0; p < db.num_pages(); ++p) db.disk().RepairPage(p, disk[p]);
+}
+
+// A workload touching every task shape: slot writes, blind formats,
+// splits, slot transfers, interleaved across pages.
+void RunMixedWorkload(MiniDb& db) {
+  for (int round = 0; round < 3; ++round) {
+    for (PageId p = 1; p < 6; ++p) {
+      ASSERT_TRUE(db.WriteSlot(p, round, 10 * round + p).ok());
+      ASSERT_TRUE(db.WriteSlot(p, 300 + round, 7 * round + p).ok());
+    }
+  }
+  ASSERT_TRUE(db.BlindFormat(6, 42).ok());
+  ASSERT_TRUE(db.Split(SplitOp{SplitTransform::kSlotHalf, 1, 7}).ok());
+  ASSERT_TRUE(db.Split(SplitOp{SplitTransform::kSlotHalf, 2, 8}).ok());
+  ASSERT_TRUE(db.Split(engine::MakeSlotTransfer(3, 1, 4, 5)).ok());
+  for (PageId p = 7; p < 9; ++p) {
+    ASSERT_TRUE(db.WriteSlot(p, 2, 99 + p).ok());
+  }
+}
+
+// ---- Plan construction ----
+
+TEST(ParallelPlanTest, DecodesEveryRecordShape) {
+  auto db = MakeDb(MethodKind::kGeneralized);
+  ASSERT_TRUE(db->WriteSlot(1, 0, 5).ok());
+  ASSERT_TRUE(db->Split(SplitOp{SplitTransform::kSlotHalf, 1, 2}).ok());
+  const Result<RedoPlan> plan = BuildRedoPlan(StableRecords(*db), false);
+  ASSERT_TRUE(plan.ok());
+  // slot write, split, rewrite — in LSN order.
+  ASSERT_EQ(plan.value().tasks.size(), 3u);
+  EXPECT_EQ(plan.value().tasks[0].kind, RedoTaskKind::kSinglePage);
+  EXPECT_EQ(plan.value().tasks[1].kind, RedoTaskKind::kSplitDst);
+  EXPECT_EQ(plan.value().tasks[2].kind, RedoTaskKind::kSinglePage);
+  EXPECT_EQ(plan.value().multi_page_tasks, 1u);
+  EXPECT_LT(plan.value().tasks[0].lsn, plan.value().tasks[1].lsn);
+}
+
+TEST(ParallelPlanTest, WholeSplitsCarryBothPagesAsWrites) {
+  auto db = MakeDb(MethodKind::kLogical);
+  ASSERT_TRUE(db->Split(SplitOp{SplitTransform::kSlotHalf, 1, 2}).ok());
+  const Result<RedoPlan> plan = BuildRedoPlan(StableRecords(*db), true);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().tasks.size(), 1u);
+  EXPECT_EQ(plan.value().tasks[0].kind, RedoTaskKind::kWholeSplit);
+  EXPECT_EQ(plan.value().tasks[0].Writes(),
+            (std::vector<PageId>{2, 1}));  // dst and the rewritten src
+}
+
+TEST(ParallelPlanTest, CheckpointsCarryNoTask) {
+  auto db = MakeDb(MethodKind::kPhysical);
+  ASSERT_TRUE(db->WriteSlot(1, 0, 5).ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+  const std::vector<wal::LogRecord> records = StableRecords(*db);
+  const Result<RedoPlan> plan = BuildRedoPlan(records, false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LT(plan.value().tasks.size(), records.size());
+}
+
+// ---- The write-graph DAG ----
+
+TEST(ParallelPlanTest, TaskDagChainsPerPageAndBridgesAtSplits) {
+  auto db = MakeDb(MethodKind::kGeneralized);
+  ASSERT_TRUE(db->WriteSlot(1, 300, 7).ok());  // task 0: writes p1
+  ASSERT_TRUE(db->WriteSlot(3, 0, 8).ok());    // task 1: writes p3
+  ASSERT_TRUE(
+      db->Split(SplitOp{SplitTransform::kSlotHalf, 1, 2}).ok());
+  // task 2: split reads p1, writes p2; task 3: rewrite writes p1
+  ASSERT_TRUE(db->WriteSlot(2, 0, 9).ok());    // task 4: writes p2
+  const RedoPlan plan = BuildRedoPlan(StableRecords(*db), false).value();
+  ASSERT_EQ(plan.tasks.size(), 5u);
+  const core::Dag dag = BuildTaskDag(plan);
+  EXPECT_TRUE(dag.IsAcyclic());
+  EXPECT_TRUE(dag.HasEdge(0, 2)) << "split reads p1 after task 0 wrote it";
+  EXPECT_TRUE(dag.HasEdge(2, 3)) << "the rewrite overwrites what the split read";
+  EXPECT_TRUE(dag.HasEdge(2, 4)) << "p2's chain continues after the split";
+  EXPECT_TRUE(dag.HasPath(0, 4))
+      << "the split bridges p1's chain into p2's chain";
+  EXPECT_FALSE(dag.HasPath(1, 4))
+      << "p3 shares no page with p2: no path, so the tasks commute (§5)";
+  EXPECT_FALSE(dag.HasPath(0, 1));
+}
+
+TEST(ParallelPlanTest, IndependentPagesFormDisconnectedChains) {
+  auto db = MakeDb(MethodKind::kPhysical);
+  for (int round = 0; round < 3; ++round) {
+    for (PageId p = 1; p < 4; ++p) {
+      ASSERT_TRUE(db->WriteSlot(p, round, round).ok());
+    }
+  }
+  const RedoPlan plan = BuildRedoPlan(StableRecords(*db), false).value();
+  const core::Dag dag = BuildTaskDag(plan);
+  // 3 pages x 3 images each: three chains of 2 edges, nothing across.
+  EXPECT_EQ(dag.NumEdges(), 6u);
+  EXPECT_FALSE(dag.HasPath(0, 1));
+  EXPECT_TRUE(dag.HasPath(0, 3));  // p1's chain: tasks 0, 3, 6
+  EXPECT_TRUE(dag.IsAcyclic());
+}
+
+// ---- Cross-worker hand-off ----
+
+TEST(ParallelSchedulerTest, CrossWorkerSplitHandoffRespectsWriteGraphOrder) {
+  auto db = MakeDb(MethodKind::kGeneralized);
+  // p1's chain feeds the split which feeds p2's chain; forcing p1 and
+  // p2 onto different workers makes every DAG edge a queue hand-off.
+  ASSERT_TRUE(db->WriteSlot(1, 300, 7).ok());
+  ASSERT_TRUE(db->Split(SplitOp{SplitTransform::kSlotHalf, 1, 2}).ok());
+  ASSERT_TRUE(db->WriteSlot(2, 0, 9).ok());
+  ASSERT_TRUE(db->log().ForceAll().ok());
+  db->Crash();
+  const std::vector<Page> crash_disk = SnapshotDisk(*db);
+
+  ASSERT_TRUE(db->Recover().ok());
+  const auto serial_state = EffectiveState(*db);
+
+  RestoreCrashState(*db, crash_disk);
+  const RedoPlan plan =
+      BuildRedoPlan(db->log().StableRecords(1).value(), false).value();
+  ParallelRedoOptions options;
+  options.workers = 2;
+  options.mode = ParallelRedoOptions::Mode::kLsnTest;
+  options.owner_override = [](PageId p) { return p == 1 ? 0u : 1u; };
+  const ParallelRedoReport report =
+      RunParallelRedo(&db->pool(), plan, options);
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_GE(report.cross_edges, 1u);
+  EXPECT_GE(report.handoffs, 1u);
+  EXPECT_EQ(EffectiveState(*db), serial_state)
+      << "a hand-off that ignored write-graph order would split stale "
+         "bytes into p2 or let p2's later write be clobbered";
+  // The merged verdicts come back in serial (LSN) order.
+  for (size_t i = 1; i < report.verdicts.size(); ++i) {
+    EXPECT_LT(report.verdicts[i - 1].lsn, report.verdicts[i].lsn);
+  }
+  EXPECT_EQ(report.verdicts.size(), plan.tasks.size());
+}
+
+TEST(ParallelSchedulerTest, WholeSplitHandoffMatchesSerialApply) {
+  auto db = MakeDb(MethodKind::kLogical);
+  ASSERT_TRUE(db->WriteSlot(1, 300, 7).ok());
+  ASSERT_TRUE(db->Split(SplitOp{SplitTransform::kSlotHalf, 1, 2}).ok());
+  ASSERT_TRUE(db->Split(engine::MakeSlotTransfer(2, 0, 3, 4)).ok());
+  ASSERT_TRUE(db->log().ForceAll().ok());
+  db->Crash();
+  const std::vector<Page> crash_disk = SnapshotDisk(*db);
+
+  ASSERT_TRUE(db->Recover().ok());
+  const auto serial_state = EffectiveState(*db);
+
+  for (size_t workers : {2u, 3u}) {
+    RestoreCrashState(*db, crash_disk);
+    methods::RecoveryOptions recovery;
+    recovery.parallel_workers = workers;
+    db->set_recovery_options(recovery);
+    ASSERT_TRUE(db->Recover().ok());
+    db->set_recovery_options(methods::RecoveryOptions{});
+    EXPECT_EQ(EffectiveState(*db), serial_state) << workers << " workers";
+  }
+}
+
+// ---- End-to-end equivalence across every method ----
+
+TEST(ParallelRedoEngineTest, EveryMethodRecoversIdenticallyAtEveryWorkerCount) {
+  for (const MethodKind kind :
+       {MethodKind::kLogical, MethodKind::kPhysical, MethodKind::kPhysiological,
+        MethodKind::kGeneralized, MethodKind::kPhysiologicalAnalysis,
+        MethodKind::kPhysicalPartial}) {
+    auto db = MakeDb(kind);
+    RunMixedWorkload(*db);
+    if (testing::Test::HasFatalFailure()) return;
+    ASSERT_TRUE(db->Checkpoint().ok()) << methods::MethodKindName(kind);
+    for (PageId p = 1; p < 5; ++p) {
+      ASSERT_TRUE(db->WriteSlot(p, 9, 1000 + p).ok());
+    }
+    ASSERT_TRUE(db->log().ForceAll().ok());
+    db->Crash();
+    const std::vector<Page> crash_disk = SnapshotDisk(*db);
+
+    ASSERT_TRUE(db->Recover().ok()) << methods::MethodKindName(kind);
+    const auto serial_state = EffectiveState(*db);
+
+    for (size_t workers : {2u, 4u, 8u}) {
+      RestoreCrashState(*db, crash_disk);
+      methods::RecoveryOptions recovery;
+      recovery.parallel_workers = workers;
+      db->set_recovery_options(recovery);
+      ASSERT_TRUE(db->Recover().ok())
+          << methods::MethodKindName(kind) << " with " << workers;
+      db->set_recovery_options(methods::RecoveryOptions{});
+      EXPECT_EQ(EffectiveState(*db), serial_state)
+          << methods::MethodKindName(kind) << " diverges at " << workers
+          << " workers";
+    }
+  }
+}
+
+TEST(ParallelRedoEngineTest, BoundedPoolReenforcesCapacityAfterMerge) {
+  auto db = MakeDb(MethodKind::kGeneralized, /*capacity=*/4);
+  RunMixedWorkload(*db);
+  if (testing::Test::HasFatalFailure()) return;
+  ASSERT_TRUE(db->log().ForceAll().ok());
+  db->Crash();
+  methods::RecoveryOptions recovery;
+  recovery.parallel_workers = 4;
+  db->set_recovery_options(recovery);
+  ASSERT_TRUE(db->Recover().ok());
+  EXPECT_LE(db->pool().num_cached(), 4u)
+      << "partitions are unbounded; the merge must shrink back";
+}
+
+// ---- Metrics ----
+
+TEST(ParallelRedoEngineTest, ParallelRunsFeedTheMetricsSource) {
+  auto db = MakeDb(MethodKind::kPhysical);
+  for (PageId p = 1; p < 6; ++p) {
+    ASSERT_TRUE(db->BlindFormat(p, p).ok());
+  }
+  ASSERT_TRUE(db->log().ForceAll().ok());
+  db->Crash();
+  methods::RecoveryOptions recovery;
+  recovery.parallel_workers = 4;
+  db->set_recovery_options(recovery);
+  ASSERT_TRUE(db->Recover().ok());
+  const ParallelRedoMetrics& metrics = db->parallel_redo_metrics();
+  EXPECT_EQ(metrics.runs, 1u);
+  EXPECT_EQ(metrics.workers_spawned, 4u);
+  EXPECT_EQ(metrics.tasks, 5u);
+  EXPECT_EQ(metrics.verdicts_merged, 5u);
+  EXPECT_GE(metrics.blind_installs, 1u)
+      << "redo-all images install their first touch without a disk read";
+  const std::string text = db->metrics().TakeSnapshot().ToText();
+  EXPECT_NE(text.find("redo.parallel.runs 1"), std::string::npos) << text;
+}
+
+TEST(ParallelRedoEngineTest, SerialRecoveryLeavesParallelMetricsUntouched) {
+  auto db = MakeDb(MethodKind::kPhysical);
+  ASSERT_TRUE(db->BlindFormat(1, 1).ok());
+  ASSERT_TRUE(db->log().ForceAll().ok());
+  db->Crash();
+  ASSERT_TRUE(db->Recover().ok());
+  EXPECT_EQ(db->parallel_redo_metrics().runs, 0u);
+}
+
+}  // namespace
+}  // namespace redo::par

@@ -297,6 +297,117 @@ TEST(BufferPoolTest, UnboundedCapacityNeverEvicts) {
   EXPECT_EQ(pool.stats().evictions, 0u);
 }
 
+TEST(BufferPoolTest, EvictionOfPageZeroWorks) {
+  // Regression: the victim-selection used page id 0 as its "no victim
+  // yet" sentinel, so when page 0 *was* the LRU victim the pool behaved
+  // as if nothing were evictable. Page 0 is an ordinary page.
+  Disk disk(4);
+  BufferPool pool(&disk, 2);
+  (void)pool.Fetch(0).value();  // clean, becomes the LRU
+  (void)pool.Fetch(1).value();
+  (void)pool.Fetch(2).value();  // must evict page 0
+  EXPECT_EQ(pool.num_cached(), 2u);
+  EXPECT_FALSE(pool.IsCached(0)) << "page 0 is a legitimate victim";
+  EXPECT_TRUE(pool.IsCached(1));
+  EXPECT_TRUE(pool.IsCached(2));
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.stats().clean_evictions, 1u);
+}
+
+TEST(BufferPoolTest, DirtyPageZeroEvictionFlushesIt) {
+  Disk disk(3);
+  BufferPool pool(&disk, 2);
+  Page* p = pool.Fetch(0).value();
+  p->WriteSlot(0, 77);
+  ASSERT_TRUE(pool.MarkDirty(0, 5).ok());
+  Page* q = pool.Fetch(1).value();
+  q->WriteSlot(0, 78);
+  ASSERT_TRUE(pool.MarkDirty(1, 6).ok());
+  (void)pool.Fetch(2).value();  // all dirty: LRU page 0 flushed + evicted
+  EXPECT_FALSE(pool.IsCached(0));
+  EXPECT_EQ(disk.PeekPage(0).ReadSlot(0), 77) << "dirty victim reached disk";
+  EXPECT_EQ(disk.PeekPage(0).lsn(), 5u);
+}
+
+TEST(BufferPoolTest, RedoPartitionRoundTripPreservesFramesAndStats) {
+  Disk disk(8);
+  Page seed;
+  seed.WriteSlot(0, 9);
+  ASSERT_TRUE(disk.WritePage(5, seed).ok());
+
+  BufferPool pool(&disk, 4);
+  Page* p = pool.Fetch(0).value();
+  p->WriteSlot(1, 11);
+  ASSERT_TRUE(pool.MarkDirty(0, 3).ok());
+  (void)pool.Fetch(1).value();  // clean frame
+
+  std::mutex disk_mutex;
+  const auto owner = [](PageId id) { return static_cast<size_t>(id % 2); };
+  std::vector<BufferPool::RedoPartition> parts =
+      pool.SplitForRedo(2, owner, &disk_mutex);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(pool.num_cached(), 0u) << "frames moved out, not copied";
+  EXPECT_TRUE(parts[0].IsCached(0)) << "even page to partition 0";
+  EXPECT_TRUE(parts[1].IsCached(1));
+
+  // A partition miss reads the disk; a blind install does not.
+  Result<Page*> fetched = parts[1].Fetch(5);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value()->ReadSlot(0), 9);
+  Page* blind = parts[0].FetchBlind(2);
+  blind->WriteSlot(0, 44);
+  ASSERT_TRUE(parts[0].MarkDirty(2, 7).ok());
+  EXPECT_EQ(parts[0].blind_installs(), 1u);
+
+  pool.MergeRedoPartitions(parts);
+  EXPECT_EQ(pool.num_cached(), 4u);
+  EXPECT_TRUE(pool.IsDirty(0)) << "dirty bit survives the round trip";
+  EXPECT_FALSE(pool.IsDirty(1));
+  EXPECT_TRUE(pool.IsDirty(2));
+  const std::vector<DirtyPageEntry> dirty = pool.DirtyPages();
+  for (const DirtyPageEntry& entry : dirty) {
+    if (entry.page == 0) {
+      EXPECT_EQ(entry.rec_lsn, 3u) << "rec_lsn survives the round trip";
+    }
+  }
+  // The moved frame kept its content and can flush normally afterwards.
+  EXPECT_EQ(pool.Fetch(0).value()->ReadSlot(1), 11);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(disk.PeekPage(2).ReadSlot(0), 44);
+}
+
+TEST(BufferPoolTest, ReduceToCapacityEvictsBackDown) {
+  Disk disk(8);
+  BufferPool pool(&disk, 2);
+  std::mutex disk_mutex;
+  std::vector<BufferPool::RedoPartition> parts =
+      pool.SplitForRedo(1, [](PageId) { return 0u; }, &disk_mutex);
+  for (PageId id = 0; id < 6; ++id) {
+    Page* p = parts[0].FetchBlind(id);
+    p->WriteSlot(0, id + 1);
+    ASSERT_TRUE(parts[0].MarkDirty(id, id + 1).ok());
+  }
+  pool.MergeRedoPartitions(parts);
+  EXPECT_EQ(pool.num_cached(), 6u) << "merge itself never evicts";
+  ASSERT_TRUE(pool.ReduceToCapacity().ok());
+  EXPECT_LE(pool.num_cached(), 2u);
+  for (PageId id = 0; id < 6; ++id) {
+    if (!pool.IsCached(id)) {
+      EXPECT_EQ(disk.PeekPage(id).ReadSlot(0),
+                static_cast<int64_t>(id + 1))
+          << "evicted dirty page " << id << " was flushed, not dropped";
+    }
+  }
+}
+
+TEST(BufferPoolTest, ReduceToCapacityIsNoOpWhenUnbounded) {
+  Disk disk(4);
+  BufferPool pool(&disk, 0);
+  for (PageId id = 0; id < 4; ++id) (void)pool.Fetch(id).value();
+  ASSERT_TRUE(pool.ReduceToCapacity().ok());
+  EXPECT_EQ(pool.num_cached(), 4u);
+}
+
 TEST(BufferPoolTest, FlushCleanPageIsNoOp) {
   Disk disk(1);
   BufferPool pool(&disk, 1);

@@ -29,7 +29,7 @@ PolicyRow Run(MethodKind kind, double flush_probability,
   engine::MiniDbOptions options;
   options.num_pages = 16;
   options.cache_capacity = kind == MethodKind::kLogical ? 0 : 8;
-  engine::MiniDb db(options, methods::MakeMethod(kind, 16));
+  engine::MiniDb db(options, methods::MakeMethod(kind, {16}));
   engine::WorkloadOptions wopts;
   wopts.num_pages = 16;
   wopts.flush_probability = flush_probability;

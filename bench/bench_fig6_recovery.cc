@@ -133,7 +133,7 @@ void EngineRecoveryTable() {
       engine::MiniDbOptions options;
       options.num_pages = 16;
       options.cache_capacity = kind == methods::MethodKind::kLogical ? 0 : 8;
-      engine::MiniDb db(options, methods::MakeMethod(kind, options.num_pages));
+      engine::MiniDb db(options, methods::MakeMethod(kind, {options.num_pages}));
       engine::WorkloadOptions wopts;
       wopts.num_pages = 16;
       wopts.checkpoint_probability = 0;  // we place the checkpoint ourselves

@@ -35,9 +35,9 @@ SplitCost MeasureSplits(MethodKind kind, uint64_t target_splits) {
   engine::MiniDbOptions options;
   options.num_pages = 512;
   options.cache_capacity = kind == MethodKind::kLogical ? 0 : 4;
-  MiniDb db(options, methods::MakeMethod(kind, options.num_pages));
+  MiniDb db(options, methods::MakeMethod(kind, {options.num_pages}));
   engine::TraceRecorder trace(db.disk());
-  db.set_trace(&trace);
+  db.Attach(redo::engine::Instrumentation{&trace, nullptr});
   btree::Btree tree = btree::Btree::Create(&db).value();
 
   SplitCost cost;
@@ -91,7 +91,7 @@ void MergeCostTable() {
     engine::MiniDbOptions options;
     options.num_pages = 256;
     options.cache_capacity = kind == MethodKind::kLogical ? 0 : 16;
-    MiniDb db(options, methods::MakeMethod(kind, options.num_pages));
+    MiniDb db(options, methods::MakeMethod(kind, {options.num_pages}));
     btree::Btree tree = btree::Btree::Create(&db).value();
     const int n = static_cast<int>(btree::NodeRef::Capacity()) * 16;
     for (int i = 0; i < n; ++i) {
@@ -126,7 +126,7 @@ void WriteOrderDemo() {
               "cache manager):\n");
   engine::MiniDbOptions options;
   options.num_pages = 16;
-  MiniDb db(options, methods::MakeMethod(MethodKind::kGeneralized, 16));
+  MiniDb db(options, methods::MakeMethod(MethodKind::kGeneralized, {16}));
   // Fill a page and split it with the slot transform for clarity.
   REDO_CHECK(db.WriteSlot(1, storage::Page::NumSlots() / 2, 7).ok());
   REDO_CHECK(

@@ -53,9 +53,9 @@ int main(int argc, char** argv) {
   options.cache_capacity = 0;
   engine::MiniDb db(options,
                     methods::MakeMethod(methods::MethodKind::kGeneralized,
-                                        options.num_pages));
+                                        {options.num_pages}));
   engine::TraceRecorder trace(db.disk());
-  db.set_trace(&trace);
+  db.Attach(redo::engine::Instrumentation{&trace, nullptr});
 
   // Seed every account with 100 units.
   for (storage::PageId p = 0; p < options.num_pages; ++p) {

@@ -33,9 +33,9 @@ RunResult Run(MethodKind kind, int keys) {
   engine::MiniDbOptions options;
   options.num_pages = 256;
   options.cache_capacity = kind == MethodKind::kLogical ? 0 : 16;
-  MiniDb db(options, methods::MakeMethod(kind, options.num_pages));
+  MiniDb db(options, methods::MakeMethod(kind, {options.num_pages}));
   engine::TraceRecorder trace(db.disk());
-  db.set_trace(&trace);
+  db.Attach(redo::engine::Instrumentation{&trace, nullptr});
 
   btree::Btree tree = btree::Btree::Create(&db).value();
   for (int i = 0; i < keys; ++i) {

@@ -26,15 +26,27 @@
 // redo-verdict multisets as the serial run. Any divergence fails the
 // run.
 //
+// With `--concurrent`, the torture moves to the concurrent front end:
+// every method runs under 2, 4, and 8 session threads driving the
+// group-commit pipeline, with fuzzy checkpoints where the method
+// supports them and BOTH fault injectors armed (the crash tears the
+// in-flight force; the disk fails page writes in transient bursts).
+// Each cycle freezes the pipeline at an arbitrary moment, crashes,
+// recovers, and enforces the two concurrent oracles: zero lost
+// acknowledged commits, and recovered state equal to the LSN-ordered
+// model replay of the surviving journal.
+//
 // Usage: crash_torture [--faults] [--force-unrecoverable] [--parallel]
-//                      [--timeline-out PATH]
+//                      [--concurrent] [--timeline-out PATH]
 //                      [runs_per_method] [ops_per_segment] [crashes]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "checker/concurrent_sim.h"
 #include "checker/crash_sim.h"
 
 int main(int argc, char** argv) {
@@ -42,6 +54,7 @@ int main(int argc, char** argv) {
   bool faults = false;
   bool force_unrecoverable = false;
   bool parallel = false;
+  bool concurrent = false;
   std::string timeline_out = "crash_torture_failing_timeline.jsonl";
   while (argc > 1) {
     if (std::strcmp(argv[1], "--faults") == 0) {
@@ -51,6 +64,8 @@ int main(int argc, char** argv) {
       force_unrecoverable = true;
     } else if (std::strcmp(argv[1], "--parallel") == 0) {
       parallel = true;
+    } else if (std::strcmp(argv[1], "--concurrent") == 0) {
+      concurrent = true;
     } else if (std::strcmp(argv[1], "--timeline-out") == 0 && argc > 2) {
       timeline_out = argv[2];
       --argc;
@@ -64,6 +79,77 @@ int main(int argc, char** argv) {
   const size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
   const size_t ops = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 200;
   const size_t crashes = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 4;
+
+  if (concurrent) {
+    // The concurrent torture: six methods x {2,4,8} sessions, both
+    // fault injectors armed, `runs` seeds x `crashes` freeze/crash/
+    // recover cycles per configuration.
+    std::printf(
+        "concurrent crash torture: %zu seeds x %zu cycles per "
+        "(method, sessions) config [torn forces ON, disk write bursts ON]\n\n",
+        runs, crashes);
+    std::printf("%-16s %9s %8s %8s %8s %8s %7s %7s %9s %9s %7s\n", "method",
+                "sessions", "cycles", "ops", "acked", "refused", "lost",
+                "torn", "gc_acks", "batches", "result");
+    int concurrent_exit = 0;
+    size_t total_cycles = 0, total_lost = 0;
+    for (const methods::MethodKind kind :
+         {methods::MethodKind::kLogical, methods::MethodKind::kPhysical,
+          methods::MethodKind::kPhysiological,
+          methods::MethodKind::kGeneralized,
+          methods::MethodKind::kPhysiologicalAnalysis,
+          methods::MethodKind::kPhysicalPartial}) {
+      for (const size_t sessions : {2u, 4u, 8u}) {
+        checker::ConcurrentSimResult sum;
+        sum.ok = true;
+        std::string first_failure;
+        for (size_t seed = 1; seed <= runs; ++seed) {
+          checker::ConcurrentSimOptions options;
+          options.sessions = sessions;
+          options.ops_per_session = std::max<size_t>(1, ops / sessions);
+          options.cycles = crashes;
+          options.tear_log_tail = true;
+          options.disk_write_faults = true;
+          options.fuzzy_checkpoints = true;
+          const checker::ConcurrentSimResult r =
+              checker::RunConcurrentCrashSim(kind, options,
+                                             seed * 977 + sessions);
+          sum.cycles += r.cycles;
+          sum.ops_applied += r.ops_applied;
+          sum.commits_acked += r.commits_acked;
+          sum.commits_refused += r.commits_refused;
+          sum.lost_acked_commits += r.lost_acked_commits;
+          sum.torn_tails += r.torn_tails;
+          sum.group_commits += r.group_commits;
+          sum.group_batches += r.group_batches;
+          if (!r.ok) {
+            if (sum.ok) first_failure = r.failure;
+            sum.ok = false;
+          }
+        }
+        total_cycles += sum.cycles;
+        total_lost += sum.lost_acked_commits;
+        std::printf("%-16s %9zu %8zu %8zu %8zu %8zu %7zu %7zu %9llu %9llu %7s\n",
+                    methods::MethodKindName(kind), sessions, sum.cycles,
+                    sum.ops_applied, sum.commits_acked, sum.commits_refused,
+                    sum.lost_acked_commits, sum.torn_tails,
+                    static_cast<unsigned long long>(sum.group_commits),
+                    static_cast<unsigned long long>(sum.group_batches),
+                    sum.ok ? "OK" : "FAILED");
+        if (!sum.ok) {
+          std::printf("    first failure: %s\n", first_failure.c_str());
+          concurrent_exit = 1;
+        }
+      }
+    }
+    std::printf(
+        "\n%zu freeze/crash/recover cycles; lost acked commits: %zu%s\n",
+        total_cycles, total_lost,
+        total_lost == 0 ? " (every acknowledged commit survived)"
+                        : "  <-- BUG");
+    if (total_lost != 0) concurrent_exit = 1;
+    return concurrent_exit;
+  }
 
   std::printf(
       "crash torture: %zu runs/method x %zu ops/segment x %zu crashes%s%s%s\n\n",

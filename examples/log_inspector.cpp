@@ -142,9 +142,9 @@ int main(int argc, char** argv) {
   // Small segments so the workload seals a few and the segment map below
   // has something to show.
   options.wal.segment_bytes = 256;
-  engine::MiniDb db(options, methods::MakeMethod(kind, options.num_pages));
+  engine::MiniDb db(options, methods::MakeMethod(kind, {options.num_pages}));
   engine::TraceRecorder trace(db.disk());
-  db.set_trace(&trace);
+  db.Attach(redo::engine::Instrumentation{&trace, nullptr});
 
   engine::WorkloadOptions wopts;
   wopts.num_pages = options.num_pages;

@@ -62,9 +62,9 @@ void EngineTour() {
   options.num_pages = 8;
   engine::MiniDb db(options,
                     methods::MakeMethod(methods::MethodKind::kPhysiological,
-                                        options.num_pages));
+                                        {options.num_pages}));
   engine::TraceRecorder trace(db.disk());
-  db.set_trace(&trace);
+  db.Attach(redo::engine::Instrumentation{&trace, nullptr});
 
   // A few updates: each is logged, applied in cache, and tagged with its
   // record's LSN.

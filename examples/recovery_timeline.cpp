@@ -49,9 +49,9 @@ RunOutput RunScenario(methods::MethodKind kind, bool include_timing) {
   // The logical method redoes everything since the checkpoint and has no
   // page-LSN test; run it write-through like the crash simulator does.
   options.cache_capacity = kind == methods::MethodKind::kLogical ? 0 : 4;
-  engine::MiniDb db(options, methods::MakeMethod(kind, options.num_pages));
+  engine::MiniDb db(options, methods::MakeMethod(kind, {options.num_pages}));
   obs::RecoveryTracer tracer(&db.metrics());
-  db.set_recovery_tracer(&tracer);
+  db.Attach(redo::engine::Instrumentation{nullptr, &tracer});
 
   // Phase 1: three writes, then a checkpoint — these land *behind* the
   // redo-scan anchor and should not produce verdicts.

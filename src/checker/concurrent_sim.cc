@@ -1,0 +1,350 @@
+#include "checker/concurrent_sim.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "engine/minidb.h"
+#include "engine/ops.h"
+#include "storage/fault_injector.h"
+#include "util/rng.h"
+
+namespace redo::checker {
+namespace {
+
+using engine::MiniDb;
+using engine::SinglePageOp;
+using engine::SplitOp;
+using storage::Page;
+using storage::PageId;
+
+/// One journaled mutation: what a worker logged, keyed by the LSN the
+/// engine assigned it. A split journals two entries — the destination
+/// write at the split record's LSN and the source rewrite (an ordinary
+/// single-page op) at the rewrite record's LSN — matching what the log
+/// actually holds, so a crash between the two replays correctly.
+struct JournalEntry {
+  core::Lsn lsn = 0;
+  bool is_split_dst = false;
+  SinglePageOp op;
+  SplitOp split;
+};
+
+/// Shared run state: the journal and the acked-commit set, written by
+/// worker threads under a mutex, read only after every thread joined.
+struct RunState {
+  std::mutex mu;
+  std::vector<JournalEntry> journal;
+  std::vector<core::Lsn> acked;
+  std::string first_failure;  // empty = none
+
+  void Fail(const std::string& what) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (first_failure.empty()) first_failure = what;
+  }
+};
+
+void WorkerLoop(MiniDb& db, RunState& state,
+                const ConcurrentSimOptions& options, uint64_t seed,
+                size_t worker, std::atomic<size_t>& ops_applied,
+                std::atomic<size_t>& splits_applied,
+                std::atomic<size_t>& commits_acked,
+                std::atomic<size_t>& commits_refused) {
+  Rng rng(seed * 0x9e3779b9ULL + worker * 131 + 17);
+  MiniDb::Session session = db.NewSession();
+  size_t since_commit = 0;
+  for (size_t i = 0; i < options.ops_per_session; ++i) {
+    std::vector<JournalEntry> logged;
+    if (rng.Below(100) < options.split_percent && options.num_pages >= 2) {
+      SplitOp split;
+      split.src = static_cast<PageId>(rng.Below(options.num_pages));
+      split.dst = static_cast<PageId>(
+          (split.src + 1 + rng.Below(options.num_pages - 1)) %
+          options.num_pages);
+      if (rng.Below(2) == 0) {
+        split = engine::MakeSlotTransfer(
+            split.src, static_cast<uint32_t>(rng.Below(8)), split.dst,
+            static_cast<uint32_t>(rng.Below(8)));
+      }
+      Result<methods::RecoveryMethod::SplitLsns> lsns = session.Split(split);
+      if (!lsns.ok()) {
+        state.Fail("split failed: " + lsns.status().ToString());
+        return;
+      }
+      JournalEntry dst_entry;
+      dst_entry.lsn = lsns.value().split_lsn;
+      dst_entry.is_split_dst = true;
+      dst_entry.split = split;
+      JournalEntry rewrite_entry;
+      rewrite_entry.lsn = lsns.value().rewrite_lsn;
+      rewrite_entry.op = engine::MakeRewriteForSplit(split);
+      logged.push_back(dst_entry);
+      logged.push_back(rewrite_entry);
+      splits_applied.fetch_add(1);
+    } else {
+      SinglePageOp op =
+          rng.Below(100) < 3
+              ? engine::MakeBlindFormat(
+                    static_cast<PageId>(rng.Below(options.num_pages)),
+                    static_cast<int64_t>(rng.Below(1000)))
+              : engine::MakeSlotWrite(
+                    static_cast<PageId>(rng.Below(options.num_pages)),
+                    // Half the writes land in the upper slot half, so
+                    // kSlotHalf splits move live data, not just zeros.
+                    static_cast<uint32_t>(rng.Below(2) == 0
+                                              ? rng.Below(8)
+                                              : Page::NumSlots() / 2 +
+                                                    rng.Below(8)),
+                    static_cast<int64_t>(rng.Below(100000)));
+      Result<core::Lsn> lsn = session.Apply(op);
+      if (!lsn.ok()) {
+        state.Fail("op failed: " + lsn.status().ToString());
+        return;
+      }
+      JournalEntry entry;
+      entry.lsn = lsn.value();
+      entry.op = op;
+      logged.push_back(entry);
+    }
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      for (JournalEntry& e : logged) state.journal.push_back(std::move(e));
+    }
+    ops_applied.fetch_add(1);
+
+    ++since_commit;
+    if (since_commit >= options.commit_every ||
+        i + 1 == options.ops_per_session) {
+      since_commit = 0;
+      const core::Lsn commit_lsn = session.last_lsn();
+      Result<core::Lsn> acked = session.Commit();
+      if (acked.ok()) {
+        commits_acked.fetch_add(1);
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.acked.push_back(commit_lsn);
+      } else if (acked.status().code() == StatusCode::kUnavailable) {
+        // The pipeline froze: the crash boundary. This commit carries
+        // no durability promise; the worker's run is over.
+        commits_refused.fetch_add(1);
+        return;
+      } else {
+        state.Fail("commit failed: " + acked.status().ToString());
+        return;
+      }
+    }
+  }
+}
+
+/// Payload hash of every page's effective (cache-else-disk) state.
+/// Payload only: the LSN header is method-specific tagging the model
+/// replay does not reproduce.
+std::vector<uint64_t> EffectivePayloadHashes(MiniDb& db) {
+  std::vector<uint64_t> hashes;
+  for (PageId p = 0; p < db.num_pages(); ++p) {
+    const Page* cached = db.pool().PeekCached(p);
+    const Page& page = cached != nullptr ? *cached : db.disk().PeekPage(p);
+    hashes.push_back(HashBytes(page.payload()));
+  }
+  return hashes;
+}
+
+}  // namespace
+
+std::string ConcurrentSimResult::ToString() const {
+  std::ostringstream out;
+  out << (ok ? "OK" : "FAIL") << " cycles=" << cycles
+      << " ops=" << ops_applied << " splits=" << splits_applied
+      << " acked=" << commits_acked << " refused=" << commits_refused
+      << " lost_acked=" << lost_acked_commits
+      << " checkpoints=" << checkpoints_taken << " torn_tails=" << torn_tails
+      << " write_bursts=" << write_fault_bursts
+      << " group_commits=" << group_commits
+      << " group_batches=" << group_batches
+      << " pages_verified=" << pages_verified;
+  if (!ok) out << " failure=\"" << failure << "\"";
+  return out.str();
+}
+
+ConcurrentSimResult RunConcurrentCrashSim(methods::MethodKind method,
+                                          const ConcurrentSimOptions& options,
+                                          uint64_t seed) {
+  ConcurrentSimResult result;
+
+  engine::MiniDbOptions db_options;
+  db_options.num_pages = options.num_pages;
+  db_options.cache_capacity = 0;  // concurrent mode requires unbounded
+  db_options.engine.group_commit_window_us = options.group_commit_window_us;
+  db_options.engine.group_commit_ring = options.group_commit_ring;
+  db_options.engine.fuzzy_checkpoints = options.fuzzy_checkpoints;
+  MiniDb db(db_options,
+            methods::MakeMethod(method, {options.num_pages}));
+
+  storage::FaultInjectorOptions fault_options;
+  if (options.disk_write_faults) {
+    // Transient bursts only, strictly shorter than the pool's retry
+    // budget: the faults must be absorbed, never surfaced or corrupting.
+    fault_options.write_error_probability = 0.05;
+    fault_options.max_write_error_burst =
+        storage::BufferPool::kMaxFlushAttempts - 2;
+  }
+  storage::FaultInjector injector(fault_options, seed ^ 0xfau);
+  if (options.disk_write_faults) db.disk().set_fault_injector(&injector);
+
+  RunState state;
+  Rng sim_rng(seed);
+
+  for (size_t cycle = 0; cycle < options.cycles; ++cycle) {
+    Status begun = db.BeginConcurrent();
+    if (!begun.ok()) {
+      result.failure = "BeginConcurrent: " + begun.ToString();
+      return result;
+    }
+
+    std::atomic<size_t> ops_applied{0}, splits_applied{0};
+    std::atomic<size_t> commits_acked{0}, commits_refused{0};
+    std::atomic<size_t> checkpoints{0};
+
+    std::vector<std::thread> workers;
+    for (size_t w = 0; w < options.sessions; ++w) {
+      workers.emplace_back([&, w] {
+        WorkerLoop(db, state, options, seed + cycle * 7919, w, ops_applied,
+                   splits_applied, commits_acked, commits_refused);
+      });
+    }
+    std::thread checkpointer;
+    if (options.checkpoints_per_cycle > 0) {
+      checkpointer = std::thread([&] {
+        for (size_t i = 0; i < options.checkpoints_per_cycle; ++i) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          if (!db.Checkpoint().ok()) return;  // frozen mid-checkpoint
+          checkpoints.fetch_add(1);
+        }
+      });
+    }
+
+    // The crash boundary lands at an arbitrary moment of the run.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(200 + sim_rng.Below(3000)));
+    db.FreezeCommits();
+
+    for (std::thread& t : workers) t.join();
+    if (checkpointer.joinable()) checkpointer.join();
+    if (!state.first_failure.empty()) {
+      result.failure = state.first_failure;
+      return result;
+    }
+
+    result.ops_applied += ops_applied.load();
+    result.splits_applied += splits_applied.load();
+    result.commits_acked += commits_acked.load();
+    result.commits_refused += commits_refused.load();
+    result.checkpoints_taken += checkpoints.load();
+
+    // The crash, optionally tearing the in-flight force mid-record.
+    if (options.tear_log_tail) {
+      const size_t pending = db.log().PendingForceBytes();
+      if (pending > 0) {
+        db.log().TearInFlightForce(sim_rng.Below(pending + 1));
+        ++result.torn_tails;
+      }
+    }
+    db.Crash();
+    Status recovered = db.Recover();
+    if (!recovered.ok()) {
+      result.failure = "recover: " + recovered.ToString();
+      return result;
+    }
+
+    const core::Lsn stable = db.log().stable_lsn();
+
+    // Oracle 1: no acknowledged commit may be lost. An ack means the
+    // committer's force covered the LSN, so salvage must keep it.
+    for (core::Lsn lsn : state.acked) {
+      if (lsn > stable) ++result.lost_acked_commits;
+    }
+    if (result.lost_acked_commits > 0) {
+      result.failure =
+          "lost acked commits: stable_lsn " + std::to_string(stable) +
+          " below " + std::to_string(result.lost_acked_commits) +
+          " acknowledged commit LSN(s)";
+      return result;
+    }
+
+    // Oracle 2: the recovered state equals an LSN-ordered replay of the
+    // journaled operations whose records survived (lsn <= stable_lsn).
+    // The journal spans every cycle: state accumulates across crashes.
+    // Entries above the stable LSN died with the crash — prune them NOW,
+    // because the log reuses lost LSNs and next cycle's records would
+    // collide with the corpses. stable_sort: a logical split journals
+    // two entries at one LSN whose order (destination write, then
+    // source rewrite) must survive the sort.
+    std::vector<JournalEntry> survivors;
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      state.journal.erase(
+          std::remove_if(state.journal.begin(), state.journal.end(),
+                         [stable](const JournalEntry& e) {
+                           return e.lsn > stable;
+                         }),
+          state.journal.end());
+      survivors = state.journal;
+    }
+    std::stable_sort(survivors.begin(), survivors.end(),
+                     [](const JournalEntry& a, const JournalEntry& b) {
+                       return a.lsn < b.lsn;
+                     });
+    std::vector<Page> model(options.num_pages);
+    for (const JournalEntry& e : survivors) {
+      if (e.is_split_dst) {
+        const Page src_copy = model[e.split.src];
+        engine::ApplySplitToDst(e.split, src_copy, &model[e.split.dst]);
+      } else {
+        const Status applied =
+            engine::ApplySinglePageOp(e.op, &model[e.op.page]);
+        if (!applied.ok()) {
+          result.failure = "model replay: " + applied.ToString();
+          return result;
+        }
+      }
+    }
+    const std::vector<uint64_t> recovered_hashes = EffectivePayloadHashes(db);
+    for (PageId p = 0; p < options.num_pages; ++p) {
+      if (recovered_hashes[p] != HashBytes(model[p].payload())) {
+        const Page* cached = db.pool().PeekCached(p);
+        const Page& got = cached != nullptr ? *cached : db.disk().PeekPage(p);
+        std::string detail;
+        for (size_t slot = 0; slot < Page::NumSlots(); ++slot) {
+          if (got.ReadSlot(slot) != model[p].ReadSlot(slot)) {
+            detail = "; first diff slot " + std::to_string(slot) + ": got " +
+                     std::to_string(got.ReadSlot(slot)) + " want " +
+                     std::to_string(model[p].ReadSlot(slot));
+            break;
+          }
+        }
+        result.failure = "cycle " + std::to_string(cycle) + ": page " +
+                         std::to_string(p) +
+                         " diverges from the LSN-ordered model replay of " +
+                         std::to_string(survivors.size()) +
+                         " surviving records (stable_lsn " +
+                         std::to_string(stable) + ")" + detail;
+        return result;
+      }
+      ++result.pages_verified;
+    }
+    ++result.cycles;
+  }
+
+  result.group_commits = db.log().stats().group_commits;
+  result.group_batches = db.log().stats().group_batches;
+  db.disk().set_fault_injector(nullptr);
+  result.write_fault_bursts = injector.stats().write_bursts;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace redo::checker

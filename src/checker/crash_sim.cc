@@ -121,17 +121,17 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
     // fault schedule and the degradation ladder exercise.
     db_options.wal.segment_bytes = options.faults.log_segment_bytes;
   }
-  MiniDb db(db_options,
-            methods::MakeMethod(method_kind, options.workload.num_pages));
+  methods::MethodOptions method_options;
+  method_options.num_pages = options.workload.num_pages;
+  MiniDb db(db_options, methods::MakeMethod(method_kind, method_options));
 
   engine::TraceRecorder trace(db.disk());
-  db.set_trace(&trace);
 
   // Recovery timeline + per-cycle metric deltas. The timeline restarts
   // each cycle, so a failure hands back exactly the failing cycle's
   // events; the metrics baseline restarts with it.
   obs::RecoveryTracer tracer(&db.metrics());
-  db.set_recovery_tracer(&tracer);
+  db.Attach(engine::Instrumentation{&trace, &tracer});
   obs::Snapshot cycle_start = db.metrics().TakeSnapshot();
 
   auto finalize_observability = [&] {
@@ -556,12 +556,15 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
         // stays singly registered) so oracle runs don't pollute the
         // cycle timeline; options are restored to serial afterwards.
         obs::RecoveryTracer scratch;
-        obs::RecoveryTracer* main_tracer = db.recovery_tracer();
-        db.set_recovery_tracer(&scratch);
-        db.set_recovery_options(methods::RecoveryOptions{workers});
+        const engine::Instrumentation main_instr = db.instrumentation();
+        const engine::EngineOptions main_options = db.engine_options();
+        db.Attach(engine::Instrumentation{main_instr.trace, &scratch});
+        engine::EngineOptions oracle_options = main_options;
+        oracle_options.parallel_workers = workers;
+        db.set_engine_options(oracle_options);
         fp.status = db.Recover();
-        db.set_recovery_options(methods::RecoveryOptions{});
-        db.set_recovery_tracer(main_tracer);
+        db.set_engine_options(main_options);
+        db.Attach(main_instr);
         if (fp.status.ok()) {
           for (PageId p = 0; p < db.num_pages(); ++p) {
             const Page* cached = db.pool().PeekCached(p);
@@ -701,7 +704,7 @@ CrashSimResult RunCrashSim(methods::MethodKind method_kind,
   result.segments_sealed = db.log().stats().segments_sealed;
   result.segments_truncated = db.log().stats().segments_truncated;
   finalize_observability();
-  db.set_recovery_tracer(nullptr);
+  db.Attach(engine::Instrumentation{db.trace(), nullptr});
   result.ok = true;
   return result;
 }

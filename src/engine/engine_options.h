@@ -1,0 +1,72 @@
+// Engine-wide execution policy and instrumentation attachments.
+//
+// EngineOptions gathers the knobs that decide *how* the engine executes
+// — never *what* state it recovers. Every recovery method produces the
+// same post-crash state at any setting; these options only move work
+// between threads (parallel redo workers, the group-commit pipeline) or
+// between moments (fuzzy vs quiescing checkpoints). Keeping them in one
+// struct, owned by the engine rather than by methods/, means a new knob
+// is one field here instead of a setter per layer.
+
+#ifndef REDO_ENGINE_ENGINE_OPTIONS_H_
+#define REDO_ENGINE_ENGINE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace redo::obs {
+class RecoveryTracer;
+}  // namespace redo::obs
+
+namespace redo::engine {
+
+class TraceRecorder;
+
+/// Execution knobs for the engine: recovery parallelism plus the
+/// concurrent front end's commit and checkpoint policy.
+struct EngineOptions {
+  /// Redo worker threads. <= 1 replays serially, in exact log order
+  /// (the default; golden byte-identical timelines rely on it). > 1
+  /// partitions pages across workers (src/redo) and replays each
+  /// write-graph chain concurrently.
+  size_t parallel_workers = 1;
+
+  /// Group commit (concurrent mode only): how long the committer thread
+  /// waits for more commit requests before forcing the batch it has.
+  /// Larger windows amortize one force over more commits at the price
+  /// of commit latency.
+  uint64_t group_commit_window_us = 100;
+
+  /// Group commit: capacity of the bounded staging ring between
+  /// appenders and the committer. A full ring blocks appenders
+  /// (backpressure) until the committer drains it.
+  size_t group_commit_ring = 256;
+
+  /// Simulated latency of one stable-log force, charged by the log
+  /// manager per force while group commit is active. 0 (the default)
+  /// adds no delay; benchmarks set it to model a device fsync so
+  /// group-commit batching is visible in wall-clock throughput.
+  uint64_t simulated_force_latency_us = 0;
+
+  /// Concurrent mode: take checkpoints fuzzily when the method supports
+  /// it (the LSN-tag methods) — snapshot the dirty-page table and
+  /// append the checkpoint record under a brief writer barrier, then
+  /// make it durable through the group-commit pipeline without ever
+  /// quiescing writers for the force. Methods without fuzzy support
+  /// (redo-all methods, whose checkpoints must flush) fall back to
+  /// their quiescing checkpoint under the barrier.
+  bool fuzzy_checkpoints = false;
+};
+
+/// Observers a caller may attach to a MiniDb (see MiniDb::Attach). All
+/// pointers are optional and non-owning.
+struct Instrumentation {
+  /// Records page reads/writes of logged operations for the checker.
+  TraceRecorder* trace = nullptr;
+  /// Records the per-phase recovery timeline.
+  obs::RecoveryTracer* recovery_tracer = nullptr;
+};
+
+}  // namespace redo::engine
+
+#endif  // REDO_ENGINE_ENGINE_OPTIONS_H_

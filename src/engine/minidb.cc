@@ -2,14 +2,35 @@
 
 namespace redo::engine {
 
+Status MiniDbOptions::Validate() const {
+  if (num_pages == 0) {
+    return Status::InvalidArgument("minidb options: num_pages must be > 0");
+  }
+  if (cache_capacity == 1) {
+    return Status::InvalidArgument(
+        "minidb options: cache_capacity must be 0 (unbounded) or >= 2 — "
+        "split redo needs two pages cached at once");
+  }
+  if (engine.parallel_workers == 0) {
+    return Status::InvalidArgument(
+        "minidb options: parallel_workers must be >= 1");
+  }
+  if (engine.group_commit_ring == 0) {
+    return Status::InvalidArgument(
+        "minidb options: group_commit_ring must be >= 1");
+  }
+  return Status::Ok();
+}
+
 MiniDb::MiniDb(const MiniDbOptions& options,
                std::unique_ptr<methods::RecoveryMethod> method)
     : disk_(options.num_pages),
       pool_(&disk_, options.cache_capacity),
       log_(options.wal),
-      method_(std::move(method)) {
-  REDO_CHECK(options.cache_capacity == 0 || options.cache_capacity >= 2)
-      << "split redo needs two pages cached at once";
+      method_(std::move(method)),
+      engine_options_(options.engine) {
+  const Status valid = options.Validate();
+  REDO_CHECK(valid.ok()) << valid.ToString();
   REDO_CHECK(method_ != nullptr);
   REDO_CHECK(method_->allows_background_flush() || options.cache_capacity == 0)
       << method_->name()
@@ -64,36 +85,177 @@ Result<storage::Page*> MiniDb::FetchPage(storage::PageId page) {
   return pool_.Fetch(page);
 }
 
+// ---- The concurrent front end ----
+
+Status MiniDb::BeginConcurrent() {
+  if (concurrent_.load()) {
+    return Status::FailedPrecondition("already in concurrent mode");
+  }
+  if (pool_.capacity() != 0) {
+    return Status::FailedPrecondition(
+        "concurrent mode requires an unbounded cache (capacity 0): "
+        "eviction must never run under sessions' feet");
+  }
+  if (instr_.trace != nullptr) {
+    return Status::FailedPrecondition(
+        "detach the trace recorder before BeginConcurrent — operation "
+        "tracing is serial-only");
+  }
+  wal::GroupCommitOptions gc;
+  gc.ring_capacity = engine_options_.group_commit_ring;
+  gc.window_us = engine_options_.group_commit_window_us;
+  gc.force_latency_us = engine_options_.simulated_force_latency_us;
+  REDO_RETURN_IF_ERROR(log_.StartGroupCommit(gc));
+  concurrent_.store(true);
+  return Status::Ok();
+}
+
+Status MiniDb::EndConcurrent() {
+  if (!concurrent_.load()) {
+    return Status::FailedPrecondition("not in concurrent mode");
+  }
+  concurrent_.store(false);
+  return log_.StopGroupCommit();
+}
+
+void MiniDb::FreezeCommits() { log_.FreezeGroupCommit(); }
+
+Result<core::Lsn> MiniDb::Session::WriteSlot(storage::PageId page,
+                                             uint32_t slot, int64_t value) {
+  return Apply(MakeSlotWrite(page, slot, value));
+}
+
+Result<core::Lsn> MiniDb::Session::Apply(const SinglePageOp& op) {
+  Result<core::Lsn> lsn = db_->SessionApply(op);
+  if (lsn.ok()) last_lsn_ = lsn.value();
+  return lsn;
+}
+
+Result<methods::RecoveryMethod::SplitLsns> MiniDb::Session::Split(
+    const SplitOp& op) {
+  Result<methods::RecoveryMethod::SplitLsns> lsns = db_->SessionSplit(op);
+  if (lsns.ok()) last_lsn_ = lsns.value().rewrite_lsn;
+  return lsns;
+}
+
+Result<int64_t> MiniDb::Session::ReadSlot(storage::PageId page,
+                                          uint32_t slot) {
+  return db_->SessionReadSlot(page, slot);
+}
+
+Result<core::Lsn> MiniDb::Session::Commit(core::Lsn lsn) {
+  return db_->log().CommitWait(lsn != 0 ? lsn : last_lsn_);
+}
+
+Result<core::Lsn> MiniDb::SessionApply(const SinglePageOp& op) {
+  std::shared_lock<std::shared_mutex> gate(op_gate_);
+  storage::PageLatchGuard latch = pool_.LatchPage(op.page);
+  methods::EngineContext context = ctx();
+  return method_->LogAndApply(context, op);
+}
+
+Result<methods::RecoveryMethod::SplitLsns> MiniDb::SessionSplit(
+    const SplitOp& op) {
+  if (op.src == op.dst) {
+    return Status::InvalidArgument("split: src and dst must differ");
+  }
+  // Structure modification: the gate goes exclusive (the SMO barrier —
+  // a split's write-order side effects can cascade flushes onto pages
+  // beyond src/dst, which no latch pair covers), then the split
+  // latch-couples src -> dst. See DESIGN.md §10.
+  std::unique_lock<std::shared_mutex> gate(op_gate_);
+  auto latches = pool_.LatchCouple(op.src, op.dst);
+  methods::EngineContext context = ctx();
+  return method_->LogAndApplySplit(context, op);
+}
+
+Result<int64_t> MiniDb::SessionReadSlot(storage::PageId page, uint32_t slot) {
+  std::shared_lock<std::shared_mutex> gate(op_gate_);
+  storage::PageLatchGuard latch = pool_.LatchPage(page);
+  Result<storage::Page*> cached = pool_.Fetch(page);
+  if (!cached.ok()) return cached.status();
+  if (slot >= storage::Page::NumSlots()) {
+    return Status::InvalidArgument("slot out of range");
+  }
+  return cached.value()->ReadSlot(slot);
+}
+
+Result<core::Lsn> MiniDb::FuzzyCheckpoint() {
+  if (!method_->supports_fuzzy_checkpoint()) {
+    return Status::FailedPrecondition(
+        std::string(method_->name()) + " cannot checkpoint fuzzily");
+  }
+  // The barrier covers ONLY the dirty-page snapshot and the checkpoint
+  // append — writers stall for microseconds, never for a flush or a
+  // force. Atomicity is what makes the redo point safe: every record
+  // below the checkpoint's LSN is fully applied and registered in the
+  // DPT (or its page already flushed with a covering page LSN), so
+  // min(rec_lsn) bounds everything recovery could need to replay.
+  std::unique_lock<std::shared_mutex> gate(op_gate_);
+  methods::EngineContext context = ctx();
+  return method_->FuzzyCheckpoint(context);
+}
+
+// ---- Lifecycle ----
+
 Status MiniDb::Checkpoint() {
+  if (concurrent_.load()) {
+    if (engine_options_.fuzzy_checkpoints &&
+        method_->supports_fuzzy_checkpoint()) {
+      Result<core::Lsn> lsn = FuzzyCheckpoint();
+      if (!lsn.ok()) return lsn.status();
+      // The record exists once the pipeline forces past it. A freeze
+      // before that is fine — the checkpoint simply never happened.
+      Result<core::Lsn> durable = log_.CommitWait(lsn.value());
+      return durable.ok() ? Status::Ok() : durable.status();
+    }
+    std::unique_lock<std::shared_mutex> gate(op_gate_);
+    methods::EngineContext context = ctx();
+    return method_->Checkpoint(context);
+  }
   methods::EngineContext context = ctx();
   return method_->Checkpoint(context);
 }
 
 Status MiniDb::MaybeFlushPage(storage::PageId page) {
   if (!method_->allows_background_flush()) return Status::Ok();
+  if (concurrent_.load()) {
+    std::unique_lock<std::shared_mutex> gate(op_gate_);
+    return pool_.FlushPageCascading(page);
+  }
   return pool_.FlushPageCascading(page);
 }
 
 Status MiniDb::FlushEverything() {
   if (!method_->allows_background_flush()) return Status::Ok();
+  if (concurrent_.load()) {
+    std::unique_lock<std::shared_mutex> gate(op_gate_);
+    return pool_.FlushAll();
+  }
   return pool_.FlushAll();
 }
 
 void MiniDb::Crash() {
+  // The crash ends concurrent mode: log_.Crash() freezes and joins the
+  // committer, and recovery runs serially. Session worker threads must
+  // already be joined (their handles die with them).
+  concurrent_.store(false);
   pool_.Crash();
   log_.Crash();
 }
 
 Status MiniDb::Recover() {
-  if (tracer_ != nullptr) tracer_->BeginRun(method_->name());
+  if (recovery_tracer() != nullptr) recovery_tracer()->BeginRun(method_->name());
   const Status status = RecoverInternal();
-  if (tracer_ != nullptr) {
-    tracer_->EndRun(status.ok(), status.ok() ? "ok" : status.ToString());
+  if (recovery_tracer() != nullptr) {
+    recovery_tracer()->EndRun(status.ok(),
+                              status.ok() ? "ok" : status.ToString());
   }
   return status;
 }
 
 Status MiniDb::RecoverInternal() {
+  obs::RecoveryTracer* tracer = recovery_tracer();
   // First salvage the stable log: a crash mid-force may have left a torn
   // tail, and every recovery method's log scan must see a clean prefix.
   // Truncating unacknowledged bytes is always safe — the WAL rule means
@@ -101,11 +263,11 @@ Status MiniDb::RecoverInternal() {
   // (Skipped for a recovery rehearsal on a live db with unforced
   // appends; nothing can be torn while the process is still up.)
   if (log_.PendingForceBytes() == 0) {
-    obs::PhaseScope phase(tracer_, "salvage");
+    obs::PhaseScope phase(tracer, "salvage");
     const wal::SalvageResult salvage = log_.SalvageTornTail();
-    if (tracer_ != nullptr) {
-      tracer_->Salvage(salvage.torn, salvage.dropped_bytes,
-                       salvage.salvaged_records, salvage.stable_lsn_after);
+    if (tracer != nullptr) {
+      tracer->Salvage(salvage.torn, salvage.dropped_bytes,
+                      salvage.salvaged_records, salvage.stable_lsn_after);
     }
   }
   // Refuse to recover across a hole in the sealed log body: redo
@@ -114,9 +276,9 @@ Status MiniDb::RecoverInternal() {
   // degradation ladder (engine/degraded_recovery.h) is the sanctioned
   // way past this refusal.
   if (const core::Lsn hole = log_.FirstHoleLsn(); hole != 0) {
-    if (tracer_ != nullptr) {
-      tracer_->Note("refusing to recover past a log hole at LSN " +
-                    std::to_string(hole));
+    if (tracer != nullptr) {
+      tracer->Note("refusing to recover past a log hole at LSN " +
+                   std::to_string(hole));
     }
     return Status::Corruption(
         "stable log has an unreadable segment (first unreadable LSN " +

@@ -6,12 +6,25 @@
 // checkpointing, and the crash/recover cycle. All state transitions flow
 // through the recovery method so each §6 technique controls its own
 // logging, checkpoint, and redo behavior.
+//
+// Two front ends share the engine:
+//  - The serial API (WriteSlot/Apply/Split/... on MiniDb itself): one
+//    caller at a time, exactly the PR-1..4 behavior, used by recovery,
+//    the checker oracles, and every serial workload.
+//  - The concurrent front end (DESIGN.md §10): BeginConcurrent() starts
+//    the group-commit pipeline; NewSession() hands out Session handles
+//    that many worker threads drive concurrently. Session operations
+//    take the op gate shared and the target page's latch; structure
+//    modifications (splits) and checkpoints take the gate exclusive.
 
 #ifndef REDO_ENGINE_MINIDB_H_
 #define REDO_ENGINE_MINIDB_H_
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 
+#include "engine/engine_options.h"
 #include "engine/ops.h"
 #include "engine/trace.h"
 #include "methods/method.h"
@@ -28,11 +41,21 @@ struct MiniDbOptions {
   size_t num_pages = 64;
   /// Buffer pool capacity in pages; 0 = unbounded. Must be 0 or >= 2
   /// (split redo touches two pages at once). Methods that forbid
-  /// background flushes (logical) require 0.
+  /// background flushes (logical) require 0; so does the concurrent
+  /// front end (no eviction may run under sessions' feet).
   size_t cache_capacity = 0;
   /// Stable-log segmentation/redundancy (defaults: one unbounded,
   /// mirrored active segment — the PR-1 behavior).
   wal::LogManagerOptions wal;
+  /// Execution knobs: parallel redo workers, the group-commit pipeline,
+  /// fuzzy checkpoints. Adjustable later via set_engine_options().
+  EngineOptions engine;
+
+  /// Validates the options, returning InvalidArgument with a diagnosis
+  /// instead of crashing. The MiniDb constructor still aborts on
+  /// invalid options (programming error); callers assembling options
+  /// from user input should Validate() first and surface the Status.
+  Status Validate() const;
 };
 
 class MiniDb {
@@ -65,15 +88,23 @@ class MiniDb {
 
   // ---- Lifecycle ----
 
-  /// Method-specific checkpoint.
+  /// Method-specific checkpoint. In concurrent mode with
+  /// engine().fuzzy_checkpoints set and a method that supports it, this
+  /// takes the fuzzy path: a brief exclusive barrier covers only the
+  /// dirty-page snapshot and the checkpoint append; the force rides the
+  /// group-commit pipeline. Otherwise the classic (quiescing, forcing)
+  /// checkpoint runs under the exclusive gate.
   Status Checkpoint();
 
   /// Background cache-manager activity: flush one page / all pages
-  /// (no-ops for methods that forbid background flushes).
+  /// (no-ops for methods that forbid background flushes). In concurrent
+  /// mode these take the gate exclusive.
   Status MaybeFlushPage(storage::PageId page);
   Status FlushEverything();
 
-  /// The crash: volatile state (cache, unforced log tail) vanishes.
+  /// The crash: volatile state (cache, unforced log tail) vanishes. A
+  /// running group-commit pipeline is frozen and joined; concurrent
+  /// mode ends. Session worker threads must be joined first.
   void Crash();
 
   /// Post-crash recovery via the method. With a tracer attached, the
@@ -81,6 +112,63 @@ class MiniDb {
   /// one timeline; nested calls from the degradation ladder join the
   /// enclosing run.
   Status Recover();
+
+  // ---- The concurrent front end ----
+
+  /// A handle for one worker thread. Many sessions drive the same
+  /// MiniDb concurrently between BeginConcurrent and Crash/
+  /// EndConcurrent. Each operation latches its page(s); Commit blocks
+  /// until the group-commit pipeline has made the operation durable.
+  /// A Session is NOT itself thread-safe — one thread per handle.
+  class Session {
+   public:
+    Result<core::Lsn> WriteSlot(storage::PageId page, uint32_t slot,
+                                int64_t value);
+    Result<core::Lsn> Apply(const SinglePageOp& op);
+    Result<methods::RecoveryMethod::SplitLsns> Split(const SplitOp& op);
+    Result<int64_t> ReadSlot(storage::PageId page, uint32_t slot);
+
+    /// Blocks until every record up to `lsn` (0 = this session's last
+    /// operation) is stable. Returns the stable LSN at acknowledgment,
+    /// or kUnavailable if the pipeline froze first — the commit is NOT
+    /// durable and must not be acknowledged to any client.
+    Result<core::Lsn> Commit(core::Lsn lsn = 0);
+
+    /// LSN of this session's last logged operation (0 if none).
+    core::Lsn last_lsn() const { return last_lsn_; }
+
+   private:
+    friend class MiniDb;
+    explicit Session(MiniDb* db) : db_(db) {}
+    MiniDb* db_;
+    core::Lsn last_lsn_ = 0;
+  };
+
+  /// Enters concurrent mode: validates the configuration (unbounded
+  /// cache; no trace recorder — operation tracing is serial-only) and
+  /// starts the group-commit pipeline with the engine options' knobs.
+  Status BeginConcurrent();
+
+  /// Leaves concurrent mode cleanly: drains the pipeline (everything
+  /// appended is forced and acknowledged) and stops the committer.
+  Status EndConcurrent();
+
+  /// The crash boundary for simulators: freezes the group-commit
+  /// pipeline mid-flight. Unacknowledged Session::Commit calls fail
+  /// with kUnavailable; call Crash() afterwards as a real crash would.
+  void FreezeCommits();
+
+  /// A new session handle. Valid until Crash/EndConcurrent.
+  Session NewSession() { return Session(this); }
+
+  bool concurrent() const { return concurrent_.load(); }
+
+  /// Appends (but does not force) a fuzzy checkpoint under a brief
+  /// exclusive barrier; returns its LSN. The record becomes real when
+  /// the pipeline forces past it — use Session::Commit(lsn) or
+  /// CommitWait to wait. FailedPrecondition if the method cannot
+  /// checkpoint fuzzily.
+  Result<core::Lsn> FuzzyCheckpoint();
 
   // ---- Introspection ----
 
@@ -93,10 +181,28 @@ class MiniDb {
   const methods::RecoveryMethod& method() const { return *method_; }
   size_t num_pages() const { return disk_.num_pages(); }
 
-  /// Attaches a trace recorder (owned by the caller); pass nullptr to
-  /// detach.
-  void set_trace(TraceRecorder* trace) { trace_ = trace; }
-  TraceRecorder* trace() { return trace_; }
+  /// Attaches instrumentation (trace recorder and/or recovery tracer).
+  /// Replaces whatever was attached before — attach is wholesale, so
+  /// Attach({}) detaches everything. Lifetime rules: the pointed-to
+  /// objects are owned by the caller and must outlive the MiniDb or be
+  /// detached first; attach/detach only while the engine is quiesced
+  /// (no session threads running, no recovery in flight). A trace
+  /// recorder must be detached before BeginConcurrent().
+  void Attach(const Instrumentation& instrumentation) {
+    instr_ = instrumentation;
+  }
+  const Instrumentation& instrumentation() const { return instr_; }
+  TraceRecorder* trace() { return instr_.trace; }
+  obs::RecoveryTracer* recovery_tracer() { return instr_.recovery_tracer; }
+
+  /// Execution knobs (parallel redo workers, group-commit window,
+  /// fuzzy checkpoints). Adjust only while quiesced; group-commit
+  /// changes take effect at the next BeginConcurrent, redo changes at
+  /// the next Recover.
+  void set_engine_options(const EngineOptions& options) {
+    engine_options_ = options;
+  }
+  const EngineOptions& engine_options() const { return engine_options_; }
 
   /// The unified metrics registry. The disk ("disk", "disk_faults"),
   /// buffer pool ("pool"), and log manager ("wal") register themselves
@@ -104,44 +210,44 @@ class MiniDb {
   /// log fault injectors, the recovery tracer).
   obs::MetricsRegistry& metrics() { return metrics_; }
 
-  /// Attaches a recovery tracer (owned by the caller); Recover() then
-  /// records a per-phase event timeline. Pass nullptr to detach.
-  void set_recovery_tracer(obs::RecoveryTracer* tracer) { tracer_ = tracer; }
-  obs::RecoveryTracer* recovery_tracer() { return tracer_; }
-
-  /// How recovery executes (e.g. parallel redo workers). Takes effect
-  /// on the next Recover(); the default (serial) replays in exact log
-  /// order.
-  void set_recovery_options(const methods::RecoveryOptions& options) {
-    recovery_options_ = options;
-  }
-  const methods::RecoveryOptions& recovery_options() const {
-    return recovery_options_;
-  }
-
   /// Parallel-redo counters (registered as the "redo.parallel" source).
   const par::ParallelRedoMetrics& parallel_redo_metrics() const {
     return parallel_metrics_;
   }
 
+  /// The one place an EngineContext is assembled.
   methods::EngineContext ctx() {
-    return methods::EngineContext{&disk_,  &pool_,           &log_,
-                                  trace_,  tracer_,          recovery_options_,
+    return methods::EngineContext{&disk_,
+                                  &pool_,
+                                  &log_,
+                                  instr_.trace,
+                                  instr_.recovery_tracer,
+                                  engine_options_,
                                   &parallel_metrics_};
   }
 
  private:
   Status RecoverInternal();
 
+  Result<core::Lsn> SessionApply(const SinglePageOp& op);
+  Result<methods::RecoveryMethod::SplitLsns> SessionSplit(const SplitOp& op);
+  Result<int64_t> SessionReadSlot(storage::PageId page, uint32_t slot);
+
   obs::MetricsRegistry metrics_;  ///< destroyed last: sources deregister into it
   storage::Disk disk_;
   storage::BufferPool pool_;
   wal::LogManager log_;
   std::unique_ptr<methods::RecoveryMethod> method_;
-  TraceRecorder* trace_ = nullptr;
-  obs::RecoveryTracer* tracer_ = nullptr;
-  methods::RecoveryOptions recovery_options_;
+  Instrumentation instr_;
+  EngineOptions engine_options_;
   par::ParallelRedoMetrics parallel_metrics_;
+
+  /// The op gate (DESIGN.md §10). Shared: single-page session ops and
+  /// reads (which then latch their page). Exclusive: splits (the SMO
+  /// barrier), checkpoints, and background flushes — anything whose
+  /// page footprint is not captured by one latch.
+  std::shared_mutex op_gate_;
+  std::atomic<bool> concurrent_{false};
 };
 
 }  // namespace redo::engine

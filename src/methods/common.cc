@@ -11,18 +11,31 @@ Result<core::Lsn> RecoveryMethod::RedoScanStart(const EngineContext& ctx) const 
   return internal_methods::ReadRedoScanStart(ctx);
 }
 
+Result<core::Lsn> RecoveryMethod::FuzzyCheckpoint(EngineContext& ctx) {
+  (void)ctx;
+  return Status::FailedPrecondition(std::string(name()) +
+                                    " cannot checkpoint fuzzily");
+}
+
 namespace internal_methods {
 
-Status WriteCheckpointRecord(EngineContext& ctx, core::Lsn redo_start) {
+Result<core::Lsn> AppendCheckpointRecord(EngineContext& ctx,
+                                         core::Lsn redo_start) {
   // The checkpoint record consumes the next LSN itself; "nothing needs
-  // redo" must therefore point one past the record, not at it.
-  const core::Lsn record_lsn = ctx.log->last_lsn() + 1;
-  if (redo_start >= record_lsn) redo_start = record_lsn + 1;
-  wal::PayloadWriter w;
-  w.U64(redo_start);
-  const core::Lsn assigned =
-      ctx.log->Append(wal::RecordType::kCheckpoint, w.Take());
-  REDO_CHECK_EQ(assigned, record_lsn);
+  // redo" must therefore point one past the record, not at it. The
+  // payload is encoded under the log mutex so the comparison against the
+  // record's own LSN holds even with concurrent appenders.
+  return ctx.log->AppendWithLsn(
+      wal::RecordType::kCheckpoint, [&](core::Lsn record_lsn) {
+        wal::PayloadWriter w;
+        w.U64(redo_start >= record_lsn ? record_lsn + 1 : redo_start);
+        return w.Take();
+      });
+}
+
+Status WriteCheckpointRecord(EngineContext& ctx, core::Lsn redo_start) {
+  Result<core::Lsn> appended = AppendCheckpointRecord(ctx, redo_start);
+  if (!appended.ok()) return appended.status();
   return ctx.log->ForceAll();
 }
 
@@ -232,7 +245,7 @@ Status ParallelLsnApply(EngineContext& ctx,
       par::BuildRedoPlan(std::move(records), /*whole_splits=*/false);
   if (!plan.ok()) return plan.status();
   par::ParallelRedoOptions options;
-  options.workers = ctx.recovery.parallel_workers;
+  options.workers = ctx.options.parallel_workers;
   options.mode = par::ParallelRedoOptions::Mode::kLsnTest;
   options.dpt = dpt;
   // The LSN test reads every touched page's on-disk LSN, so no first
@@ -287,7 +300,7 @@ Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
   // totals from the sum — instead of having rung 0 zeroed away.
   RecoveryMethod::RedoScanStats local;
   const Status status =
-      ctx.recovery.parallel_workers > 1
+      ctx.options.parallel_workers > 1
           ? ParallelLsnApply(ctx, std::move(records.value()),
                              add_split_constraints, dpt, local)
           : SerialLsnApply(ctx, records.value(), add_split_constraints, dpt,
@@ -308,7 +321,7 @@ Status ParallelRedoAll(EngineContext& ctx, std::vector<wal::LogRecord> records,
       par::BuildRedoPlan(std::move(records), whole_splits);
   if (!plan.ok()) return plan.status();
   par::ParallelRedoOptions options;
-  options.workers = ctx.recovery.parallel_workers;
+  options.workers = ctx.options.parallel_workers;
   options.mode = par::ParallelRedoOptions::Mode::kRedoAll;
   const par::ParallelRedoReport report = par::RunParallelRedo(
       ctx.pool, plan.value(), options, ctx.parallel_metrics);
@@ -326,21 +339,65 @@ Status ParallelRedoAll(EngineContext& ctx, std::vector<wal::LogRecord> records,
   return ctx.pool->ReduceToCapacity();
 }
 
-Status WriteCheckpointRecordWithDpt(EngineContext& ctx, core::Lsn redo_start) {
-  const core::Lsn record_lsn = ctx.log->last_lsn() + 1;
-  if (redo_start >= record_lsn) redo_start = record_lsn + 1;
-  wal::PayloadWriter w;
-  w.U64(redo_start);
+Result<core::Lsn> AppendCheckpointRecordWithDpt(EngineContext& ctx,
+                                                core::Lsn redo_start) {
+  // Snapshot the DPT before taking the log mutex (DirtyPages locks the
+  // pool); the caller's barrier keeps it consistent with redo_start.
   const std::vector<storage::DirtyPageEntry> dirty = ctx.pool->DirtyPages();
-  w.U32(static_cast<uint32_t>(dirty.size()));
-  for (const storage::DirtyPageEntry& entry : dirty) {
-    w.U32(entry.page);
-    w.U64(entry.rec_lsn);
-  }
-  const core::Lsn assigned =
-      ctx.log->Append(wal::RecordType::kCheckpoint, w.Take());
-  REDO_CHECK_EQ(assigned, record_lsn);
+  return ctx.log->AppendWithLsn(
+      wal::RecordType::kCheckpoint, [&](core::Lsn record_lsn) {
+        wal::PayloadWriter w;
+        w.U64(redo_start >= record_lsn ? record_lsn + 1 : redo_start);
+        w.U32(static_cast<uint32_t>(dirty.size()));
+        for (const storage::DirtyPageEntry& entry : dirty) {
+          w.U32(entry.page);
+          w.U64(entry.rec_lsn);
+        }
+        return w.Take();
+      });
+}
+
+Status WriteCheckpointRecordWithDpt(EngineContext& ctx, core::Lsn redo_start) {
+  Result<core::Lsn> appended = AppendCheckpointRecordWithDpt(ctx, redo_start);
+  if (!appended.ok()) return appended.status();
   return ctx.log->ForceAll();
+}
+
+Result<core::Lsn> WriteCheckpointRecordWithStagedPages(
+    EngineContext& ctx, core::Lsn redo_start,
+    const std::vector<storage::PageId>& pages) {
+  Result<core::Lsn> appended = ctx.log->AppendWithLsn(
+      wal::RecordType::kCheckpoint, [&](core::Lsn record_lsn) {
+        wal::PayloadWriter w;
+        w.U64(redo_start >= record_lsn ? record_lsn + 1 : redo_start);
+        w.U32(static_cast<uint32_t>(pages.size()));
+        for (storage::PageId page : pages) w.U32(page);
+        return w.Take();
+      });
+  if (!appended.ok()) return appended.status();
+  REDO_RETURN_IF_ERROR(ctx.log->ForceAll());
+  return appended.value();
+}
+
+Result<StagedCheckpoint> ReadCheckpointStagedPages(const EngineContext& ctx) {
+  StagedCheckpoint staged;
+  Result<std::optional<wal::LogRecord>> checkpoint =
+      ctx.log->LatestStableCheckpoint();
+  if (!checkpoint.ok()) return checkpoint.status();
+  if (!checkpoint.value().has_value()) return staged;
+  wal::PayloadReader r(checkpoint.value()->payload);
+  Result<uint64_t> redo_start = r.U64();
+  if (!redo_start.ok()) return redo_start.status();
+  if (r.AtEnd()) return staged;  // a checkpoint without a staged list
+  Result<uint32_t> count = r.U32();
+  if (!count.ok()) return count.status();
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    Result<uint32_t> page = r.U32();
+    if (!page.ok()) return page.status();
+    staged.pages.push_back(page.value());
+  }
+  staged.record_lsn = checkpoint.value()->lsn;
+  return staged;
 }
 
 Result<std::map<storage::PageId, core::Lsn>> ReadCheckpointDpt(

@@ -12,9 +12,25 @@
 namespace redo::methods {
 namespace internal_methods {
 
+// Per-method constructors, reachable only through MakeMethod (the
+// public factory in generalized.cc). `num_pages` sizes the logical
+// method's staging area; `aries_analysis` enables the physiological
+// method's §4.3 analysis pass.
+std::unique_ptr<RecoveryMethod> MakeLogical(size_t num_pages);
+std::unique_ptr<RecoveryMethod> MakePhysical();
+std::unique_ptr<RecoveryMethod> MakePhysiological(bool aries_analysis);
+std::unique_ptr<RecoveryMethod> MakeGeneralized();
+std::unique_ptr<RecoveryMethod> MakePhysicalPartial();
+
 /// Appends a checkpoint record carrying the redo-scan start LSN and
 /// forces the whole log.
 Status WriteCheckpointRecord(EngineContext& ctx, core::Lsn redo_start);
+
+/// The append half of WriteCheckpointRecord, without the force: used by
+/// fuzzy checkpoints, whose record becomes durable later through the
+/// group-commit pipeline. Returns the record's LSN.
+Result<core::Lsn> AppendCheckpointRecord(EngineContext& ctx,
+                                         core::Lsn redo_start);
 
 /// Decodes the redo-scan start from the latest stable checkpoint record
 /// (1 if there is none).
@@ -61,7 +77,7 @@ Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
                    RecoveryMethod::RedoScanStats* stats = nullptr);
 
 /// Parallel redo-all apply (§6.1/§6.2 methods) over the already-read
-/// stable records, used when ctx.recovery.parallel_workers > 1:
+/// stable records, used when ctx.options.parallel_workers > 1:
 /// partitions pages across workers (src/redo), replays every record,
 /// emits the merged verdicts in LSN order, and re-enforces the pool's
 /// capacity. `whole_splits` selects the logical method's one-record
@@ -77,10 +93,37 @@ Status ParallelRedoAll(EngineContext& ctx, std::vector<wal::LogRecord> records,
 /// the log.
 Status WriteCheckpointRecordWithDpt(EngineContext& ctx, core::Lsn redo_start);
 
+/// The append half of WriteCheckpointRecordWithDpt, without the force
+/// (fuzzy analysis checkpoints). Returns the record's LSN.
+Result<core::Lsn> AppendCheckpointRecordWithDpt(EngineContext& ctx,
+                                                core::Lsn redo_start);
+
 /// Decodes the DPT stored in the latest stable checkpoint (empty if no
 /// checkpoint or a checkpoint without a DPT).
 Result<std::map<storage::PageId, core::Lsn>> ReadCheckpointDpt(
     const EngineContext& ctx);
+
+/// Appends a checkpoint record carrying the redo-scan start AND the
+/// list of pages the checkpoint staged (System R pointer swing), then
+/// forces the log. Forcing this record IS the atomic swing: the staged
+/// pages become part of the stable database the instant it commits,
+/// and recovery re-materializes them from the staging area even if the
+/// copy onto the main disk never finished. Returns the record's LSN —
+/// the identity of the swing, which the staging area is tagged with.
+Result<core::Lsn> WriteCheckpointRecordWithStagedPages(
+    EngineContext& ctx, core::Lsn redo_start,
+    const std::vector<storage::PageId>& pages);
+
+/// The staged-page list of the latest stable checkpoint, plus that
+/// record's LSN (0 if no checkpoint / no staged list). The LSN lets
+/// recovery check the staging area actually belongs to the chosen
+/// checkpoint: after media recovery re-anchors to an OLDER checkpoint,
+/// the staging area holds newer content and must not be healed from.
+struct StagedCheckpoint {
+  core::Lsn record_lsn = 0;
+  std::vector<storage::PageId> pages;
+};
+Result<StagedCheckpoint> ReadCheckpointStagedPages(const EngineContext& ctx);
 
 }  // namespace internal_methods
 }  // namespace redo::methods

@@ -86,6 +86,18 @@ class GeneralizedLsnMethod : public RecoveryMethod {
         ctx, internal_methods::FuzzyRedoPoint(ctx));
   }
 
+  bool supports_fuzzy_checkpoint() const override { return true; }
+
+  Result<core::Lsn> FuzzyCheckpoint(EngineContext& ctx) override {
+    // Append-only Checkpoint; the caller forces later (group commit).
+    // The redo point honors write-order constraints implicitly: a page
+    // held back by a constraint is still dirty, so its rec_lsn keeps
+    // the scan start below every record the careful write order has
+    // not yet installed.
+    return internal_methods::AppendCheckpointRecord(
+        ctx, internal_methods::FuzzyRedoPoint(ctx));
+  }
+
   Status Recover(EngineContext& ctx) override {
     return internal_methods::LsnRedoScan(ctx, /*add_split_constraints=*/true,
                                          nullptr, &last_stats_);
@@ -99,24 +111,25 @@ class GeneralizedLsnMethod : public RecoveryMethod {
 
 }  // namespace
 
-std::unique_ptr<RecoveryMethod> MakeGeneralizedLsnMethod() {
+std::unique_ptr<RecoveryMethod> internal_methods::MakeGeneralized() {
   return std::make_unique<GeneralizedLsnMethod>();
 }
 
-std::unique_ptr<RecoveryMethod> MakeMethod(MethodKind kind, size_t num_pages) {
+std::unique_ptr<RecoveryMethod> MakeMethod(MethodKind kind,
+                                           const MethodOptions& options) {
   switch (kind) {
     case MethodKind::kLogical:
-      return MakeLogicalMethod(num_pages);
+      return internal_methods::MakeLogical(options.num_pages);
     case MethodKind::kPhysical:
-      return MakePhysicalMethod();
+      return internal_methods::MakePhysical();
     case MethodKind::kPhysiological:
-      return MakePhysiologicalMethod();
+      return internal_methods::MakePhysiological(options.aries_analysis);
     case MethodKind::kGeneralized:
-      return MakeGeneralizedLsnMethod();
+      return internal_methods::MakeGeneralized();
     case MethodKind::kPhysiologicalAnalysis:
-      return MakePhysiologicalMethod(/*aries_analysis=*/true);
+      return internal_methods::MakePhysiological(/*aries_analysis=*/true);
     case MethodKind::kPhysicalPartial:
-      return MakePartialPhysicalMethod();
+      return internal_methods::MakePhysicalPartial();
   }
   REDO_CHECK(false) << "unknown method kind";
   return nullptr;

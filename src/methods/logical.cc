@@ -74,47 +74,91 @@ class LogicalMethod : public RecoveryMethod {
     // log: every operation the checkpoint installs must be stable first.
     REDO_RETURN_IF_ERROR(ctx.log->ForceAll());
 
-    // Write dirty cached pages into the staging area (real I/O).
+    // Write dirty cached pages into the staging area (real I/O, but the
+    // staging area is duplexed stable storage: its writes do not fail).
     const std::vector<storage::DirtyPageEntry> dirty = ctx.pool->DirtyPages();
+    std::vector<PageId> staged;
     for (const storage::DirtyPageEntry& entry : dirty) {
       Result<Page*> page = ctx.pool->Fetch(entry.page);
       if (!page.ok()) return page.status();
       REDO_RETURN_IF_ERROR(staging_.WritePage(entry.page, *page.value()));
-      staged_.push_back(entry.page);
+      staged.push_back(entry.page);
     }
 
-    // The pointer swing: one atomic action makes the staged pages part
-    // of the stable database and installs everything logged so far. (In
-    // System R this is a page-table pointer update; copying the staged
-    // pages into the main disk at the instant the checkpoint record
-    // commits is observationally equivalent.)
-    for (PageId page : staged_) {
-      REDO_RETURN_IF_ERROR(
-          ctx.disk->WritePage(page, staging_.PeekPage(page)));
-    }
-    staged_.clear();
-    REDO_RETURN_IF_ERROR(
-        internal_methods::WriteCheckpointRecord(ctx, ctx.log->last_lsn() + 1));
+    // The pointer swing: forcing the checkpoint record — which names the
+    // staged pages — is the one atomic action that makes them part of
+    // the stable database and installs everything logged so far. (In
+    // System R this is a page-table pointer update; a record on the
+    // forced log is the same single atomic switch.)
+    Result<core::Lsn> swung =
+        internal_methods::WriteCheckpointRecordWithStagedPages(
+            ctx, ctx.log->last_lsn() + 1, staged);
+    if (!swung.ok()) return swung.status();
+    staged_at_lsn_ = swung.value();
 
-    // Cached pages now match the stable database.
+    // Materialize the swing: copy the staged pages onto the main disk.
+    // This is *after* the commit point, so it can no longer undo it: a
+    // copy that exhausts its retries (like an ordinary buffer-pool
+    // flush) leaves the page cached and dirty, with the truth in the
+    // staging area — a crash now recovers by healing the page from
+    // staging. The error still propagates, because Checkpoint returning
+    // Ok is the contract that the *disk alone* holds the stable state
+    // (backups copy only the disk): the caller's retry performs a fresh
+    // swing over the still-dirty pages until every copy lands.
     for (const storage::DirtyPageEntry& entry : dirty) {
+      Status write = Status::Ok();
+      for (int attempt = 0; attempt < storage::BufferPool::kMaxFlushAttempts;
+           ++attempt) {
+        write = ctx.disk->WritePage(entry.page, staging_.PeekPage(entry.page));
+        if (write.ok() || write.code() != StatusCode::kUnavailable) break;
+      }
+      if (!write.ok()) return write;
+      // This cached page now matches the stable database.
       ctx.pool->DropPage(entry.page);
     }
     return Status::Ok();
   }
 
   Status Recover(EngineContext& ctx) override {
-    // A crash voids any staging not committed by a checkpoint record.
-    staged_.clear();
     obs::PhaseScope phase(ctx.tracer, "redo-scan");
     Result<core::Lsn> redo_start = internal_methods::ReadRedoScanStart(ctx);
     if (!redo_start.ok()) return redo_start.status();
+    // Complete the pointer swing the checkpoint committed: finish the
+    // interrupted copy of any staged page that never reached the main
+    // disk, directly on the disk (not through the cache — the disk must
+    // BE the stable state before redo starts, or a backup taken after
+    // recovery would miss content the checkpoint record promises). A
+    // copy the device still refuses fails the recovery, which the
+    // caller retries. The heal only applies when the staging area
+    // belongs to the chosen checkpoint: after media recovery re-anchors
+    // the log to an OLDER checkpoint, the staging area holds content
+    // from a later epoch and must be ignored (the restore already
+    // rebuilt the disk).
+    Result<internal_methods::StagedCheckpoint> staged =
+        internal_methods::ReadCheckpointStagedPages(ctx);
+    if (!staged.ok()) return staged.status();
+    if (staged.value().record_lsn != 0 &&
+        staged.value().record_lsn == staged_at_lsn_) {
+      for (PageId page : staged.value().pages) {
+        const Page& stage = staging_.PeekPage(page);
+        if (stage.ContentHash() == ctx.disk->PeekPage(page).ContentHash()) {
+          continue;  // the swing's copy reached the disk
+        }
+        Status write = Status::Ok();
+        for (int attempt = 0;
+             attempt < storage::BufferPool::kMaxFlushAttempts; ++attempt) {
+          write = ctx.disk->WritePage(page, stage);
+          if (write.ok() || write.code() != StatusCode::kUnavailable) break;
+        }
+        if (!write.ok()) return write;
+      }
+    }
     REDO_RETURN_IF_ERROR(
         internal_methods::TraceCheckpointChosen(ctx, redo_start.value()));
     Result<std::vector<wal::LogRecord>> records =
         ctx.log->StableRecords(redo_start.value());
     if (!records.ok()) return records.status();
-    if (ctx.recovery.parallel_workers > 1) {
+    if (ctx.options.parallel_workers > 1) {
       // whole_splits: a kPageSplit record replays both halves (dst and
       // the src rewrite) as one atomic task, exactly like
       // ApplyWholeSplit below.
@@ -181,13 +225,17 @@ class LogicalMethod : public RecoveryMethod {
     return internal_methods::RedoSinglePageOp(ctx, rewrite, lsn);
   }
 
-  storage::Disk staging_;       ///< survives crashes (it is stable storage)
-  std::vector<PageId> staged_;  ///< pages staged since the last checkpoint
+  storage::Disk staging_;  ///< survives crashes (it is stable storage)
+  /// LSN of the checkpoint record the staging area was written for —
+  /// the swing's identity. Recovery heals from the staging area only
+  /// when the chosen checkpoint IS this record.
+  core::Lsn staged_at_lsn_ = 0;
 };
 
 }  // namespace
 
-std::unique_ptr<RecoveryMethod> MakeLogicalMethod(size_t num_pages) {
+std::unique_ptr<RecoveryMethod> internal_methods::MakeLogical(
+    size_t num_pages) {
   return std::make_unique<LogicalMethod>(num_pages);
 }
 

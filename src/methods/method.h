@@ -13,6 +13,7 @@
 
 #include <memory>
 
+#include "engine/engine_options.h"
 #include "engine/ops.h"
 #include "engine/trace.h"
 #include "obs/recovery_trace.h"
@@ -27,24 +28,15 @@ struct ParallelRedoMetrics;
 
 namespace redo::methods {
 
-/// Knobs controlling how a method executes recovery — not what it
-/// recovers. Every method recovers the same state at any setting.
-struct RecoveryOptions {
-  /// Redo worker threads. <= 1 replays serially, in exact log order
-  /// (the default; golden byte-identical timelines rely on it). > 1
-  /// partitions pages across workers (src/redo) and replays each
-  /// write-graph chain concurrently.
-  size_t parallel_workers = 1;
-};
-
-/// The engine components a method operates on. Non-owning.
+/// The engine components a method operates on. Non-owning. Assembled in
+/// exactly one place: MiniDb::ctx().
 struct EngineContext {
   storage::Disk* disk = nullptr;
   storage::BufferPool* pool = nullptr;
   wal::LogManager* log = nullptr;
   engine::TraceRecorder* trace = nullptr;   ///< optional
   obs::RecoveryTracer* tracer = nullptr;    ///< optional recovery timeline
-  RecoveryOptions recovery;                 ///< execution knobs
+  engine::EngineOptions options;            ///< execution knobs
   par::ParallelRedoMetrics* parallel_metrics = nullptr;  ///< optional sink
 };
 
@@ -78,6 +70,21 @@ class RecoveryMethod {
   /// Takes a checkpoint (method-specific mechanics).
   virtual Status Checkpoint(EngineContext& ctx) = 0;
 
+  /// True if the method can take a *fuzzy* checkpoint: one that neither
+  /// flushes pages nor quiesces writers (the LSN-tag methods, whose
+  /// redo test tolerates a scan start below already-installed work).
+  virtual bool supports_fuzzy_checkpoint() const { return false; }
+
+  /// Appends — but does NOT force — a checkpoint record capturing the
+  /// current redo point (and, for analysis methods, the dirty-page
+  /// table). The caller must hold whatever barrier makes the dirty-page
+  /// snapshot and the append atomic with respect to writers, and must
+  /// make the record durable afterwards (the group-commit pipeline);
+  /// until then the checkpoint simply does not exist on the stable log,
+  /// which is always safe. Returns the record's LSN, or
+  /// FailedPrecondition when supports_fuzzy_checkpoint() is false.
+  virtual Result<core::Lsn> FuzzyCheckpoint(EngineContext& ctx);
+
   /// Runs crash recovery: rebuilds the cached state from the stable
   /// state and the stable log.
   virtual Status Recover(EngineContext& ctx) = 0;
@@ -108,24 +115,12 @@ class RecoveryMethod {
   virtual RedoScanStats last_scan_stats() const { return {}; }
 };
 
-/// Factory helpers. `aries_analysis` enables the §4.3-style analysis
-/// pass: checkpoints carry the dirty page table, and recovery first
-/// reconstructs it from the log so the redo scan can skip records
-/// without fetching their pages (the ARIES analysis/redo split).
-std::unique_ptr<RecoveryMethod> MakeLogicalMethod(size_t num_pages);
-std::unique_ptr<RecoveryMethod> MakePhysicalMethod();
-std::unique_ptr<RecoveryMethod> MakePhysiologicalMethod(
-    bool aries_analysis = false);
-std::unique_ptr<RecoveryMethod> MakeGeneralizedLsnMethod();
-
-/// §6.2 notes that "both whole and partial page logging have been
-/// used": this variant logs only the bytes an update changes (a blind
-/// slot poke) instead of the full after-image, falling back to images
-/// for whole-page changes (splits, formats). Same redo-all recovery.
-std::unique_ptr<RecoveryMethod> MakePartialPhysicalMethod();
-
 /// Enumerates the methods for matrix tests/benches.
 /// kPhysiologicalAnalysis is kPhysiological plus the analysis pass.
+/// kPhysicalPartial is §6.2's partial-page-logging variant: it logs
+/// only the bytes an update changes (a blind slot poke) instead of the
+/// full after-image, falling back to images for whole-page changes
+/// (splits, formats). Same redo-all recovery.
 enum class MethodKind {
   kLogical,
   kPhysical,
@@ -134,7 +129,23 @@ enum class MethodKind {
   kPhysiologicalAnalysis,
   kPhysicalPartial,
 };
-std::unique_ptr<RecoveryMethod> MakeMethod(MethodKind kind, size_t num_pages);
+
+/// Per-method construction parameters. Defaults suit every method; a
+/// field irrelevant to the chosen kind is ignored.
+struct MethodOptions {
+  /// Size of the logical method's staging area, in pages. Must cover
+  /// the database (kLogical only).
+  size_t num_pages = 64;
+  /// Enables the §4.3-style ARIES analysis pass on kPhysiological:
+  /// checkpoints carry the dirty page table, and recovery first
+  /// reconstructs it from the log so the redo scan can skip records
+  /// without fetching their pages. kPhysiologicalAnalysis implies it.
+  bool aries_analysis = false;
+};
+
+/// The one constructor path for every recovery method.
+std::unique_ptr<RecoveryMethod> MakeMethod(MethodKind kind,
+                                           const MethodOptions& options = {});
 const char* MethodKindName(MethodKind kind);
 
 }  // namespace redo::methods

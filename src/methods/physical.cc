@@ -74,7 +74,7 @@ class PhysicalMethod : public RecoveryMethod {
     Result<std::vector<wal::LogRecord>> records =
         ctx.log->StableRecords(redo_start.value());
     if (!records.ok()) return records.status();
-    if (ctx.recovery.parallel_workers > 1) {
+    if (ctx.options.parallel_workers > 1) {
       // Page images on different pages never conflict, so the write
       // graph is pure per-page chains — the ideal parallel shape.
       // Validate the log's record types up front, as the serial loop
@@ -114,12 +114,14 @@ class PhysicalMethod : public RecoveryMethod {
                              const char* prefix) {
     Result<Page*> page = ctx.pool->Fetch(page_id);
     if (!page.ok()) return page.status();
-    const core::Lsn lsn = ctx.log->last_lsn() + 1;
-    page.value()->set_lsn(lsn);
-    const core::Lsn assigned = ctx.log->Append(
-        wal::RecordType::kPageImage,
-        engine::EncodePageImage(page_id, *page.value()));
-    REDO_CHECK_EQ(assigned, lsn);
+    // The page must carry the image record's LSN *inside* the logged
+    // bytes, so tag-and-encode runs atomically with LSN assignment
+    // (concurrent sessions appending would otherwise race the tag).
+    const core::Lsn lsn = ctx.log->AppendWithLsn(
+        wal::RecordType::kPageImage, [&](core::Lsn assigned) {
+          page.value()->set_lsn(assigned);
+          return engine::EncodePageImage(page_id, *page.value());
+        });
     REDO_RETURN_IF_ERROR(ctx.pool->MarkDirty(page_id, lsn));
     REDO_RETURN_IF_ERROR(internal_methods::TraceLoggedOp(
         ctx, lsn, prefix + std::to_string(page_id), /*reads=*/{}, {page_id}));
@@ -129,7 +131,7 @@ class PhysicalMethod : public RecoveryMethod {
 
 }  // namespace
 
-std::unique_ptr<RecoveryMethod> MakePhysicalMethod() {
+std::unique_ptr<RecoveryMethod> internal_methods::MakePhysical() {
   return std::make_unique<PhysicalMethod>();
 }
 

@@ -83,7 +83,7 @@ class PartialPhysicalMethod : public RecoveryMethod {
     Result<std::vector<wal::LogRecord>> records =
         ctx.log->StableRecords(redo_start.value());
     if (!records.ok()) return records.status();
-    if (ctx.recovery.parallel_workers > 1) {
+    if (ctx.options.parallel_workers > 1) {
       return internal_methods::ParallelRedoAll(ctx, std::move(records.value()),
                                                /*whole_splits=*/false,
                                                &last_stats_);
@@ -124,12 +124,12 @@ class PartialPhysicalMethod : public RecoveryMethod {
   Result<core::Lsn> LogImage(EngineContext& ctx, PageId page_id) {
     Result<Page*> page = ctx.pool->Fetch(page_id);
     if (!page.ok()) return page.status();
-    const core::Lsn lsn = ctx.log->last_lsn() + 1;
-    page.value()->set_lsn(lsn);
-    const core::Lsn assigned = ctx.log->Append(
-        wal::RecordType::kPageImage,
-        engine::EncodePageImage(page_id, *page.value()));
-    REDO_CHECK_EQ(assigned, lsn);
+    // Tag-and-encode under the log mutex: the image embeds its own LSN.
+    const core::Lsn lsn = ctx.log->AppendWithLsn(
+        wal::RecordType::kPageImage, [&](core::Lsn assigned) {
+          page.value()->set_lsn(assigned);
+          return engine::EncodePageImage(page_id, *page.value());
+        });
     REDO_RETURN_IF_ERROR(ctx.pool->MarkDirty(page_id, lsn));
     REDO_RETURN_IF_ERROR(internal_methods::TraceLoggedOp(
         ctx, lsn, "partial-image@" + std::to_string(page_id), /*reads=*/{},
@@ -142,7 +142,7 @@ class PartialPhysicalMethod : public RecoveryMethod {
 
 }  // namespace
 
-std::unique_ptr<RecoveryMethod> MakePartialPhysicalMethod() {
+std::unique_ptr<RecoveryMethod> internal_methods::MakePhysicalPartial() {
   return std::make_unique<PartialPhysicalMethod>();
 }
 

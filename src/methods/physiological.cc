@@ -57,12 +57,11 @@ class PhysiologicalMethod : public RecoveryMethod {
     if (!dst.ok()) return dst.status();
     engine::ApplySplitToDst(op, src_copy, dst.value());
 
-    const core::Lsn image_lsn_placeholder = ctx.log->last_lsn() + 1;
-    dst.value()->set_lsn(image_lsn_placeholder);
-    const core::Lsn split_lsn = ctx.log->Append(
-        wal::RecordType::kPageImage,
-        engine::EncodePageImage(op.dst, *dst.value()));
-    REDO_CHECK_EQ(split_lsn, image_lsn_placeholder);
+    const core::Lsn split_lsn = ctx.log->AppendWithLsn(
+        wal::RecordType::kPageImage, [&](core::Lsn assigned) {
+          dst.value()->set_lsn(assigned);
+          return engine::EncodePageImage(op.dst, *dst.value());
+        });
     REDO_RETURN_IF_ERROR(ctx.pool->MarkDirty(op.dst, split_lsn));
     REDO_RETURN_IF_ERROR(internal_methods::TraceLoggedOp(
         ctx, split_lsn, "physio-newpage@" + std::to_string(op.dst), {},
@@ -89,6 +88,20 @@ class PhysiologicalMethod : public RecoveryMethod {
           ctx, internal_methods::FuzzyRedoPoint(ctx));
     }
     return internal_methods::WriteCheckpointRecord(
+        ctx, internal_methods::FuzzyRedoPoint(ctx));
+  }
+
+  bool supports_fuzzy_checkpoint() const override { return true; }
+
+  Result<core::Lsn> FuzzyCheckpoint(EngineContext& ctx) override {
+    // Append-only Checkpoint: the LSN-tag redo test makes a scan start
+    // at min(rec_lsn) safe regardless of what writers do after the
+    // snapshot, so the force can happen later, off the writers' path.
+    if (aries_analysis_) {
+      return internal_methods::AppendCheckpointRecordWithDpt(
+          ctx, internal_methods::FuzzyRedoPoint(ctx));
+    }
+    return internal_methods::AppendCheckpointRecord(
         ctx, internal_methods::FuzzyRedoPoint(ctx));
   }
 
@@ -160,7 +173,8 @@ class PhysiologicalMethod : public RecoveryMethod {
 
 }  // namespace
 
-std::unique_ptr<RecoveryMethod> MakePhysiologicalMethod(bool aries_analysis) {
+std::unique_ptr<RecoveryMethod> internal_methods::MakePhysiological(
+    bool aries_analysis) {
   return std::make_unique<PhysiologicalMethod>(aries_analysis);
 }
 

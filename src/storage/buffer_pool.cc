@@ -38,6 +38,11 @@ void BufferPool::RegisterMetrics(obs::MetricsRegistry& registry,
 }
 
 Result<Page*> BufferPool::Fetch(PageId id) {
+  // mu_ covers the whole fetch, including the miss path's disk read (the
+  // Disk mutates stats and consults its fault injector on every read, so
+  // concurrent sessions' misses must serialize) and eviction (serial-only:
+  // concurrent mode runs unbounded).
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.fetches;
   auto it = frames_.find(id);
   if (it != frames_.end()) {
@@ -64,6 +69,7 @@ Result<Page*> BufferPool::Fetch(PageId id) {
 }
 
 Status BufferPool::MarkDirty(PageId id, core::Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(id);
   if (it == frames_.end()) {
     return Status::FailedPrecondition("buffer pool: page not cached");
@@ -76,6 +82,34 @@ Status BufferPool::MarkDirty(PageId id, core::Lsn lsn) {
   frame.page.set_lsn(lsn);
   frame.last_use = ++use_clock_;
   return Status::Ok();
+}
+
+std::mutex* BufferPool::LatchFor(PageId id) {
+  std::lock_guard<std::mutex> lock(latch_table_mu_);
+  auto it = latches_.find(id);
+  if (it == latches_.end()) {
+    it = latches_.emplace(id, std::make_unique<std::mutex>()).first;
+  }
+  return it->second.get();
+}
+
+PageLatchGuard BufferPool::LatchPage(PageId id) {
+  return PageLatchGuard(LatchFor(id));
+}
+
+std::pair<PageLatchGuard, PageLatchGuard> BufferPool::LatchCouple(PageId src,
+                                                                  PageId dst) {
+  REDO_CHECK(src != dst) << "latch couple of a page with itself";
+  // Always acquire in page-id order: couples (a,b) and (b,a) taken by
+  // two sessions must not deadlock. The returned pair stays (src, dst).
+  if (src < dst) {
+    PageLatchGuard first(LatchFor(src));
+    PageLatchGuard second(LatchFor(dst));
+    return {std::move(first), std::move(second)};
+  }
+  PageLatchGuard second(LatchFor(dst));
+  PageLatchGuard first(LatchFor(src));
+  return {std::move(first), std::move(second)};
 }
 
 std::vector<PageId> BufferPool::BlockingPages(PageId id) const {
@@ -157,7 +191,12 @@ Status BufferPool::FlushPageCascading(PageId id) {
       const std::vector<PageId> blocking = BlockingPages(page);
       if (blocking.empty()) break;
       const PageId b = blocking.front();
-      if (!IsDirty(b) &&
+      // Unlocked dirty check: flush paths run writer-exclusive and must
+      // not take mu_ (Fetch's serial eviction path arrives here already
+      // holding it).
+      const auto bit = frames_.find(b);
+      const bool b_dirty = bit != frames_.end() && bit->second.dirty;
+      if (!b_dirty &&
           std::find(on_path.begin(), on_path.end(), b) == on_path.end()) {
         on_path.pop_back();
         return Status::FailedPrecondition(
@@ -223,16 +262,19 @@ void BufferPool::Crash() {
 void BufferPool::DropPage(PageId id) { frames_.erase(id); }
 
 const Page* BufferPool::PeekCached(PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = frames_.find(id);
   return it != frames_.end() ? &it->second.page : nullptr;
 }
 
 bool BufferPool::IsDirty(PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = frames_.find(id);
   return it != frames_.end() && it->second.dirty;
 }
 
 std::vector<DirtyPageEntry> BufferPool::DirtyPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<DirtyPageEntry> out;
   for (const auto& [id, frame] : frames_) {
     if (frame.dirty) {

@@ -12,10 +12,12 @@
 #define REDO_STORAGE_BUFFER_POOL_H_
 
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -24,6 +26,22 @@
 #include "util/status.h"
 
 namespace redo::storage {
+
+/// RAII hold on one page's latch (see BufferPool::LatchPage). Movable;
+/// releases on destruction. A default-constructed guard holds nothing.
+class PageLatchGuard {
+ public:
+  PageLatchGuard() = default;
+  explicit PageLatchGuard(std::mutex* latch) : lock_(*latch) {}
+  PageLatchGuard(PageLatchGuard&&) = default;
+  PageLatchGuard& operator=(PageLatchGuard&&) = default;
+
+  bool owns() const { return lock_.owns_lock(); }
+  void Release() { if (lock_.owns_lock()) lock_.unlock(); }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
 
 /// Buffer pool counters.
 struct BufferPoolStats {
@@ -52,9 +70,25 @@ struct DirtyPageEntry {
 
 /// A single-copy page cache over a Disk.
 ///
-/// Single-threaded by design (the simulation is discrete-event); no pin
-/// counts are needed because callers never hold page pointers across
-/// calls that may evict.
+/// Threading contract (the concurrent front end, DESIGN.md §10):
+///  - Fetch / MarkDirty / the const observers are thread-safe: they
+///    serialize on an internal mutex that guards the frame map and
+///    counters. Page *bytes* are NOT guarded by that mutex — callers
+///    must hold the page's latch (LatchPage) while reading or writing
+///    the returned Page.
+///  - Everything that flushes, evicts, or rewires write-order
+///    constraints (FlushPage*, FlushAll, Evict, Crash, DropPage,
+///    AddWriteOrderConstraint, redo partitioning) must run
+///    writer-exclusive: the engine's op gate guarantees no session op
+///    is in flight. These paths recurse into each other and stay
+///    lock-free, exactly as in the serial engine.
+///  - Concurrent mode requires an unbounded pool (capacity 0), so
+///    Fetch never evicts while sessions run; frame pointers stay valid
+///    under the page latch (unordered_map never invalidates references
+///    on insert).
+///
+/// No pin counts are needed because callers never hold page pointers
+/// across calls that may evict.
 class BufferPool {
  public:
   /// `capacity` = maximum cached pages; 0 means unbounded.
@@ -73,6 +107,21 @@ class BufferPool {
   /// Marks a cached page dirty; `lsn` is the logged operation that
   /// updated it. Sets the page LSN. The page must be cached.
   Status MarkDirty(PageId id, core::Lsn lsn);
+
+  // ---- Per-page latches (concurrent front end) ----
+
+  /// Acquires `id`'s latch (blocking). Latches are allocated on first
+  /// use and never reclaimed — they survive eviction and Crash, so a
+  /// guard is always safe to hold across pool calls.
+  PageLatchGuard LatchPage(PageId id);
+
+  /// Latch-couples a split: acquires src's latch, then dst's. Safe
+  /// without id-ordering because structure modifications serialize on
+  /// the engine's exclusive op gate — at most one coupled acquisition
+  /// is ever in flight, and single-page ops hold one latch each and
+  /// never wait for a second.
+  std::pair<PageLatchGuard, PageLatchGuard> LatchCouple(PageId src,
+                                                        PageId dst);
 
   /// Writes a dirty page to disk (honoring the WAL hook). Fails with
   /// FailedPrecondition if a write-order constraint requires another
@@ -109,7 +158,10 @@ class BufferPool {
   void DropPage(PageId id);
 
   /// True if `id` is currently cached.
-  bool IsCached(PageId id) const { return frames_.count(id) != 0; }
+  bool IsCached(PageId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_.count(id) != 0;
+  }
 
   /// Const view of a cached page (nullptr if uncached). Unlike Fetch,
   /// never reads disk, never evicts, and does not touch the LRU clock —
@@ -122,7 +174,10 @@ class BufferPool {
   /// The dirty page table (unordered).
   std::vector<DirtyPageEntry> DirtyPages() const;
 
-  size_t num_cached() const { return frames_.size(); }
+  size_t num_cached() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_.size();
+  }
   size_t capacity() const { return capacity_; }
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats{}; }
@@ -239,6 +294,9 @@ class BufferPool {
   /// the budget — surfaces to the caller with the frame still dirty.
   Status FlushFrame(PageId id, Frame* frame);
 
+  /// Get-or-create the latch for `id` (guarded by latch_table_mu_).
+  std::mutex* LatchFor(PageId id);
+
   Disk* disk_;
   size_t capacity_;
   std::unordered_map<PageId, Frame> frames_;
@@ -246,6 +304,16 @@ class BufferPool {
   WalHook wal_hook_;
   uint64_t use_clock_ = 0;
   BufferPoolStats stats_;
+
+  /// Guards frames_, use_clock_, and the fetch-path counters on the
+  /// session hot path (Fetch/MarkDirty/observers). Flush and eviction
+  /// paths run writer-exclusive and do not take it (see class comment).
+  mutable std::mutex mu_;
+
+  /// Per-page latch table. Entries are created on demand and never
+  /// erased, so PageLatchGuards stay valid across eviction and Crash.
+  std::mutex latch_table_mu_;
+  std::unordered_map<PageId, std::unique_ptr<std::mutex>> latches_;
 };
 
 }  // namespace redo::storage

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 
 #include "util/crc32c.h"
 
@@ -37,17 +38,47 @@ LogManager::LogManager(const LogManagerOptions& options) : options_(options) {
   live_.back().id = next_segment_id_++;
 }
 
+LogManager::~LogManager() {
+  if (committer_.joinable()) HaltGroupCommit(/*freeze=*/true);
+}
+
 core::Lsn LogManager::Append(RecordType type, std::vector<uint8_t> payload) {
+  return AppendWithLsn(type,
+                       [&payload](core::Lsn) { return std::move(payload); });
+}
+
+core::Lsn LogManager::AppendWithLsn(
+    RecordType type,
+    const std::function<std::vector<uint8_t>(core::Lsn)>& encode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (gc_active_.load()) {
+    // Backpressure: a full staging ring blocks the appender until the
+    // committer frees space (or the pipeline dies under it).
+    while (staging_ring_.size() >= gc_options_.ring_capacity && !gc_frozen_ &&
+           !gc_stop_) {
+      ++stats_.group_ring_stalls;
+      committer_cv_.notify_one();
+      ring_cv_.wait(lock);
+    }
+  }
   LogRecord record;
   record.lsn = ++last_lsn_;
   record.type = type;
-  record.payload = std::move(payload);
+  // The encode callback runs under the log mutex with the assigned LSN,
+  // so payloads that embed their own LSN (page images tagging the page)
+  // stay consistent even with concurrent appenders.
+  record.payload = encode(record.lsn);
   if (append_size_histogram_ != nullptr) {
     append_size_histogram_->Observe(record.payload.size());
   }
+  if (gc_active_.load()) {
+    // Pre-encode the frame on the appender's dime; the committer just
+    // splices bytes at force time.
+    staging_ring_.push_back(EncodeRecord(record));
+  }
   volatile_tail_.push_back(std::move(record));
   ++stats_.appends;
-  return last_lsn_;
+  return record.lsn;
 }
 
 void LogStats::EmitMetrics(obs::MetricEmitter& emit) const {
@@ -71,6 +102,10 @@ void LogStats::EmitMetrics(obs::MetricEmitter& emit) const {
   emit.Counter("archive_repairs", archive_repairs);
   emit.Counter("scan_cache_hits", scan_cache_hits);
   emit.Counter("scan_decodes", scan_decodes);
+  emit.Counter("group_commits", group_commits);
+  emit.Counter("group_batches", group_batches);
+  emit.Counter("group_max_batch", group_max_batch);
+  emit.Counter("group_ring_stalls", group_ring_stalls);
 }
 
 void LogManager::RegisterMetrics(obs::MetricsRegistry& registry,
@@ -133,13 +168,28 @@ bool LogManager::SealActiveSegment() {
 }
 
 Status LogManager::Force(core::Lsn upto) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ForceLocked(upto);
+}
+
+Status LogManager::ForceLocked(core::Lsn upto) {
   ++stats_.forces;
+  if (gc_active_.load() && gc_options_.force_latency_us > 0) {
+    // One synchronous stable write per force: the device latency every
+    // commit would pay alone, amortized across the batch.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(gc_options_.force_latency_us));
+  }
   bool verified = verified_prefix_ == active().primary.bytes.size();
   size_t moved = 0;
   for (const LogRecord& record : volatile_tail_) {
     if (record.lsn > upto) break;
     Segment& seg = active();  // re-fetch: sealing replaces the active segment
-    const std::vector<uint8_t> encoded = EncodeRecord(record);
+    // While group commit runs, frame `moved` of the ring holds this
+    // record's bytes already encoded by its appender.
+    const std::vector<uint8_t> encoded = moved < staging_ring_.size()
+                                             ? std::move(staging_ring_[moved])
+                                             : EncodeRecord(record);
     seg.primary.bytes.insert(seg.primary.bytes.end(), encoded.begin(),
                              encoded.end());
     if (options_.mirror) {
@@ -169,16 +219,147 @@ Status LogManager::Force(core::Lsn upto) {
   }
   volatile_tail_.erase(volatile_tail_.begin(),
                        volatile_tail_.begin() + static_cast<ptrdiff_t>(moved));
+  if (!staging_ring_.empty()) {
+    staging_ring_.erase(
+        staging_ring_.begin(),
+        staging_ring_.begin() +
+            static_cast<ptrdiff_t>(std::min(moved, staging_ring_.size())));
+    ring_cv_.notify_all();
+  }
   stats_.forced_records += moved;
   RefreshStableBytes();
+  durable_cv_.notify_all();
   return Status::Ok();
 }
 
+void LogManager::CommitterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    committer_cv_.wait(lock, [this] {
+      return gc_frozen_ || gc_stop_ ||
+             commit_requested_ > stable_lsn_.load() ||
+             staging_ring_.size() >= gc_options_.ring_capacity;
+    });
+    if (gc_frozen_) break;
+    if (gc_stop_ && volatile_tail_.empty() &&
+        commit_requested_ <= stable_lsn_.load()) {
+      break;
+    }
+    // The commit window: linger so commits racing in right now join
+    // this batch instead of paying for their own force.
+    if (gc_options_.window_us > 0 && !gc_stop_) {
+      committer_cv_.wait_for(lock,
+                             std::chrono::microseconds(gc_options_.window_us),
+                             [this] { return gc_frozen_ || gc_stop_; });
+      if (gc_frozen_) break;
+    }
+    // A full staging ring forces a drain of everything staged even with
+    // no commit pending — backpressure must stall appenders, never
+    // deadlock them against a committer waiting for commits.
+    const core::Lsn target =
+        gc_stop_ || staging_ring_.size() >= gc_options_.ring_capacity
+            ? last_lsn_.load()
+            : std::min(commit_requested_, last_lsn_.load());
+    const uint64_t acked = commits_in_batch_;
+    commits_in_batch_ = 0;
+    const Status forced = ForceLocked(target);
+    REDO_CHECK(forced.ok()) << "group-commit force failed: "
+                            << forced.ToString();
+    ++stats_.group_batches;
+    stats_.group_commits += acked;
+    stats_.group_max_batch = std::max(stats_.group_max_batch, acked);
+  }
+  // Frozen or stopping: wake everyone so nobody waits on a dead thread.
+  durable_cv_.notify_all();
+  ring_cv_.notify_all();
+}
+
+Status LogManager::StartGroupCommit(const GroupCommitOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (committer_.joinable() || gc_active_.load()) {
+    return Status::FailedPrecondition("group commit already running");
+  }
+  // Align the ring with the volatile tail: force any leftover records
+  // so both start empty.
+  REDO_RETURN_IF_ERROR(ForceLocked(last_lsn_.load()));
+  gc_options_ = options;
+  if (gc_options_.ring_capacity == 0) gc_options_.ring_capacity = 1;
+  gc_frozen_ = false;
+  gc_stop_ = false;
+  commit_requested_ = 0;
+  commits_in_batch_ = 0;
+  gc_active_.store(true);
+  committer_ = std::thread([this] { CommitterLoop(); });
+  return Status::Ok();
+}
+
+void LogManager::HaltGroupCommit(bool freeze) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!committer_.joinable()) return;
+    if (freeze) {
+      gc_frozen_ = true;
+    } else {
+      gc_stop_ = true;
+    }
+    committer_cv_.notify_all();
+    ring_cv_.notify_all();
+    durable_cv_.notify_all();
+  }
+  committer_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  gc_active_.store(false);
+  staging_ring_.clear();
+  // gc_frozen_ stays set after a freeze: CommitWait must keep failing
+  // until the next StartGroupCommit — those commits were never acked.
+}
+
+Status LogManager::StopGroupCommit() {
+  if (!committer_.joinable()) {
+    return Status::FailedPrecondition("group commit not running");
+  }
+  HaltGroupCommit(/*freeze=*/false);
+  return Status::Ok();
+}
+
+void LogManager::FreezeGroupCommit() { HaltGroupCommit(/*freeze=*/true); }
+
+Result<core::Lsn> LogManager::CommitWait(core::Lsn lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (gc_frozen_) {
+    return Status::Unavailable("group commit frozen by crash");
+  }
+  if (!gc_active_.load()) {
+    // Serial mode: the commit pays for its own force.
+    REDO_RETURN_IF_ERROR(ForceLocked(lsn));
+    ++stats_.group_commits;
+    return stable_lsn_.load();
+  }
+  if (stable_lsn_.load() >= lsn) {
+    // An earlier batch already covered it.
+    ++stats_.group_commits;
+    return stable_lsn_.load();
+  }
+  commit_requested_ = std::max(commit_requested_, lsn);
+  ++commits_in_batch_;
+  committer_cv_.notify_one();
+  durable_cv_.wait(lock,
+                   [this, lsn] { return gc_frozen_ || stable_lsn_.load() >= lsn; });
+  if (stable_lsn_.load() < lsn) {
+    return Status::Unavailable("group commit frozen before lsn " +
+                               std::to_string(lsn) + " became durable");
+  }
+  return stable_lsn_.load();
+}
+
 void LogManager::Crash() {
+  if (committer_.joinable()) HaltGroupCommit(/*freeze=*/true);
+  std::lock_guard<std::mutex> lock(mu_);
   volatile_tail_.clear();
+  staging_ring_.clear();
   // LSNs of lost records are reusable: the WAL rule guarantees no page
   // on disk carries them.
-  last_lsn_ = stable_lsn_;
+  last_lsn_ = stable_lsn_.load();
 }
 
 std::optional<std::vector<LogRecord>> LogManager::DecodeSealedCopy(
@@ -340,7 +521,7 @@ SalvageResult LogManager::SalvageTornTail() {
   }
   verified_prefix_ = offset;
   stable_lsn_ = last_valid;
-  last_lsn_ = stable_lsn_;
+  last_lsn_ = stable_lsn_.load();
   result.stable_lsn_after = stable_lsn_;
 
   if (result.torn) {

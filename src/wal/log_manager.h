@@ -35,11 +35,30 @@
 // the degradation ladder (engine/degraded_recovery.h): media recovery
 // from a backup plus the archive suffix, or a loud, diagnosed refusal.
 
+// Group commit (concurrent mode): StartGroupCommit spawns a committer
+// thread and switches Append/CommitWait into a pipelined mode — each
+// appender encodes its record into a bounded staging ring under the log
+// mutex and returns immediately; commit callers block in CommitWait;
+// the committer drains the ring in LSN order and makes the whole batch
+// stable with ONE force (the same CRC-framed byte format as the serial
+// path, so stable images are indistinguishable), then wakes every
+// waiter whose LSN the force covered. FreezeGroupCommit models the
+// crash boundary: the committer stops mid-pipeline and unacknowledged
+// CommitWaits fail — exactly the commits a recovery oracle must NOT
+// find guaranteed durable.
+
 #ifndef REDO_WAL_LOG_MANAGER_H_
 #define REDO_WAL_LOG_MANAGER_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -60,6 +79,19 @@ struct LogManagerOptions {
 
 /// Which physical copy of a segment an operation targets.
 enum class LogCopy { kPrimary, kMirror, kArchive };
+
+/// Configuration of the group-commit pipeline (StartGroupCommit).
+struct GroupCommitOptions {
+  /// Capacity of the staging ring between appenders and the committer.
+  /// A full ring blocks appenders until the committer drains it.
+  size_t ring_capacity = 256;
+  /// How long the committer waits after the first pending commit
+  /// request, collecting more requests into the same force.
+  uint64_t window_us = 100;
+  /// Simulated stable-write latency charged per force while group
+  /// commit is active (modeling a device fsync). 0 = no delay.
+  uint64_t force_latency_us = 0;
+};
 
 /// Log manager counters.
 struct LogStats {
@@ -87,6 +119,11 @@ struct LogStats {
   // whole stable image per call).
   uint64_t scan_cache_hits = 0;  ///< segments served from the parsed cache
   uint64_t scan_decodes = 0;     ///< segment decodes forced by a cold/invalid cache
+  // Group-commit counters.
+  uint64_t group_commits = 0;      ///< CommitWait calls acknowledged
+  uint64_t group_batches = 0;      ///< committer forces (one per batch)
+  uint64_t group_max_batch = 0;    ///< most commits one force acknowledged
+  uint64_t group_ring_stalls = 0;  ///< appender waits on a full staging ring
 
   /// Emits every counter (metrics-registry source enumeration).
   void EmitMetrics(obs::MetricEmitter& emit) const;
@@ -166,27 +203,71 @@ class LogManager {
  public:
   LogManager() : LogManager(LogManagerOptions{}) {}
   explicit LogManager(const LogManagerOptions& options);
+  ~LogManager();
 
   /// Appends a record to the volatile tail; assigns and returns its LSN
-  /// (monotonically increasing from 1).
+  /// (monotonically increasing from 1). Thread-safe. While group commit
+  /// is active the encoded frame also enters the staging ring, blocking
+  /// when the ring is full (backpressure).
   core::Lsn Append(RecordType type, std::vector<uint8_t> payload);
+
+  /// Appends a record whose payload must embed its own LSN (a page
+  /// image tagging the page it describes). `encode` runs under the log
+  /// mutex with the record's assigned LSN, making LSN assignment and
+  /// payload encoding atomic with respect to concurrent appenders. The
+  /// callback must be quick and must not call back into the log.
+  core::Lsn AppendWithLsn(
+      RecordType type,
+      const std::function<std::vector<uint8_t>(core::Lsn)>& encode);
 
   /// Makes every record with lsn <= `upto` stable. Forcing beyond the
   /// last appended LSN is allowed (forces everything). Seals the active
   /// segment (and archives it) whenever it fills past `segment_bytes`.
+  /// Thread-safe.
   Status Force(core::Lsn upto);
 
   /// Forces the entire log.
-  Status ForceAll() { return Force(last_lsn_); }
+  Status ForceAll() {
+    return Force(std::numeric_limits<core::Lsn>::max());
+  }
 
   /// LSN of the last appended record (0 if none).
-  core::Lsn last_lsn() const { return last_lsn_; }
+  core::Lsn last_lsn() const { return last_lsn_.load(); }
 
   /// LSN of the last *stable* record (0 if none).
-  core::Lsn stable_lsn() const { return stable_lsn_; }
+  core::Lsn stable_lsn() const { return stable_lsn_.load(); }
 
   /// Discards the volatile tail (the crash). Stable records survive.
+  /// A running group-commit pipeline is frozen and joined first: the
+  /// crash takes the committer with it.
   void Crash();
+
+  // ---- Group commit ----
+
+  /// Starts the group-commit pipeline: a committer thread that batches
+  /// staged records into one force per commit window. Any records
+  /// already pending are forced first so the ring starts aligned with
+  /// the volatile tail. Fails if the pipeline is already running.
+  Status StartGroupCommit(const GroupCommitOptions& options);
+
+  /// Drains and stops the pipeline cleanly: everything appended is
+  /// forced, every waiter is acknowledged, the committer joins.
+  Status StopGroupCommit();
+
+  /// The crash boundary: stops the committer WITHOUT forcing. Staged
+  /// records that no force covered stay volatile (a following Crash()
+  /// discards them) and pending CommitWait callers fail with
+  /// kUnavailable — their commits were never acknowledged. Idempotent.
+  void FreezeGroupCommit();
+
+  bool group_commit_active() const { return gc_active_.load(); }
+
+  /// Blocks until every record with lsn <= `lsn` is stable (group mode:
+  /// woken by the committer at the batch force; serial mode: forces
+  /// synchronously). Returns the stable LSN at acknowledgment, or
+  /// kUnavailable if the pipeline froze first — the caller must treat
+  /// the commit as NOT durable.
+  Result<core::Lsn> CommitWait(core::Lsn lsn);
 
   /// Scans stable records with lsn >= `from`, in LSN order, verifying
   /// integrity. Sealed segments wholly below `from` are skipped by
@@ -386,9 +467,25 @@ class LogManager {
   size_t LiveBytes() const;
   void RefreshStableBytes() { stats_.stable_bytes = LiveBytes(); }
 
+  /// The body of Force, assuming `mu_` is held. Consumes pre-encoded
+  /// staging-ring frames when they lead the volatile tail (group mode),
+  /// encoding on the fly otherwise — the stable bytes are identical
+  /// either way.
+  Status ForceLocked(core::Lsn upto);
+
+  /// The committer thread: waits for commit requests, a full staging
+  /// ring (backpressure drains, it never deadlocks), or shutdown;
+  /// collects a window's worth, forces once.
+  void CommitterLoop();
+
+  /// Stops the committer thread (joining it). With `freeze` the
+  /// pipeline halts without a final force and pending waiters fail;
+  /// without, everything pending is forced and acknowledged first.
+  void HaltGroupCommit(bool freeze);
+
   LogManagerOptions options_;
-  core::Lsn last_lsn_ = 0;
-  core::Lsn stable_lsn_ = 0;
+  std::atomic<core::Lsn> last_lsn_{0};
+  std::atomic<core::Lsn> stable_lsn_{0};
   uint64_t next_segment_id_ = 1;
   std::vector<LogRecord> volatile_tail_;  // records with lsn > stable_lsn_
   std::vector<Segment> live_;             // last = active (never sealed)
@@ -397,6 +494,25 @@ class LogManager {
   std::vector<CheckpointOffset> checkpoints_;  // in LSN order
   mutable LogStats stats_;
   obs::Histogram* append_size_histogram_ = nullptr;  // not owned
+
+  // Concurrency. `mu_` guards every mutable field above. The serial
+  // paths (recovery, scans, scrub, fault hooks) run single-threaded by
+  // contract and stay lock-free; Append/Force/CommitWait and the
+  // committer always lock.
+  mutable std::mutex mu_;
+  std::condition_variable committer_cv_;  // work for the committer
+  std::condition_variable ring_cv_;       // space freed in the ring
+  std::condition_variable durable_cv_;    // stable_lsn_ advanced / frozen
+  std::thread committer_;
+  GroupCommitOptions gc_options_;
+  std::atomic<bool> gc_active_{false};
+  bool gc_frozen_ = false;  // sticky until the next StartGroupCommit
+  bool gc_stop_ = false;
+  core::Lsn commit_requested_ = 0;   // highest LSN a CommitWait asked for
+  uint64_t commits_in_batch_ = 0;    // waiters the next force acknowledges
+  // Staged frames, position-aligned with volatile_tail_ while group
+  // commit runs: frame i holds the encoded bytes of volatile_tail_[i].
+  std::deque<std::vector<uint8_t>> staging_ring_;
 };
 
 }  // namespace redo::wal

@@ -23,7 +23,7 @@ std::unique_ptr<MiniDb> MakeDb(MethodKind kind) {
   engine::MiniDbOptions options;
   options.num_pages = kPages;
   options.cache_capacity = 0;
-  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, kPages));
+  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, {kPages}));
 }
 
 class BtreeMethodTest : public ::testing::TestWithParam<MethodKind> {};
@@ -161,7 +161,7 @@ TEST_P(BtreeMethodTest, OutOfPagesIsGraceful) {
   engine::MiniDbOptions options;
   options.num_pages = 3;  // meta + root + one more
   auto db = std::make_unique<MiniDb>(options,
-                                     methods::MakeMethod(GetParam(), 3));
+                                     methods::MakeMethod(GetParam(), {3}));
   Btree tree = Btree::Create(db.get()).value();
   Status last = Status::Ok();
   for (int i = 0; i < static_cast<int>(NodeRef::Capacity()) * 3 && last.ok();

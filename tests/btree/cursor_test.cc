@@ -18,7 +18,7 @@ std::unique_ptr<MiniDb> MakeDb() {
   engine::MiniDbOptions options;
   options.num_pages = 64;
   return std::make_unique<MiniDb>(
-      options, methods::MakeMethod(methods::MethodKind::kGeneralized, 64));
+      options, methods::MakeMethod(methods::MethodKind::kGeneralized, {64}));
 }
 
 TEST(CursorTest, EmptyTreeSeekIsEnd) {

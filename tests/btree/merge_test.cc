@@ -21,7 +21,7 @@ constexpr size_t kPages = 96;
 std::unique_ptr<MiniDb> MakeDb(MethodKind kind) {
   engine::MiniDbOptions options;
   options.num_pages = kPages;
-  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, kPages));
+  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, {kPages}));
 }
 
 class BtreeMergeMethodTest : public ::testing::TestWithParam<MethodKind> {};
@@ -115,7 +115,7 @@ TEST(BtreeMergeTest, GeneralizedMergeEnforcesLeftBeforeRightFlush) {
   engine::MiniDbOptions options;
   options.num_pages = kPages;
   options.cache_capacity = 8;
-  MiniDb db(options, methods::MakeMethod(MethodKind::kGeneralized, kPages));
+  MiniDb db(options, methods::MakeMethod(MethodKind::kGeneralized, {kPages}));
   Btree tree = Btree::Create(&db).value();
   const int n = static_cast<int>(NodeRef::Capacity()) * 2;
   for (int i = 0; i < n; ++i) ASSERT_TRUE(tree.Insert(i, i).ok());

@@ -19,7 +19,7 @@ std::unique_ptr<MiniDb> MakeDb(MethodKind kind) {
   engine::MiniDbOptions options;
   options.num_pages = kPages;
   options.cache_capacity = 0;
-  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, kPages));
+  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, {kPages}));
 }
 
 class CheckerMethodTest : public ::testing::TestWithParam<MethodKind> {};
@@ -39,7 +39,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST_P(CheckerMethodTest, CleanCrashSatisfiesInvariant) {
   auto db = MakeDb(GetParam());
   TraceRecorder trace(db->disk());
-  db->set_trace(&trace);
+  db->Attach(engine::Instrumentation{&trace, nullptr});
   ASSERT_TRUE(db->WriteSlot(1, 0, 5).ok());
   ASSERT_TRUE(db->WriteSlot(2, 0, 6).ok());
   ASSERT_TRUE(db->log().ForceAll().ok());
@@ -54,7 +54,7 @@ TEST_P(CheckerMethodTest, CleanCrashSatisfiesInvariant) {
 TEST_P(CheckerMethodTest, UnforcedTailIsInvisibleAndFine) {
   auto db = MakeDb(GetParam());
   TraceRecorder trace(db->disk());
-  db->set_trace(&trace);
+  db->Attach(engine::Instrumentation{&trace, nullptr});
   Result<core::Lsn> first = db->WriteSlot(1, 0, 5);
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(db->log().Force(first.value()).ok());
@@ -68,7 +68,7 @@ TEST_P(CheckerMethodTest, UnforcedTailIsInvisibleAndFine) {
 TEST_P(CheckerMethodTest, CheckpointedStateSatisfiesInvariant) {
   auto db = MakeDb(GetParam());
   TraceRecorder trace(db->disk());
-  db->set_trace(&trace);
+  db->Attach(engine::Instrumentation{&trace, nullptr});
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(db->WriteSlot(i % kPages, 0, i).ok());
   }
@@ -86,7 +86,7 @@ TEST_P(CheckerMethodTest, CheckpointedStateSatisfiesInvariant) {
 TEST_P(CheckerMethodTest, SplitCrashSatisfiesInvariant) {
   auto db = MakeDb(GetParam());
   TraceRecorder trace(db->disk());
-  db->set_trace(&trace);
+  db->Attach(engine::Instrumentation{&trace, nullptr});
   ASSERT_TRUE(db->WriteSlot(0, storage::Page::NumSlots() / 2, 41).ok());
   ASSERT_TRUE(
       db->Split(engine::SplitOp{engine::SplitTransform::kSlotHalf, 0, 4}).ok());
@@ -105,7 +105,7 @@ TEST_P(CheckerMethodTest, SplitCrashSatisfiesInvariant) {
 TEST_P(CheckerMethodTest, DetectsTornOrRogueDiskWrite) {
   auto db = MakeDb(GetParam());
   TraceRecorder trace(db->disk());
-  db->set_trace(&trace);
+  db->Attach(engine::Instrumentation{&trace, nullptr});
   ASSERT_TRUE(db->WriteSlot(1, 0, 5).ok());
   ASSERT_TRUE(db->log().ForceAll().ok());
 
@@ -128,7 +128,7 @@ TEST_P(CheckerMethodTest, DetectsTornOrRogueDiskWrite) {
 TEST_P(CheckerMethodTest, DetectsWalViolation) {
   auto db = MakeDb(GetParam());
   TraceRecorder trace(db->disk());
-  db->set_trace(&trace);
+  db->Attach(engine::Instrumentation{&trace, nullptr});
   ASSERT_TRUE(db->WriteSlot(1, 0, 5).ok());  // record NOT forced
   storage::Page* cached = db->FetchPage(1).value();
   ASSERT_TRUE(db->disk().WritePage(1, *cached).ok());  // rogue direct write
@@ -149,7 +149,7 @@ TEST_P(CheckerMethodTest, DetectsWalViolation) {
 TEST(CheckerTest, DetectsInstallationOrderViolation) {
   auto db = MakeDb(MethodKind::kGeneralized);
   TraceRecorder trace(db->disk());
-  db->set_trace(&trace);
+  db->Attach(engine::Instrumentation{&trace, nullptr});
   // A split: dst must reach disk before src's rewrite does.
   ASSERT_TRUE(db->WriteSlot(0, storage::Page::NumSlots() / 2, 41).ok());
   ASSERT_TRUE(
@@ -175,7 +175,7 @@ TEST(CheckerTest, DetectsInstallationOrderViolation) {
 TEST(CheckerTest, PhysiologicalToleratesOldPageFirst) {
   auto db = MakeDb(MethodKind::kPhysiological);
   TraceRecorder trace(db->disk());
-  db->set_trace(&trace);
+  db->Attach(engine::Instrumentation{&trace, nullptr});
   ASSERT_TRUE(db->WriteSlot(0, storage::Page::NumSlots() / 2, 41).ok());
   ASSERT_TRUE(
       db->Split(engine::SplitOp{engine::SplitTransform::kSlotHalf, 0, 4}).ok());
@@ -191,7 +191,7 @@ TEST(CheckerTest, DiagnosisStateUnexplainable) {
   // the stable state at all.
   auto db = MakeDb(MethodKind::kGeneralized);
   TraceRecorder trace(db->disk());
-  db->set_trace(&trace);
+  db->Attach(engine::Instrumentation{&trace, nullptr});
   ASSERT_TRUE(db->WriteSlot(0, storage::Page::NumSlots() / 2, 41).ok());
   ASSERT_TRUE(
       db->Split(engine::SplitOp{engine::SplitTransform::kSlotHalf, 0, 4}).ok());
@@ -213,7 +213,7 @@ TEST(CheckerTest, DiagnosisRedoTestWrong) {
   // installed so the redo test skips records it must replay.
   auto db = MakeDb(MethodKind::kPhysiological);
   TraceRecorder trace(db->disk());
-  db->set_trace(&trace);
+  db->Attach(engine::Instrumentation{&trace, nullptr});
   ASSERT_TRUE(db->WriteSlot(1, 0, 5).ok());
   ASSERT_TRUE(db->WriteSlot(2, 0, 6).ok());
   ASSERT_TRUE(db->MaybeFlushPage(1).ok());  // page 2 not installed
@@ -233,7 +233,7 @@ TEST(CheckerTest, DiagnosisRedoTestWrong) {
 TEST(CheckerTest, EpochBoundariesAbsorbOldHistory) {
   auto db = MakeDb(MethodKind::kPhysiological);
   TraceRecorder trace(db->disk());
-  db->set_trace(&trace);
+  db->Attach(engine::Instrumentation{&trace, nullptr});
   ASSERT_TRUE(db->WriteSlot(1, 0, 5).ok());
   ASSERT_TRUE(db->FlushEverything().ok());
   ASSERT_TRUE(db->Checkpoint().ok());

@@ -30,7 +30,7 @@ TEST(CorruptTailRecoveryTest, EveryMethodRecoversFromTruncatedTail) {
     engine::MiniDbOptions db_options;
     db_options.num_pages = 8;
     db_options.cache_capacity = 0;
-    engine::MiniDb db(db_options, methods::MakeMethod(kind, 8));
+    engine::MiniDb db(db_options, methods::MakeMethod(kind, {8}));
 
     ASSERT_TRUE(db.WriteSlot(1, 0, 100).ok());
     ASSERT_TRUE(db.WriteSlot(2, 0, 200).ok());
@@ -65,7 +65,7 @@ TEST(CorruptTailRecoveryTest, SalvageRaisesStableLsnOverCompleteTornRecords) {
   db_options.num_pages = 4;
   db_options.cache_capacity = 0;
   engine::MiniDb db(db_options,
-                    methods::MakeMethod(MethodKind::kPhysical, 4));
+                    methods::MakeMethod(MethodKind::kPhysical, {4}));
   ASSERT_TRUE(db.WriteSlot(1, 0, 10).ok());
   ASSERT_TRUE(db.log().ForceAll().ok());
   ASSERT_TRUE(db.WriteSlot(2, 0, 20).ok());

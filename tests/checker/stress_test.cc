@@ -91,9 +91,9 @@ TEST(StressTest, BtreeCrashLoopWithChecker) {
     engine::MiniDbOptions options;
     options.num_pages = 128;
     options.cache_capacity = 8;
-    engine::MiniDb db(options, methods::MakeMethod(kind, options.num_pages));
+    engine::MiniDb db(options, methods::MakeMethod(kind, {options.num_pages}));
     engine::TraceRecorder trace(db.disk());
-    db.set_trace(&trace);
+    db.Attach(engine::Instrumentation{&trace, nullptr});
     btree::Btree tree = btree::Btree::Create(&db).value();
     Rng rng(0xb7 + static_cast<uint64_t>(kind));
     std::map<int64_t, int64_t> reference;

@@ -27,7 +27,7 @@ std::unique_ptr<MiniDb> MakeDb(MethodKind kind, size_t segment_bytes = 0) {
   options.num_pages = kPages;
   options.cache_capacity = kind == MethodKind::kLogical ? 0 : 4;
   options.wal.segment_bytes = segment_bytes;
-  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, kPages));
+  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, {kPages}));
 }
 
 class BackupFaultTest : public ::testing::TestWithParam<MethodKind> {};

@@ -23,7 +23,7 @@ std::unique_ptr<MiniDb> MakeDb(MethodKind kind) {
   MiniDbOptions options;
   options.num_pages = kPages;
   options.cache_capacity = kind == MethodKind::kLogical ? 0 : 8;
-  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, kPages));
+  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, {kPages}));
 }
 
 class BackupMethodTest : public ::testing::TestWithParam<MethodKind> {};

@@ -65,7 +65,7 @@ void MakeRig(MethodKind kind, const LadderCase& c, LadderRig* out) {
   options.num_pages = kPages;
   options.cache_capacity = 0;
   options.wal.segment_bytes = 160;
-  rig.db = std::make_unique<MiniDb>(options, methods::MakeMethod(kind, kPages));
+  rig.db = std::make_unique<MiniDb>(options, methods::MakeMethod(kind, {kPages}));
   MiniDb& db = *rig.db;
 
   auto write = [&](storage::PageId page, uint32_t slot, int64_t value) {

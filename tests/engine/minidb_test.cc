@@ -22,7 +22,7 @@ std::unique_ptr<MiniDb> MakeDb(MethodKind kind, size_t cache_capacity = 0) {
   MiniDbOptions options;
   options.num_pages = kPages;
   options.cache_capacity = kind == MethodKind::kLogical ? 0 : cache_capacity;
-  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, kPages));
+  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, {kPages}));
 }
 
 class MiniDbMethodTest : public ::testing::TestWithParam<MethodKind> {};
@@ -279,7 +279,7 @@ TEST(MiniDbDeathTest, LogicalWithBoundedCacheAborts) {
   MiniDbOptions options;
   options.num_pages = kPages;
   options.cache_capacity = 4;
-  EXPECT_DEATH(MiniDb(options, methods::MakeMethod(MethodKind::kLogical, kPages)),
+  EXPECT_DEATH(MiniDb(options, methods::MakeMethod(MethodKind::kLogical, {kPages})),
                "unbounded");
 }
 
@@ -288,7 +288,7 @@ TEST(MiniDbDeathTest, CapacityOneAborts) {
   options.num_pages = kPages;
   options.cache_capacity = 1;
   EXPECT_DEATH(
-      MiniDb(options, methods::MakeMethod(MethodKind::kPhysical, kPages)),
+      MiniDb(options, methods::MakeMethod(MethodKind::kPhysical, {kPages})),
       "two pages");
 }
 

@@ -125,7 +125,7 @@ TEST(WorkloadTest, ExecuteActionRunsEveryKind) {
   engine::MiniDbOptions db_options;
   db_options.num_pages = 4;
   MiniDb db(db_options,
-            methods::MakeMethod(methods::MethodKind::kPhysiological, 4));
+            methods::MakeMethod(methods::MethodKind::kPhysiological, {4}));
   Rng rng(1);
   for (const Action::Kind kind :
        {Action::Kind::kSlotWrite, Action::Kind::kBlindFormat,

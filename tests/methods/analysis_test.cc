@@ -22,11 +22,11 @@ std::unique_ptr<MiniDb> MakeDb(MethodKind kind) {
   engine::MiniDbOptions options;
   options.num_pages = kPages;
   options.cache_capacity = 6;
-  return std::make_unique<MiniDb>(options, MakeMethod(kind, kPages));
+  return std::make_unique<MiniDb>(options, MakeMethod(kind, {kPages}));
 }
 
 TEST(AnalysisTest, NameAndKind) {
-  const auto method = MakeMethod(MethodKind::kPhysiologicalAnalysis, kPages);
+  const auto method = MakeMethod(MethodKind::kPhysiologicalAnalysis, {kPages});
   EXPECT_STREQ(method->name(), "physio-aries");
   EXPECT_EQ(method->redo_test_kind(), RecoveryMethod::RedoTestKind::kLsnTag);
 }
@@ -135,7 +135,7 @@ TEST(AnalysisTest, RecoversIdenticallyToPlainPhysiological) {
 TEST(AnalysisTest, InvariantCheckerAcceptsAnalysisVariant) {
   auto db = MakeDb(MethodKind::kPhysiologicalAnalysis);
   engine::TraceRecorder trace(db->disk());
-  db->set_trace(&trace);
+  db->Attach(engine::Instrumentation{&trace, nullptr});
   for (int i = 0; i < 30; ++i) {
     ASSERT_TRUE(db->WriteSlot(i % kPages, 0, i).ok());
     if (i == 15) {

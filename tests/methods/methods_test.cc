@@ -21,7 +21,7 @@ std::unique_ptr<MiniDb> MakeDb(MethodKind kind, size_t capacity = 0) {
   engine::MiniDbOptions options;
   options.num_pages = kPages;
   options.cache_capacity = kind == MethodKind::kLogical ? 0 : capacity;
-  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, kPages));
+  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, {kPages}));
 }
 
 std::vector<wal::LogRecord> StableRecords(MiniDb& db) {
@@ -282,7 +282,7 @@ TEST(RedoScanStatsTest, StatsAccumulateAcrossRecoverCalls) {
         MethodKind::kPhysicalPartial}) {
     auto db = MakeDb(kind);
     obs::RecoveryTracer tracer;
-    db->set_recovery_tracer(&tracer);
+    db->Attach(engine::Instrumentation{db->trace(), &tracer});
     for (int i = 0; i < 3; ++i) {
       ASSERT_TRUE(db->WriteSlot(1, i, i + 10).ok());
     }
@@ -308,29 +308,29 @@ TEST(RedoScanStatsTest, StatsAccumulateAcrossRecoverCalls) {
     EXPECT_EQ(tracer.total_verdicts().total(), 3u + 5u)
         << MethodKindName(kind);
     EXPECT_EQ(tracer.run_verdicts().total(), 5u) << MethodKindName(kind);
-    db->set_recovery_tracer(nullptr);
+    db->Attach(engine::Instrumentation{db->trace(), nullptr});
   }
 }
 
 // ---- Factory coverage ----
 
 TEST(MethodFactoryTest, NamesAndKindsAreConsistent) {
-  EXPECT_STREQ(MakeMethod(MethodKind::kLogical, 4)->name(), "logical");
-  EXPECT_STREQ(MakeMethod(MethodKind::kPhysical, 4)->name(), "physical");
-  EXPECT_STREQ(MakeMethod(MethodKind::kPhysiological, 4)->name(),
+  EXPECT_STREQ(MakeMethod(MethodKind::kLogical, {4})->name(), "logical");
+  EXPECT_STREQ(MakeMethod(MethodKind::kPhysical, {4})->name(), "physical");
+  EXPECT_STREQ(MakeMethod(MethodKind::kPhysiological, {4})->name(),
                "physiological");
-  EXPECT_STREQ(MakeMethod(MethodKind::kGeneralized, 4)->name(),
+  EXPECT_STREQ(MakeMethod(MethodKind::kGeneralized, {4})->name(),
                "generalized-lsn");
-  EXPECT_EQ(MakeMethod(MethodKind::kLogical, 4)->redo_test_kind(),
+  EXPECT_EQ(MakeMethod(MethodKind::kLogical, {4})->redo_test_kind(),
             RecoveryMethod::RedoTestKind::kRedoAllSinceCheckpoint);
-  EXPECT_EQ(MakeMethod(MethodKind::kPhysical, 4)->redo_test_kind(),
+  EXPECT_EQ(MakeMethod(MethodKind::kPhysical, {4})->redo_test_kind(),
             RecoveryMethod::RedoTestKind::kRedoAllSinceCheckpoint);
-  EXPECT_EQ(MakeMethod(MethodKind::kPhysiological, 4)->redo_test_kind(),
+  EXPECT_EQ(MakeMethod(MethodKind::kPhysiological, {4})->redo_test_kind(),
             RecoveryMethod::RedoTestKind::kLsnTag);
-  EXPECT_EQ(MakeMethod(MethodKind::kGeneralized, 4)->redo_test_kind(),
+  EXPECT_EQ(MakeMethod(MethodKind::kGeneralized, {4})->redo_test_kind(),
             RecoveryMethod::RedoTestKind::kLsnTag);
-  EXPECT_FALSE(MakeMethod(MethodKind::kLogical, 4)->allows_background_flush());
-  EXPECT_TRUE(MakeMethod(MethodKind::kPhysical, 4)->allows_background_flush());
+  EXPECT_FALSE(MakeMethod(MethodKind::kLogical, {4})->allows_background_flush());
+  EXPECT_TRUE(MakeMethod(MethodKind::kPhysical, {4})->allows_background_flush());
 }
 
 }  // namespace

@@ -28,9 +28,9 @@ std::string RunScenarioTimeline(methods::MethodKind kind) {
   engine::MiniDbOptions options;
   options.num_pages = 8;
   options.cache_capacity = kind == methods::MethodKind::kLogical ? 0 : 4;
-  engine::MiniDb db(options, methods::MakeMethod(kind, options.num_pages));
+  engine::MiniDb db(options, methods::MakeMethod(kind, {options.num_pages}));
   obs::RecoveryTracer tracer(&db.metrics());
-  db.set_recovery_tracer(&tracer);
+  db.Attach(engine::Instrumentation{nullptr, &tracer});
 
   EXPECT_TRUE(db.WriteSlot(1, 0, 100).ok());
   EXPECT_TRUE(db.WriteSlot(2, 0, 200).ok());

@@ -31,7 +31,7 @@ std::unique_ptr<MiniDb> MakeDb(MethodKind kind, size_t capacity = 0) {
   engine::MiniDbOptions options;
   options.num_pages = kPages;
   options.cache_capacity = kind == MethodKind::kLogical ? 0 : capacity;
-  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, kPages));
+  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, {kPages}));
 }
 
 std::vector<wal::LogRecord> StableRecords(MiniDb& db) {
@@ -212,11 +212,11 @@ TEST(ParallelSchedulerTest, WholeSplitHandoffMatchesSerialApply) {
 
   for (size_t workers : {2u, 3u}) {
     RestoreCrashState(*db, crash_disk);
-    methods::RecoveryOptions recovery;
+    engine::EngineOptions recovery;
     recovery.parallel_workers = workers;
-    db->set_recovery_options(recovery);
+    db->set_engine_options(recovery);
     ASSERT_TRUE(db->Recover().ok());
-    db->set_recovery_options(methods::RecoveryOptions{});
+    db->set_engine_options(engine::EngineOptions{});
     EXPECT_EQ(EffectiveState(*db), serial_state) << workers << " workers";
   }
 }
@@ -244,12 +244,12 @@ TEST(ParallelRedoEngineTest, EveryMethodRecoversIdenticallyAtEveryWorkerCount) {
 
     for (size_t workers : {2u, 4u, 8u}) {
       RestoreCrashState(*db, crash_disk);
-      methods::RecoveryOptions recovery;
+      engine::EngineOptions recovery;
       recovery.parallel_workers = workers;
-      db->set_recovery_options(recovery);
+      db->set_engine_options(recovery);
       ASSERT_TRUE(db->Recover().ok())
           << methods::MethodKindName(kind) << " with " << workers;
-      db->set_recovery_options(methods::RecoveryOptions{});
+      db->set_engine_options(engine::EngineOptions{});
       EXPECT_EQ(EffectiveState(*db), serial_state)
           << methods::MethodKindName(kind) << " diverges at " << workers
           << " workers";
@@ -263,9 +263,9 @@ TEST(ParallelRedoEngineTest, BoundedPoolReenforcesCapacityAfterMerge) {
   if (testing::Test::HasFatalFailure()) return;
   ASSERT_TRUE(db->log().ForceAll().ok());
   db->Crash();
-  methods::RecoveryOptions recovery;
+  engine::EngineOptions recovery;
   recovery.parallel_workers = 4;
-  db->set_recovery_options(recovery);
+  db->set_engine_options(recovery);
   ASSERT_TRUE(db->Recover().ok());
   EXPECT_LE(db->pool().num_cached(), 4u)
       << "partitions are unbounded; the merge must shrink back";
@@ -280,9 +280,9 @@ TEST(ParallelRedoEngineTest, ParallelRunsFeedTheMetricsSource) {
   }
   ASSERT_TRUE(db->log().ForceAll().ok());
   db->Crash();
-  methods::RecoveryOptions recovery;
+  engine::EngineOptions recovery;
   recovery.parallel_workers = 4;
-  db->set_recovery_options(recovery);
+  db->set_engine_options(recovery);
   ASSERT_TRUE(db->Recover().ok());
   const ParallelRedoMetrics& metrics = db->parallel_redo_metrics();
   EXPECT_EQ(metrics.runs, 1u);

@@ -36,8 +36,17 @@
 // acknowledged commits, and recovered state equal to the LSN-ordered
 // model replay of the surviving journal.
 //
+// With `--instant`, the concurrent torture recovers through instant
+// restart instead: every cycle crashes the front end, reopens with
+// RecoverInstant(), and runs the next full load WHILE redo drains
+// (sessions drain their pages on demand, background workers race them).
+// A fraction of recoveries take a second crash during
+// serving-while-redoing — half before any traffic touches a page, half
+// mid-drain with sessions in flight. The oracles are the concurrent
+// ones, applied across the recover-while-loading boundary.
+//
 // Usage: crash_torture [--faults] [--force-unrecoverable] [--parallel]
-//                      [--concurrent] [--timeline-out PATH]
+//                      [--concurrent] [--instant] [--timeline-out PATH]
 //                      [runs_per_method] [ops_per_segment] [crashes]
 
 #include <algorithm>
@@ -55,6 +64,7 @@ int main(int argc, char** argv) {
   bool force_unrecoverable = false;
   bool parallel = false;
   bool concurrent = false;
+  bool instant = false;
   std::string timeline_out = "crash_torture_failing_timeline.jsonl";
   while (argc > 1) {
     if (std::strcmp(argv[1], "--faults") == 0) {
@@ -66,6 +76,8 @@ int main(int argc, char** argv) {
       parallel = true;
     } else if (std::strcmp(argv[1], "--concurrent") == 0) {
       concurrent = true;
+    } else if (std::strcmp(argv[1], "--instant") == 0) {
+      instant = true;
     } else if (std::strcmp(argv[1], "--timeline-out") == 0 && argc > 2) {
       timeline_out = argv[2];
       --argc;
@@ -79,6 +91,82 @@ int main(int argc, char** argv) {
   const size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
   const size_t ops = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 200;
   const size_t crashes = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 4;
+
+  if (instant) {
+    // Instant-restart torture: six methods x {2,4,8} sessions. Every
+    // cycle reopens with RecoverInstant and runs the next load while
+    // redo drains; 40% of recoveries take a second crash during
+    // serving-while-redoing (half before first fetch, half mid-drain).
+    std::printf(
+        "instant-restart torture: %zu seeds x %zu cycles per "
+        "(method, sessions) config [torn forces ON, double crashes 40%%]\n\n",
+        runs, crashes);
+    std::printf("%-16s %9s %8s %8s %8s %8s %7s %9s %8s %7s\n", "method",
+                "sessions", "cycles", "ops", "acked", "refused", "lost",
+                "instants", "dblcrash", "result");
+    int instant_exit = 0;
+    size_t total_cycles = 0, total_lost = 0, total_instants = 0,
+           total_double = 0;
+    for (const methods::MethodKind kind :
+         {methods::MethodKind::kLogical, methods::MethodKind::kPhysical,
+          methods::MethodKind::kPhysiological,
+          methods::MethodKind::kGeneralized,
+          methods::MethodKind::kPhysiologicalAnalysis,
+          methods::MethodKind::kPhysicalPartial}) {
+      for (const size_t sessions : {2u, 4u, 8u}) {
+        checker::ConcurrentSimResult sum;
+        sum.ok = true;
+        std::string first_failure;
+        for (size_t seed = 1; seed <= runs; ++seed) {
+          checker::ConcurrentSimOptions options;
+          options.sessions = sessions;
+          options.ops_per_session = std::max<size_t>(1, ops / sessions);
+          options.cycles = crashes;
+          options.tear_log_tail = true;
+          options.disk_write_faults = true;
+          options.fuzzy_checkpoints = true;
+          options.instant_restart = true;
+          options.instant_drain_workers = 2;
+          options.double_crash_percent = 40;
+          const checker::ConcurrentSimResult r =
+              checker::RunConcurrentCrashSim(kind, options,
+                                             seed * 1409 + sessions);
+          sum.cycles += r.cycles;
+          sum.ops_applied += r.ops_applied;
+          sum.commits_acked += r.commits_acked;
+          sum.commits_refused += r.commits_refused;
+          sum.lost_acked_commits += r.lost_acked_commits;
+          sum.instant_restarts += r.instant_restarts;
+          sum.double_crashes += r.double_crashes;
+          if (!r.ok) {
+            if (sum.ok) first_failure = r.failure;
+            sum.ok = false;
+          }
+        }
+        total_cycles += sum.cycles;
+        total_lost += sum.lost_acked_commits;
+        total_instants += sum.instant_restarts;
+        total_double += sum.double_crashes;
+        std::printf("%-16s %9zu %8zu %8zu %8zu %8zu %7zu %9zu %8zu %7s\n",
+                    methods::MethodKindName(kind), sessions, sum.cycles,
+                    sum.ops_applied, sum.commits_acked, sum.commits_refused,
+                    sum.lost_acked_commits, sum.instant_restarts,
+                    sum.double_crashes, sum.ok ? "OK" : "FAILED");
+        if (!sum.ok) {
+          std::printf("    first failure: %s\n", first_failure.c_str());
+          instant_exit = 1;
+        }
+      }
+    }
+    std::printf(
+        "\n%zu recover-while-loading cycles (%zu instant restarts, %zu "
+        "double crashes); lost acked commits: %zu%s\n",
+        total_cycles, total_instants, total_double, total_lost,
+        total_lost == 0 ? " (every acknowledged commit survived)"
+                        : "  <-- BUG");
+    if (total_lost != 0) instant_exit = 1;
+    return instant_exit;
+  }
 
   if (concurrent) {
     // The concurrent torture: six methods x {2,4,8} sessions, both

@@ -165,7 +165,9 @@ std::string ConcurrentSimResult::ToString() const {
       << " write_bursts=" << write_fault_bursts
       << " group_commits=" << group_commits
       << " group_batches=" << group_batches
-      << " pages_verified=" << pages_verified;
+      << " pages_verified=" << pages_verified
+      << " instant_restarts=" << instant_restarts
+      << " double_crashes=" << double_crashes;
   if (!ok) out << " failure=\"" << failure << "\"";
   return out.str();
 }
@@ -181,6 +183,9 @@ ConcurrentSimResult RunConcurrentCrashSim(methods::MethodKind method,
   db_options.engine.group_commit_window_us = options.group_commit_window_us;
   db_options.engine.group_commit_ring = options.group_commit_ring;
   db_options.engine.fuzzy_checkpoints = options.fuzzy_checkpoints;
+  db_options.engine.instant_restart = options.instant_restart;
+  db_options.engine.instant_drain_workers =
+      options.instant_drain_workers == 0 ? 1 : options.instant_drain_workers;
   MiniDb db(db_options,
             methods::MakeMethod(method, {options.num_pages}));
 
@@ -199,92 +204,82 @@ ConcurrentSimResult RunConcurrentCrashSim(methods::MethodKind method,
   Rng sim_rng(seed);
 
   for (size_t cycle = 0; cycle < options.cycles; ++cycle) {
-    Status begun = db.BeginConcurrent();
-    if (!begun.ok()) {
-      result.failure = "BeginConcurrent: " + begun.ToString();
-      return result;
+    // Instant restart leaves the engine in concurrent mode after
+    // WaitUntilRecovered, so only the first cycle enters it here.
+    if (!db.concurrent()) {
+      Status begun = db.BeginConcurrent();
+      if (!begun.ok()) {
+        result.failure = "BeginConcurrent: " + begun.ToString();
+        return result;
+      }
     }
 
     std::atomic<size_t> ops_applied{0}, splits_applied{0};
     std::atomic<size_t> commits_acked{0}, commits_refused{0};
     std::atomic<size_t> checkpoints{0};
 
-    std::vector<std::thread> workers;
-    for (size_t w = 0; w < options.sessions; ++w) {
-      workers.emplace_back([&, w] {
-        WorkerLoop(db, state, options, seed + cycle * 7919, w, ops_applied,
-                   splits_applied, commits_acked, commits_refused);
-      });
-    }
-    std::thread checkpointer;
-    if (options.checkpoints_per_cycle > 0) {
-      checkpointer = std::thread([&] {
-        for (size_t i = 0; i < options.checkpoints_per_cycle; ++i) {
-          std::this_thread::sleep_for(std::chrono::microseconds(200));
-          if (!db.Checkpoint().ok()) return;  // frozen mid-checkpoint
-          checkpoints.fetch_add(1);
-        }
-      });
-    }
-
-    // The crash boundary lands at an arbitrary moment of the run.
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(200 + sim_rng.Below(3000)));
-    db.FreezeCommits();
-
-    for (std::thread& t : workers) t.join();
-    if (checkpointer.joinable()) checkpointer.join();
-    if (!state.first_failure.empty()) {
-      result.failure = state.first_failure;
-      return result;
-    }
-
-    result.ops_applied += ops_applied.load();
-    result.splits_applied += splits_applied.load();
-    result.commits_acked += commits_acked.load();
-    result.commits_refused += commits_refused.load();
-    result.checkpoints_taken += checkpoints.load();
+    // One round of session traffic. With freeze, the crash boundary
+    // lands at an arbitrary moment and the workers drain out with
+    // refused commits; without it every worker finishes and commits
+    // (the serving-while-redoing load).
+    auto run_worker_round = [&](bool freeze, uint64_t sleep_hi_us,
+                                size_t round_salt) {
+      std::vector<std::thread> workers;
+      for (size_t w = 0; w < options.sessions; ++w) {
+        workers.emplace_back([&, w] {
+          WorkerLoop(db, state, options, seed + cycle * 7919 + round_salt, w,
+                     ops_applied, splits_applied, commits_acked,
+                     commits_refused);
+        });
+      }
+      std::thread checkpointer;
+      if (freeze && options.checkpoints_per_cycle > 0) {
+        checkpointer = std::thread([&] {
+          for (size_t i = 0; i < options.checkpoints_per_cycle; ++i) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            if (!db.Checkpoint().ok()) return;  // frozen mid-checkpoint
+            checkpoints.fetch_add(1);
+          }
+        });
+      }
+      if (freeze) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(200 + sim_rng.Below(sleep_hi_us)));
+        db.FreezeCommits();
+      }
+      for (std::thread& t : workers) t.join();
+      if (checkpointer.joinable()) checkpointer.join();
+    };
 
     // The crash, optionally tearing the in-flight force mid-record.
-    if (options.tear_log_tail) {
-      const size_t pending = db.log().PendingForceBytes();
-      if (pending > 0) {
-        db.log().TearInFlightForce(sim_rng.Below(pending + 1));
-        ++result.torn_tails;
+    auto crash_now = [&] {
+      if (options.tear_log_tail) {
+        const size_t pending = db.log().PendingForceBytes();
+        if (pending > 0) {
+          db.log().TearInFlightForce(sim_rng.Below(pending + 1));
+          ++result.torn_tails;
+        }
       }
-    }
-    db.Crash();
-    Status recovered = db.Recover();
-    if (!recovered.ok()) {
-      result.failure = "recover: " + recovered.ToString();
-      return result;
-    }
-
-    const core::Lsn stable = db.log().stable_lsn();
+      db.Crash();
+    };
 
     // Oracle 1: no acknowledged commit may be lost. An ack means the
-    // committer's force covered the LSN, so salvage must keep it.
-    for (core::Lsn lsn : state.acked) {
-      if (lsn > stable) ++result.lost_acked_commits;
-    }
-    if (result.lost_acked_commits > 0) {
-      result.failure =
-          "lost acked commits: stable_lsn " + std::to_string(stable) +
-          " below " + std::to_string(result.lost_acked_commits) +
-          " acknowledged commit LSN(s)";
-      return result;
-    }
-
-    // Oracle 2: the recovered state equals an LSN-ordered replay of the
-    // journaled operations whose records survived (lsn <= stable_lsn).
-    // The journal spans every cycle: state accumulates across crashes.
-    // Entries above the stable LSN died with the crash — prune them NOW,
-    // because the log reuses lost LSNs and next cycle's records would
-    // collide with the corpses. stable_sort: a logical split journals
-    // two entries at one LSN whose order (destination write, then
-    // source rewrite) must survive the sort.
-    std::vector<JournalEntry> survivors;
-    {
+    // committer's force covered the LSN, so salvage must keep it. Then
+    // prune the journal of entries above the stable LSN NOW: they died
+    // with the crash, and the log reuses lost LSNs, so the next round's
+    // records would collide with the corpses.
+    auto check_acked_and_prune = [&]() -> bool {
+      const core::Lsn stable = db.log().stable_lsn();
+      for (core::Lsn lsn : state.acked) {
+        if (lsn > stable) ++result.lost_acked_commits;
+      }
+      if (result.lost_acked_commits > 0) {
+        result.failure =
+            "lost acked commits: stable_lsn " + std::to_string(stable) +
+            " below " + std::to_string(result.lost_acked_commits) +
+            " acknowledged commit LSN(s)";
+        return false;
+      }
       std::lock_guard<std::mutex> lock(state.mu);
       state.journal.erase(
           std::remove_if(state.journal.begin(), state.journal.end(),
@@ -292,55 +287,142 @@ ConcurrentSimResult RunConcurrentCrashSim(methods::MethodKind method,
                            return e.lsn > stable;
                          }),
           state.journal.end());
-      survivors = state.journal;
-    }
-    std::stable_sort(survivors.begin(), survivors.end(),
-                     [](const JournalEntry& a, const JournalEntry& b) {
-                       return a.lsn < b.lsn;
-                     });
-    std::vector<Page> model(options.num_pages);
-    for (const JournalEntry& e : survivors) {
-      if (e.is_split_dst) {
-        const Page src_copy = model[e.split.src];
-        engine::ApplySplitToDst(e.split, src_copy, &model[e.split.dst]);
-      } else {
-        const Status applied =
-            engine::ApplySinglePageOp(e.op, &model[e.op.page]);
-        if (!applied.ok()) {
-          result.failure = "model replay: " + applied.ToString();
-          return result;
-        }
+      return true;
+    };
+
+    // Oracle 2: the effective state equals an LSN-ordered replay of the
+    // (already pruned) journal. The journal spans every cycle: state
+    // accumulates across crashes. stable_sort: a logical split journals
+    // two entries at one LSN whose order (destination write, then
+    // source rewrite) must survive the sort.
+    auto verify_against_model = [&]() -> bool {
+      std::vector<JournalEntry> survivors;
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        survivors = state.journal;
       }
-    }
-    const std::vector<uint64_t> recovered_hashes = EffectivePayloadHashes(db);
-    for (PageId p = 0; p < options.num_pages; ++p) {
-      if (recovered_hashes[p] != HashBytes(model[p].payload())) {
-        const Page* cached = db.pool().PeekCached(p);
-        const Page& got = cached != nullptr ? *cached : db.disk().PeekPage(p);
-        std::string detail;
-        for (size_t slot = 0; slot < Page::NumSlots(); ++slot) {
-          if (got.ReadSlot(slot) != model[p].ReadSlot(slot)) {
-            detail = "; first diff slot " + std::to_string(slot) + ": got " +
-                     std::to_string(got.ReadSlot(slot)) + " want " +
-                     std::to_string(model[p].ReadSlot(slot));
-            break;
+      std::stable_sort(survivors.begin(), survivors.end(),
+                       [](const JournalEntry& a, const JournalEntry& b) {
+                         return a.lsn < b.lsn;
+                       });
+      std::vector<Page> model(options.num_pages);
+      for (const JournalEntry& e : survivors) {
+        if (e.is_split_dst) {
+          const Page src_copy = model[e.split.src];
+          engine::ApplySplitToDst(e.split, src_copy, &model[e.split.dst]);
+        } else {
+          const Status applied =
+              engine::ApplySinglePageOp(e.op, &model[e.op.page]);
+          if (!applied.ok()) {
+            result.failure = "model replay: " + applied.ToString();
+            return false;
           }
         }
-        result.failure = "cycle " + std::to_string(cycle) + ": page " +
-                         std::to_string(p) +
-                         " diverges from the LSN-ordered model replay of " +
-                         std::to_string(survivors.size()) +
-                         " surviving records (stable_lsn " +
-                         std::to_string(stable) + ")" + detail;
+      }
+      const std::vector<uint64_t> recovered_hashes = EffectivePayloadHashes(db);
+      for (PageId p = 0; p < options.num_pages; ++p) {
+        if (recovered_hashes[p] != HashBytes(model[p].payload())) {
+          const Page* cached = db.pool().PeekCached(p);
+          const Page& got = cached != nullptr ? *cached : db.disk().PeekPage(p);
+          std::string detail;
+          for (size_t slot = 0; slot < Page::NumSlots(); ++slot) {
+            if (got.ReadSlot(slot) != model[p].ReadSlot(slot)) {
+              detail = "; first diff slot " + std::to_string(slot) + ": got " +
+                       std::to_string(got.ReadSlot(slot)) + " want " +
+                       std::to_string(model[p].ReadSlot(slot));
+              break;
+            }
+          }
+          result.failure = "cycle " + std::to_string(cycle) + ": page " +
+                           std::to_string(p) +
+                           " diverges from the LSN-ordered model replay of " +
+                           std::to_string(survivors.size()) +
+                           " surviving records (stable_lsn " +
+                           std::to_string(db.log().stable_lsn()) + ")" + detail;
+          return false;
+        }
+        ++result.pages_verified;
+      }
+      return true;
+    };
+
+    run_worker_round(/*freeze=*/true, /*sleep_hi_us=*/3000, /*round_salt=*/0);
+    if (!state.first_failure.empty()) {
+      result.failure = state.first_failure;
+      return result;
+    }
+    crash_now();
+
+    if (options.instant_restart) {
+      // Recover while serving; a double crash strikes mid-recovery and
+      // the whole dance restarts from the new salvage point.
+      bool crashed_again = true;
+      bool first_attempt = true;
+      while (crashed_again) {
+        crashed_again = false;
+        Status recovered = db.RecoverInstant();
+        if (!recovered.ok()) {
+          result.failure = "instant recover: " + recovered.ToString();
+          return result;
+        }
+        ++result.instant_restarts;
+        if (!check_acked_and_prune()) return result;
+        if (first_attempt &&
+            sim_rng.Below(100) < options.double_crash_percent) {
+          first_attempt = false;
+          ++result.double_crashes;
+          if (sim_rng.Below(2) == 1) {
+            // Crash mid-drain with sessions in flight.
+            run_worker_round(/*freeze=*/true, /*sleep_hi_us=*/1200,
+                             /*round_salt=*/1000 + cycle);
+            if (!state.first_failure.empty()) {
+              result.failure = state.first_failure;
+              return result;
+            }
+          }  // else: crash before any traffic touches a page
+          crash_now();
+          crashed_again = true;
+        }
+      }
+      // Recover-while-loading: a full worker round against the serving
+      // engine, racing the background drain, with no freeze — every
+      // commit must ack.
+      run_worker_round(/*freeze=*/false, /*sleep_hi_us=*/0,
+                       /*round_salt=*/2000 + cycle);
+      if (!state.first_failure.empty()) {
+        result.failure = state.first_failure;
         return result;
       }
-      ++result.pages_verified;
+      Status waited = db.WaitUntilRecovered();
+      if (!waited.ok()) {
+        result.failure = "WaitUntilRecovered: " + waited.ToString();
+        return result;
+      }
+      if (!check_acked_and_prune()) return result;  // prune is a no-op here
+      if (!verify_against_model()) return result;
+    } else {
+      Status recovered = db.Recover();
+      if (!recovered.ok()) {
+        result.failure = "recover: " + recovered.ToString();
+        return result;
+      }
+      if (!check_acked_and_prune()) return result;
+      if (!verify_against_model()) return result;
     }
+
+    result.ops_applied += ops_applied.load();
+    result.splits_applied += splits_applied.load();
+    result.commits_acked += commits_acked.load();
+    result.commits_refused += commits_refused.load();
+    result.checkpoints_taken += checkpoints.load();
     ++result.cycles;
   }
 
   result.group_commits = db.log().stats().group_commits;
   result.group_batches = db.log().stats().group_batches;
+  // Instant mode leaves the engine serving in concurrent mode; drain
+  // the pipeline cleanly before teardown.
+  if (db.concurrent()) (void)db.EndConcurrent();
   db.disk().set_fault_injector(nullptr);
   result.write_fault_bursts = injector.stats().write_bursts;
   result.ok = true;

@@ -54,6 +54,18 @@ struct ConcurrentSimOptions {
   bool disk_write_faults = false;
   uint64_t group_commit_window_us = 100;
   size_t group_commit_ring = 64;
+  /// Instant restart: recover with RecoverInstant() and run a full
+  /// worker round WHILE redo drains (recover-while-loading), then
+  /// WaitUntilRecovered() and verify the combined state. The oracles
+  /// are unchanged — serving traffic must not alter what recovery
+  /// produces, and no acked commit (old or new) may be lost.
+  bool instant_restart = false;
+  /// Instant mode: background drain threads (EngineOptions).
+  size_t instant_drain_workers = 2;
+  /// Instant mode: per-recovery probability (percent) of a second crash
+  /// while serving-while-redoing — half strike before any traffic
+  /// touches a page, half mid-drain with sessions in flight.
+  size_t double_crash_percent = 0;
 };
 
 struct ConcurrentSimResult {
@@ -69,6 +81,8 @@ struct ConcurrentSimResult {
   size_t torn_tails = 0;
   size_t write_fault_bursts = 0;
   size_t pages_verified = 0;
+  size_t instant_restarts = 0;  ///< RecoverInstant() calls that served
+  size_t double_crashes = 0;    ///< crashes during serving-while-redoing
   uint64_t group_commits = 0;  ///< pipeline acks (from LogStats)
   uint64_t group_batches = 0;  ///< pipeline forces (from LogStats)
 

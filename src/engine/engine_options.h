@@ -48,6 +48,12 @@ struct EngineOptions {
   /// group-commit batching is visible in wall-clock throughput.
   uint64_t simulated_force_latency_us = 0;
 
+  /// Simulated latency of one page read, charged by the buffer pool per
+  /// miss. 0 (the default) adds no delay; benchmarks set it to model a
+  /// device read so recovery strategies that defer page I/O (instant
+  /// restart) show the saving in wall-clock time.
+  uint64_t simulated_read_latency_us = 0;
+
   /// Concurrent mode: take checkpoints fuzzily when the method supports
   /// it (the LSN-tag methods) — snapshot the dirty-page table and
   /// append the checkpoint record under a brief writer barrier, then
@@ -56,6 +62,18 @@ struct EngineOptions {
   /// (redo-all methods, whose checkpoints must flush) fall back to
   /// their quiescing checkpoint under the barrier.
   bool fuzzy_checkpoints = false;
+
+  /// Enables MiniDb::RecoverInstant(): after analysis the engine opens
+  /// for Session traffic immediately and redo drains on demand (a
+  /// session touching a page replays its pending chain first) while
+  /// background workers drain the rest in write-graph order. Recover()
+  /// keeps the quiescing semantics regardless of this flag.
+  bool instant_restart = false;
+
+  /// Background drain threads spawned by RecoverInstant(). Must be
+  /// >= 1: without a drainer an idle engine would never finish
+  /// recovering.
+  size_t instant_drain_workers = 1;
 };
 
 /// Observers a caller may attach to a MiniDb (see MiniDb::Attach). All

@@ -19,6 +19,12 @@ Status MiniDbOptions::Validate() const {
     return Status::InvalidArgument(
         "minidb options: group_commit_ring must be >= 1");
   }
+  if (engine.instant_restart && engine.instant_drain_workers == 0) {
+    return Status::InvalidArgument(
+        "minidb options: instant_drain_workers must be >= 1 when "
+        "instant_restart is set — an idle engine would never finish "
+        "recovering");
+  }
   return Status::Ok();
 }
 
@@ -36,6 +42,7 @@ MiniDb::MiniDb(const MiniDbOptions& options,
       << method_->name()
       << " forbids background flushes; use an unbounded cache";
   pool_.set_wal_hook([this](core::Lsn lsn) { return log_.Force(lsn); });
+  pool_.set_simulated_read_latency_us(engine_options_.simulated_read_latency_us);
 
   // Federate every subsystem's stats into the unified registry: one
   // snapshot call dumps the whole engine.
@@ -46,6 +53,10 @@ MiniDb::MiniDb(const MiniDbOptions& options,
       "redo.parallel",
       [this](obs::MetricEmitter& emit) { parallel_metrics_.EmitMetrics(emit); },
       [this]() { parallel_metrics_ = par::ParallelRedoMetrics{}; });
+  metrics_.Register(
+      "redo.instant",
+      [this](obs::MetricEmitter& emit) { instant_metrics_.EmitMetrics(emit); },
+      [this]() { instant_metrics_.Reset(); });
   log_.set_append_size_histogram(
       metrics_.GetHistogram("wal.append_bytes", obs::SizeBucketsBytes()));
 }
@@ -73,6 +84,7 @@ Result<methods::RecoveryMethod::SplitLsns> MiniDb::Split(const SplitOp& op) {
 }
 
 Result<int64_t> MiniDb::ReadSlot(storage::PageId page, uint32_t slot) {
+  REDO_RETURN_IF_ERROR(EnsureRedoneForAccess(page));
   Result<storage::Page*> cached = pool_.Fetch(page);
   if (!cached.ok()) return cached.status();
   if (slot >= storage::Page::NumSlots()) {
@@ -82,6 +94,7 @@ Result<int64_t> MiniDb::ReadSlot(storage::PageId page, uint32_t slot) {
 }
 
 Result<storage::Page*> MiniDb::FetchPage(storage::PageId page) {
+  REDO_RETURN_IF_ERROR(EnsureRedoneForAccess(page));
   return pool_.Fetch(page);
 }
 
@@ -114,6 +127,11 @@ Status MiniDb::EndConcurrent() {
   if (!concurrent_.load()) {
     return Status::FailedPrecondition("not in concurrent mode");
   }
+  if (phase_.load(std::memory_order_acquire) == RecoveryPhase::kServing) {
+    return Status::FailedPrecondition(
+        "serving-while-redoing: WaitUntilRecovered() before "
+        "EndConcurrent()");
+  }
   concurrent_.store(false);
   return log_.StopGroupCommit();
 }
@@ -144,10 +162,18 @@ Result<int64_t> MiniDb::Session::ReadSlot(storage::PageId page,
 }
 
 Result<core::Lsn> MiniDb::Session::Commit(core::Lsn lsn) {
-  return db_->log().CommitWait(lsn != 0 ? lsn : last_lsn_);
+  Result<core::Lsn> acked = db_->log().CommitWait(lsn != 0 ? lsn : last_lsn_);
+  if (acked.ok()) db_->RecordFirstCommitDuringServing();
+  return acked;
 }
 
 Result<core::Lsn> MiniDb::SessionApply(const SinglePageOp& op) {
+  REDO_SANITIZER_CHECK(!recovering_.load(std::memory_order_relaxed))
+      << "Session op raced a quiescing Recover()";
+  // On-demand redo runs BEFORE the shared gate: the drain takes the
+  // gate exclusive (replaying a split dst re-arms its §6.4 constraint,
+  // which can cascade flushes no latch covers).
+  REDO_RETURN_IF_ERROR(EnsureRedoneForAccess(op.page));
   std::shared_lock<std::shared_mutex> gate(op_gate_);
   storage::PageLatchGuard latch = pool_.LatchPage(op.page);
   methods::EngineContext context = ctx();
@@ -159,17 +185,35 @@ Result<methods::RecoveryMethod::SplitLsns> MiniDb::SessionSplit(
   if (op.src == op.dst) {
     return Status::InvalidArgument("split: src and dst must differ");
   }
+  REDO_SANITIZER_CHECK(!recovering_.load(std::memory_order_relaxed))
+      << "Session split raced a quiescing Recover()";
   // Structure modification: the gate goes exclusive (the SMO barrier —
   // a split's write-order side effects can cascade flushes onto pages
   // beyond src/dst, which no latch pair covers), then the split
-  // latch-couples src -> dst. See DESIGN.md §10.
+  // latch-couples src -> dst. See DESIGN.md §10. The urgent flag keeps
+  // the background drain workers from queueing ahead of us.
+  drain_urgent_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::shared_mutex> gate(op_gate_);
+  drain_urgent_.fetch_sub(1, std::memory_order_relaxed);
+  // Serving-while-redoing: both halves must be current before a new
+  // split stacks on top of them; the gate is already exclusive here, so
+  // drain in place rather than via EnsureRedoneForAccess.
+  if (phase_.load(std::memory_order_acquire) == RecoveryPhase::kServing &&
+      instant_driver_ != nullptr) {
+    REDO_RETURN_IF_ERROR(
+        instant_driver_->DrainPage(op.src, /*on_demand=*/true));
+    REDO_RETURN_IF_ERROR(
+        instant_driver_->DrainPage(op.dst, /*on_demand=*/true));
+  }
   auto latches = pool_.LatchCouple(op.src, op.dst);
   methods::EngineContext context = ctx();
   return method_->LogAndApplySplit(context, op);
 }
 
 Result<int64_t> MiniDb::SessionReadSlot(storage::PageId page, uint32_t slot) {
+  REDO_SANITIZER_CHECK(!recovering_.load(std::memory_order_relaxed))
+      << "Session read raced a quiescing Recover()";
+  REDO_RETURN_IF_ERROR(EnsureRedoneForAccess(page));
   std::shared_lock<std::shared_mutex> gate(op_gate_);
   storage::PageLatchGuard latch = pool_.LatchPage(page);
   Result<storage::Page*> cached = pool_.Fetch(page);
@@ -181,6 +225,11 @@ Result<int64_t> MiniDb::SessionReadSlot(storage::PageId page, uint32_t slot) {
 }
 
 Result<core::Lsn> MiniDb::FuzzyCheckpoint() {
+  if (phase_.load(std::memory_order_acquire) == RecoveryPhase::kServing) {
+    return Status::FailedPrecondition(
+        "checkpoint during serving-while-redoing would advance the redo "
+        "point past still-pending redo; WaitUntilRecovered() first");
+  }
   if (!method_->supports_fuzzy_checkpoint()) {
     return Status::FailedPrecondition(
         std::string(method_->name()) + " cannot checkpoint fuzzily");
@@ -199,6 +248,11 @@ Result<core::Lsn> MiniDb::FuzzyCheckpoint() {
 // ---- Lifecycle ----
 
 Status MiniDb::Checkpoint() {
+  if (phase_.load(std::memory_order_acquire) == RecoveryPhase::kServing) {
+    return Status::FailedPrecondition(
+        "checkpoint during serving-while-redoing would advance the redo "
+        "point past still-pending redo; WaitUntilRecovered() first");
+  }
   if (concurrent_.load()) {
     if (engine_options_.fuzzy_checkpoints &&
         method_->supports_fuzzy_checkpoint()) {
@@ -236,6 +290,22 @@ Status MiniDb::FlushEverything() {
 }
 
 void MiniDb::Crash() {
+  // Tear down an in-flight instant restart first: Abort() makes
+  // NextPendingPage/DrainPage return without work, so the drain workers
+  // fall out of their loops and can be joined.
+  if (instant_driver_ != nullptr) instant_driver_->Abort();
+  for (std::thread& worker : drain_threads_) worker.join();
+  drain_threads_.clear();
+  if (instant_run_open_) {
+    obs::RecoveryTracer* tracer = recovery_tracer();
+    if (tracer != nullptr && tracer->in_run()) {
+      tracer->EndPhase();  // serving-while-redoing
+      tracer->EndRun(false, "crash during serving-while-redoing");
+    }
+    instant_run_open_ = false;
+  }
+  instant_driver_.reset();
+  phase_.store(RecoveryPhase::kIdle, std::memory_order_release);
   // The crash ends concurrent mode: log_.Crash() freezes and joins the
   // committer, and recovery runs serially. Session worker threads must
   // already be joined (their handles die with them).
@@ -245,16 +315,38 @@ void MiniDb::Crash() {
 }
 
 Status MiniDb::Recover() {
+  if (live_sessions_.load(std::memory_order_relaxed) != 0) {
+    return Status::FailedPrecondition(
+        "Recover() with live Session handles: join the session workers "
+        "and drop their handles first — recovery rebuilds the state they "
+        "operate on");
+  }
+  if (phase_.load(std::memory_order_acquire) == RecoveryPhase::kServing) {
+    return Status::FailedPrecondition(
+        "instant restart in progress: WaitUntilRecovered() or Crash() "
+        "before a quiescing Recover()");
+  }
+  recovering_.store(true, std::memory_order_relaxed);
   if (recovery_tracer() != nullptr) recovery_tracer()->BeginRun(method_->name());
   const Status status = RecoverInternal();
   if (recovery_tracer() != nullptr) {
     recovery_tracer()->EndRun(status.ok(),
                               status.ok() ? "ok" : status.ToString());
   }
+  recovering_.store(false, std::memory_order_relaxed);
+  if (status.ok()) {
+    phase_.store(RecoveryPhase::kRecovered, std::memory_order_release);
+  }
   return status;
 }
 
 Status MiniDb::RecoverInternal() {
+  REDO_RETURN_IF_ERROR(PrepareLogForRecovery());
+  methods::EngineContext context = ctx();
+  return method_->Recover(context);
+}
+
+Status MiniDb::PrepareLogForRecovery() {
   obs::RecoveryTracer* tracer = recovery_tracer();
   // First salvage the stable log: a crash mid-force may have left a torn
   // tail, and every recovery method's log scan must see a clean prefix.
@@ -286,8 +378,153 @@ Status MiniDb::RecoverInternal() {
         "); refusing to recover past a gap — repair the log or run the "
         "degradation ladder");
   }
-  methods::EngineContext context = ctx();
-  return method_->Recover(context);
+  return Status::Ok();
+}
+
+// ---- Instant restart (serving-while-redoing) ----
+
+Status MiniDb::RecoverInstant() {
+  if (!engine_options_.instant_restart) {
+    return Status::FailedPrecondition(
+        "instant restart is disabled: set EngineOptions::instant_restart");
+  }
+  if (engine_options_.instant_drain_workers == 0) {
+    return Status::FailedPrecondition(
+        "instant restart needs instant_drain_workers >= 1");
+  }
+  if (live_sessions_.load(std::memory_order_relaxed) != 0) {
+    return Status::FailedPrecondition(
+        "RecoverInstant() with live Session handles: join the session "
+        "workers and drop their handles first");
+  }
+  if (phase_.load(std::memory_order_acquire) == RecoveryPhase::kServing) {
+    return Status::FailedPrecondition("instant restart already in progress");
+  }
+  if (concurrent_.load()) {
+    return Status::FailedPrecondition(
+        "already in concurrent mode — RecoverInstant() enters it itself");
+  }
+  obs::RecoveryTracer* tracer = recovery_tracer();
+  if (tracer != nullptr) {
+    tracer->BeginRun(std::string(method_->name()) + "+instant");
+  }
+  phase_.store(RecoveryPhase::kAnalyzing, std::memory_order_release);
+  auto fail = [&](const Status& status) {
+    phase_.store(RecoveryPhase::kIdle, std::memory_order_release);
+    if (tracer != nullptr) tracer->EndRun(false, status.ToString());
+    return status;
+  };
+  instant_driver_.reset();  // quiesced here: no sessions, no workers
+  const Status prepared = PrepareLogForRecovery();
+  if (!prepared.ok()) return fail(prepared);
+  Result<methods::RecoveryMethod::InstantAnalysis> analysis = [&] {
+    obs::PhaseScope analysis_phase(tracer, "analysis");
+    methods::EngineContext context = ctx();
+    return method_->AnalyzeForInstantRestart(context);
+  }();
+  if (!analysis.ok()) return fail(analysis.status());
+  const size_t pending_tasks = analysis.value().plan.tasks.size();
+  const size_t multi_page = analysis.value().plan.multi_page_tasks;
+  instant_driver_ = std::make_unique<par::InstantRedoDriver>(
+      &pool_, std::move(analysis.value().plan),
+      std::move(analysis.value().options), &instant_metrics_);
+  const Status begun = BeginConcurrent();
+  if (!begun.ok()) {
+    instant_driver_.reset();
+    return fail(begun);
+  }
+  if (tracer != nullptr) {
+    tracer->Note("instant restart: open for traffic with " +
+                 std::to_string(pending_tasks) + " redo tasks pending (" +
+                 std::to_string(multi_page) + " multi-page)");
+    tracer->BeginPhase("serving-while-redoing");
+    instant_run_open_ = true;
+  }
+  ttfc_recorded_.store(false, std::memory_order_relaxed);
+  serving_since_ = std::chrono::steady_clock::now();
+  phase_.store(RecoveryPhase::kServing, std::memory_order_release);
+  par::InstantRedoDriver* driver = instant_driver_.get();
+  for (size_t i = 0; i < engine_options_.instant_drain_workers; ++i) {
+    drain_threads_.emplace_back([this, driver] {
+      storage::PageId page = 0;
+      while (driver->NextPendingPage(&page)) {
+        // On-demand drains outrank the background sweep: a session is
+        // blocked on its page; this chain can wait a beat.
+        while (drain_urgent_.load(std::memory_order_relaxed) > 0) {
+          std::this_thread::yield();
+        }
+        std::unique_lock<std::shared_mutex> gate(op_gate_);
+        if (!driver->DrainPage(page, /*on_demand=*/false).ok()) break;
+      }
+      // The worker that drains (or observes) the last chain flips the
+      // engine to fully recovered. The tracer is closed later by the
+      // coordinator in WaitUntilRecovered — workers never touch it.
+      if (driver->Done() && driver->first_error().ok()) {
+        RecoveryPhase expected = RecoveryPhase::kServing;
+        phase_.compare_exchange_strong(expected, RecoveryPhase::kRecovered,
+                                       std::memory_order_acq_rel);
+      }
+    });
+  }
+  return Status::Ok();
+}
+
+Status MiniDb::WaitUntilRecovered() {
+  if (instant_driver_ == nullptr) {
+    return Status::FailedPrecondition("no instant restart in progress");
+  }
+  for (std::thread& worker : drain_threads_) worker.join();
+  drain_threads_.clear();
+  Status status = instant_driver_->first_error();
+  if (status.ok() && !instant_driver_->Done()) {
+    status = Status::Unavailable("instant redo aborted before completion");
+  }
+  phase_.store(status.ok() ? RecoveryPhase::kRecovered : RecoveryPhase::kIdle,
+               std::memory_order_release);
+  // The driver itself stays alive until the next Crash()/RecoverInstant()
+  // (both quiesced): a session that read phase == kServing a moment ago
+  // may still be about to consult it, and a live-but-drained driver
+  // answers HasPendingWork() with false where a freed one would race.
+  if (instant_run_open_) {
+    obs::RecoveryTracer* tracer = recovery_tracer();
+    if (tracer != nullptr && tracer->in_run()) {
+      tracer->EndPhase();  // serving-while-redoing
+      tracer->Note("instant drain complete: engine fully recovered");
+      tracer->EndRun(status.ok(), status.ok() ? "ok" : status.ToString());
+    }
+    instant_run_open_ = false;
+  }
+  return status;
+}
+
+Status MiniDb::EnsureRedoneForAccess(storage::PageId page) {
+  if (phase_.load(std::memory_order_acquire) != RecoveryPhase::kServing) {
+    return Status::Ok();
+  }
+  par::InstantRedoDriver* driver = instant_driver_.get();
+  if (driver == nullptr || !driver->HasPendingWork(page)) return Status::Ok();
+  // The drain takes the gate exclusive: replaying a split dst re-arms
+  // its §6.4 write-order constraint, which can cascade a flush onto
+  // pages no latch covers. Callers invoke this BEFORE their shared-gate
+  // acquisition, never while holding the gate. The urgent flag makes
+  // the background workers stand aside while we wait for the gate.
+  drain_urgent_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> gate(op_gate_);
+  drain_urgent_.fetch_sub(1, std::memory_order_relaxed);
+  return driver->DrainPage(page, /*on_demand=*/true);
+}
+
+void MiniDb::RecordFirstCommitDuringServing() {
+  if (phase_.load(std::memory_order_acquire) != RecoveryPhase::kServing) {
+    return;
+  }
+  if (ttfc_recorded_.exchange(true, std::memory_order_acq_rel)) return;
+  const auto elapsed = std::chrono::steady_clock::now() - serving_since_;
+  instant_metrics_.time_to_first_commit_us.store(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+              .count()),
+      std::memory_order_relaxed);
 }
 
 }  // namespace redo::engine

@@ -21,8 +21,11 @@
 #define REDO_ENGINE_MINIDB_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <shared_mutex>
+#include <thread>
+#include <vector>
 
 #include "engine/engine_options.h"
 #include "engine/ops.h"
@@ -30,6 +33,7 @@
 #include "methods/method.h"
 #include "obs/metrics.h"
 #include "obs/recovery_trace.h"
+#include "redo/instant.h"
 #include "redo/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk.h"
@@ -110,8 +114,45 @@ class MiniDb {
   /// Post-crash recovery via the method. With a tracer attached, the
   /// whole run (salvage, refusals, the method's phases) is recorded as
   /// one timeline; nested calls from the degradation ladder join the
-  /// enclosing run.
+  /// enclosing run. Refuses (FailedPrecondition) while Session handles
+  /// are still alive — recovery rebuilds the state they operate on.
   Status Recover();
+
+  // ---- Instant restart (serving-while-redoing) ----
+
+  /// Where the engine stands in the instant-restart state machine.
+  /// Quiescing Recover() also lands on kRecovered when it succeeds.
+  enum class RecoveryPhase : uint8_t {
+    kIdle,       ///< not recovering (fresh, or crashed and not yet recovered)
+    kAnalyzing,  ///< salvage + analysis running; no traffic yet
+    kServing,    ///< open for sessions; redo chains still draining
+    kRecovered,  ///< every chain drained; fully recovered
+  };
+  RecoveryPhase recovery_phase() const {
+    return phase_.load(std::memory_order_acquire);
+  }
+
+  /// Instant restart (requires engine_options().instant_restart): runs
+  /// salvage + the method's analysis, then opens for Session traffic
+  /// immediately — entering concurrent mode itself — while redo drains
+  /// lazily. A session touching page P first drains P's pending chain;
+  /// instant_drain_workers background threads drain the remaining
+  /// chains in write-graph (global LSN) order. Returns once the engine
+  /// is SERVING (phase kServing), not once it is recovered; call
+  /// WaitUntilRecovered() to quiesce into kRecovered, or Crash() to
+  /// tear serving down. Refuses with live sessions, in concurrent mode,
+  /// or when the method/configuration cannot serve while redoing.
+  Status RecoverInstant();
+
+  /// Blocks until the background drain finishes, closes the timeline
+  /// run, and returns the first drain error (Ok on a clean finish).
+  /// The engine stays in concurrent mode, fully recovered.
+  Status WaitUntilRecovered();
+
+  /// Instant-restart counters (registered as the "redo.instant" source).
+  const par::InstantRedoMetrics& instant_redo_metrics() const {
+    return instant_metrics_;
+  }
 
   // ---- The concurrent front end ----
 
@@ -120,8 +161,28 @@ class MiniDb {
   /// EndConcurrent. Each operation latches its page(s); Commit blocks
   /// until the group-commit pipeline has made the operation durable.
   /// A Session is NOT itself thread-safe — one thread per handle.
+  /// Handles are move-only and counted: Recover()/RecoverInstant()
+  /// refuse while any handle is alive, so a stale handle cannot operate
+  /// on state recovery is rebuilding underneath it.
   class Session {
    public:
+    Session(Session&& other) noexcept
+        : db_(other.db_), last_lsn_(other.last_lsn_) {
+      other.db_ = nullptr;
+    }
+    Session& operator=(Session&& other) noexcept {
+      if (this != &other) {
+        Release();
+        db_ = other.db_;
+        last_lsn_ = other.last_lsn_;
+        other.db_ = nullptr;
+      }
+      return *this;
+    }
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+    ~Session() { Release(); }
+
     Result<core::Lsn> WriteSlot(storage::PageId page, uint32_t slot,
                                 int64_t value);
     Result<core::Lsn> Apply(const SinglePageOp& op);
@@ -139,7 +200,15 @@ class MiniDb {
 
    private:
     friend class MiniDb;
-    explicit Session(MiniDb* db) : db_(db) {}
+    explicit Session(MiniDb* db) : db_(db) {
+      db_->live_sessions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void Release() {
+      if (db_ != nullptr) {
+        db_->live_sessions_.fetch_sub(1, std::memory_order_relaxed);
+        db_ = nullptr;
+      }
+    }
     MiniDb* db_;
     core::Lsn last_lsn_ = 0;
   };
@@ -201,6 +270,7 @@ class MiniDb {
   /// the next Recover.
   void set_engine_options(const EngineOptions& options) {
     engine_options_ = options;
+    pool_.set_simulated_read_latency_us(options.simulated_read_latency_us);
   }
   const EngineOptions& engine_options() const { return engine_options_; }
 
@@ -228,6 +298,16 @@ class MiniDb {
 
  private:
   Status RecoverInternal();
+  /// The shared preamble of both recovery paths: salvage the torn log
+  /// tail, then refuse (Corruption) on a mid-log hole.
+  Status PrepareLogForRecovery();
+  /// Serving-while-redoing: drains `page`'s pending redo chain (taking
+  /// the op gate exclusive) before a session or read touches it. A
+  /// no-op outside the kServing phase or when the chain is empty.
+  Status EnsureRedoneForAccess(storage::PageId page);
+  /// Records time-to-first-commit once per restart (first successful
+  /// Session::Commit while serving-while-redoing).
+  void RecordFirstCommitDuringServing();
 
   Result<core::Lsn> SessionApply(const SinglePageOp& op);
   Result<methods::RecoveryMethod::SplitLsns> SessionSplit(const SplitOp& op);
@@ -244,10 +324,35 @@ class MiniDb {
 
   /// The op gate (DESIGN.md §10). Shared: single-page session ops and
   /// reads (which then latch their page). Exclusive: splits (the SMO
-  /// barrier), checkpoints, and background flushes — anything whose
-  /// page footprint is not captured by one latch.
+  /// barrier), checkpoints, background flushes, and instant-restart
+  /// redo drains — anything whose page footprint is not captured by one
+  /// latch.
   std::shared_mutex op_gate_;
   std::atomic<bool> concurrent_{false};
+
+  // ---- Instant restart state (DESIGN.md §11) ----
+  std::atomic<RecoveryPhase> phase_{RecoveryPhase::kIdle};
+  std::unique_ptr<par::InstantRedoDriver> instant_driver_;
+  par::InstantRedoMetrics instant_metrics_;
+  std::vector<std::thread> drain_threads_;
+  /// True while the coordinator holds an open "serving-while-redoing"
+  /// tracer phase; only the coordinator thread reads or writes it.
+  bool instant_run_open_ = false;
+  /// When serving began (written before phase_ is released to kServing;
+  /// session threads read it only after observing kServing).
+  std::chrono::steady_clock::time_point serving_since_{};
+  std::atomic<bool> ttfc_recorded_{false};
+
+  /// Live Session handles (satellite of the Recover() guard).
+  std::atomic<int> live_sessions_{0};
+  /// True only while a quiescing Recover() runs; session op entry
+  /// points hard-stop on it under sanitizers (REDO_SANITIZER_CHECK) to
+  /// catch the racing call site, not just the diagnosed Recover().
+  std::atomic<bool> recovering_{false};
+  /// Count of on-demand drains waiting for the exclusive gate. The
+  /// background drain workers yield while it is non-zero so a session
+  /// blocked on its page never queues behind a full background chain.
+  std::atomic<int> drain_urgent_{0};
 };
 
 }  // namespace redo::engine

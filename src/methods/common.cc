@@ -17,6 +17,13 @@ Result<core::Lsn> RecoveryMethod::FuzzyCheckpoint(EngineContext& ctx) {
                                     " cannot checkpoint fuzzily");
 }
 
+Result<RecoveryMethod::InstantAnalysis> RecoveryMethod::AnalyzeForInstantRestart(
+    EngineContext& ctx) {
+  (void)ctx;
+  return Status::FailedPrecondition(std::string(name()) +
+                                    " does not support instant restart");
+}
+
 namespace internal_methods {
 
 Result<core::Lsn> AppendCheckpointRecord(EngineContext& ctx,
@@ -312,6 +319,13 @@ Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
     stats->page_fetches += local.page_fetches;
   }
   return status;
+}
+
+Result<std::vector<wal::LogRecord>> StableSuffixForRedo(EngineContext& ctx) {
+  Result<core::Lsn> redo_start = ReadRedoScanStart(ctx);
+  if (!redo_start.ok()) return redo_start.status();
+  REDO_RETURN_IF_ERROR(TraceCheckpointChosen(ctx, redo_start.value()));
+  return ctx.log->StableRecords(redo_start.value());
 }
 
 Status ParallelRedoAll(EngineContext& ctx, std::vector<wal::LogRecord> records,

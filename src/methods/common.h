@@ -76,6 +76,12 @@ Status LsnRedoScan(EngineContext& ctx, bool add_split_constraints,
                    const std::map<storage::PageId, core::Lsn>* dpt = nullptr,
                    RecoveryMethod::RedoScanStats* stats = nullptr);
 
+/// The stable-log suffix recovery must consider: decodes the scan start
+/// from the latest stable checkpoint, emits the checkpoint-chosen
+/// timeline event, and reads the stable records from there. Shared by
+/// the methods' AnalyzeForInstantRestart implementations.
+Result<std::vector<wal::LogRecord>> StableSuffixForRedo(EngineContext& ctx);
+
 /// Parallel redo-all apply (§6.1/§6.2 methods) over the already-read
 /// stable records, used when ctx.options.parallel_workers > 1:
 /// partitions pages across workers (src/redo), replays every record,

@@ -123,36 +123,7 @@ class LogicalMethod : public RecoveryMethod {
     obs::PhaseScope phase(ctx.tracer, "redo-scan");
     Result<core::Lsn> redo_start = internal_methods::ReadRedoScanStart(ctx);
     if (!redo_start.ok()) return redo_start.status();
-    // Complete the pointer swing the checkpoint committed: finish the
-    // interrupted copy of any staged page that never reached the main
-    // disk, directly on the disk (not through the cache — the disk must
-    // BE the stable state before redo starts, or a backup taken after
-    // recovery would miss content the checkpoint record promises). A
-    // copy the device still refuses fails the recovery, which the
-    // caller retries. The heal only applies when the staging area
-    // belongs to the chosen checkpoint: after media recovery re-anchors
-    // the log to an OLDER checkpoint, the staging area holds content
-    // from a later epoch and must be ignored (the restore already
-    // rebuilt the disk).
-    Result<internal_methods::StagedCheckpoint> staged =
-        internal_methods::ReadCheckpointStagedPages(ctx);
-    if (!staged.ok()) return staged.status();
-    if (staged.value().record_lsn != 0 &&
-        staged.value().record_lsn == staged_at_lsn_) {
-      for (PageId page : staged.value().pages) {
-        const Page& stage = staging_.PeekPage(page);
-        if (stage.ContentHash() == ctx.disk->PeekPage(page).ContentHash()) {
-          continue;  // the swing's copy reached the disk
-        }
-        Status write = Status::Ok();
-        for (int attempt = 0;
-             attempt < storage::BufferPool::kMaxFlushAttempts; ++attempt) {
-          write = ctx.disk->WritePage(page, stage);
-          if (write.ok() || write.code() != StatusCode::kUnavailable) break;
-        }
-        if (!write.ok()) return write;
-      }
-    }
+    REDO_RETURN_IF_ERROR(HealStagedPages(ctx));
     REDO_RETURN_IF_ERROR(
         internal_methods::TraceCheckpointChosen(ctx, redo_start.value()));
     Result<std::vector<wal::LogRecord>> records =
@@ -210,7 +181,68 @@ class LogicalMethod : public RecoveryMethod {
     return Status::Ok();
   }
 
+  Result<InstantAnalysis> AnalyzeForInstantRestart(EngineContext& ctx) override {
+    // The heal is analysis work: it repairs the *stable* state (disk
+    // from staging), touching no cached page, so it belongs before the
+    // engine opens for traffic.
+    REDO_RETURN_IF_ERROR(HealStagedPages(ctx));
+    Result<std::vector<wal::LogRecord>> records =
+        internal_methods::StableSuffixForRedo(ctx);
+    if (!records.ok()) return records.status();
+    for (const wal::LogRecord& record : records.value()) {
+      if (record.type != wal::RecordType::kCheckpoint &&
+          record.type != wal::RecordType::kLogicalOp &&
+          record.type != wal::RecordType::kPageSplit) {
+        return Status::Corruption("unexpected record type in logical log");
+      }
+    }
+    // whole_splits: one kPageSplit task replays both halves atomically,
+    // exactly like ApplyWholeSplit.
+    Result<par::RedoPlan> plan = par::BuildRedoPlan(std::move(records.value()),
+                                                    /*whole_splits=*/true);
+    if (!plan.ok()) return plan.status();
+    InstantAnalysis analysis;
+    analysis.plan = std::move(plan.value());
+    analysis.options.mode = par::InstantRedoOptions::Mode::kRedoAll;
+    return analysis;
+  }
+
  private:
+  /// Completes the pointer swing the checkpoint committed: finishes the
+  /// interrupted copy of any staged page that never reached the main
+  /// disk, directly on the disk (not through the cache — the disk must
+  /// BE the stable state before redo starts, or a backup taken after
+  /// recovery would miss content the checkpoint record promises). A
+  /// copy the device still refuses fails the recovery, which the
+  /// caller retries. The heal only applies when the staging area
+  /// belongs to the chosen checkpoint: after media recovery re-anchors
+  /// the log to an OLDER checkpoint, the staging area holds content
+  /// from a later epoch and must be ignored (the restore already
+  /// rebuilt the disk).
+  Status HealStagedPages(EngineContext& ctx) {
+    Result<internal_methods::StagedCheckpoint> staged =
+        internal_methods::ReadCheckpointStagedPages(ctx);
+    if (!staged.ok()) return staged.status();
+    if (staged.value().record_lsn == 0 ||
+        staged.value().record_lsn != staged_at_lsn_) {
+      return Status::Ok();
+    }
+    for (PageId page : staged.value().pages) {
+      const Page& stage = staging_.PeekPage(page);
+      if (stage.ContentHash() == ctx.disk->PeekPage(page).ContentHash()) {
+        continue;  // the swing's copy reached the disk
+      }
+      Status write = Status::Ok();
+      for (int attempt = 0; attempt < storage::BufferPool::kMaxFlushAttempts;
+           ++attempt) {
+        write = ctx.disk->WritePage(page, stage);
+        if (write.ok() || write.code() != StatusCode::kUnavailable) break;
+      }
+      if (!write.ok()) return write;
+    }
+    return Status::Ok();
+  }
+
   /// Applies both halves of a split functionally: dst := upper(src),
   /// then src := lower(src). Atomic at the operation level.
   Status ApplyWholeSplit(EngineContext& ctx, const SplitOp& op, core::Lsn lsn) {

@@ -17,6 +17,8 @@
 #include "engine/ops.h"
 #include "engine/trace.h"
 #include "obs/recovery_trace.h"
+#include "redo/instant.h"
+#include "redo/plan.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk.h"
 #include "util/status.h"
@@ -88,6 +90,19 @@ class RecoveryMethod {
   /// Runs crash recovery: rebuilds the cached state from the stable
   /// state and the stable log.
   virtual Status Recover(EngineContext& ctx) = 0;
+
+  /// The analysis prefix of Recover(), for instant restart: everything
+  /// short of touching pages. The caller has already salvaged the log
+  /// tail; the method validates the stable suffix, performs any
+  /// method-specific repair of the stable state (the logical method's
+  /// staging-area heal), and returns the §5 redo plan plus the redo-test
+  /// configuration an InstantRedoDriver needs to replay it lazily.
+  /// Default: FailedPrecondition (method cannot serve while redoing).
+  struct InstantAnalysis {
+    par::RedoPlan plan;
+    par::InstantRedoOptions options;
+  };
+  virtual Result<InstantAnalysis> AnalyzeForInstantRestart(EngineContext& ctx);
 
   /// Classification of the method's redo test, used by the checker to
   /// instantiate the matching formal policy.

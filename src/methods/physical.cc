@@ -107,6 +107,25 @@ class PhysicalMethod : public RecoveryMethod {
     return Status::Ok();
   }
 
+  Result<InstantAnalysis> AnalyzeForInstantRestart(EngineContext& ctx) override {
+    Result<std::vector<wal::LogRecord>> records =
+        internal_methods::StableSuffixForRedo(ctx);
+    if (!records.ok()) return records.status();
+    for (const wal::LogRecord& record : records.value()) {
+      if (record.type != wal::RecordType::kCheckpoint &&
+          record.type != wal::RecordType::kPageImage) {
+        return Status::Corruption("physical log contains a non-image record");
+      }
+    }
+    Result<par::RedoPlan> plan = par::BuildRedoPlan(std::move(records.value()),
+                                                    /*whole_splits=*/false);
+    if (!plan.ok()) return plan.status();
+    InstantAnalysis analysis;
+    analysis.plan = std::move(plan.value());
+    analysis.options.mode = par::InstantRedoOptions::Mode::kRedoAll;
+    return analysis;
+  }
+
  private:
   /// Tags the cached page with the upcoming LSN, logs its full image,
   /// marks it dirty, and traces a blind write.

@@ -120,6 +120,19 @@ class PartialPhysicalMethod : public RecoveryMethod {
 
   RedoScanStats last_scan_stats() const override { return last_stats_; }
 
+  Result<InstantAnalysis> AnalyzeForInstantRestart(EngineContext& ctx) override {
+    Result<std::vector<wal::LogRecord>> records =
+        internal_methods::StableSuffixForRedo(ctx);
+    if (!records.ok()) return records.status();
+    Result<par::RedoPlan> plan = par::BuildRedoPlan(std::move(records.value()),
+                                                    /*whole_splits=*/false);
+    if (!plan.ok()) return plan.status();
+    InstantAnalysis analysis;
+    analysis.plan = std::move(plan.value());
+    analysis.options.mode = par::InstantRedoOptions::Mode::kRedoAll;
+    return analysis;
+  }
+
  private:
   Result<core::Lsn> LogImage(EngineContext& ctx, PageId page_id) {
     Result<Page*> page = ctx.pool->Fetch(page_id);

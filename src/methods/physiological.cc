@@ -110,55 +110,12 @@ class PhysiologicalMethod : public RecoveryMethod {
       return internal_methods::LsnRedoScan(ctx, /*add_split_constraints=*/false,
                                            nullptr, &last_stats_);
     }
-    // Analysis pass (§4.3): start from the checkpoint's DPT and extend
-    // it with every page a post-checkpoint record dirties. The redo scan
-    // then skips installed records without page I/O.
     std::map<storage::PageId, core::Lsn> dpt;
     {
       obs::PhaseScope analysis_phase(ctx.tracer, "analysis");
-      Result<std::map<storage::PageId, core::Lsn>> checkpoint_dpt =
-          internal_methods::ReadCheckpointDpt(ctx);
-      if (!checkpoint_dpt.ok()) return checkpoint_dpt.status();
-      dpt = std::move(checkpoint_dpt).value();
-      Result<std::optional<wal::LogRecord>> checkpoint =
-          ctx.log->LatestStableCheckpoint();
-      if (!checkpoint.ok()) return checkpoint.status();
-      const core::Lsn analysis_from =
-          checkpoint.value().has_value() ? checkpoint.value()->lsn + 1 : 1;
-      Result<std::vector<wal::LogRecord>> tail =
-          ctx.log->StableRecords(analysis_from);
-      if (!tail.ok()) return tail.status();
-      for (const wal::LogRecord& record : tail.value()) {
-        std::vector<storage::PageId> written;
-        switch (record.type) {
-          case wal::RecordType::kCheckpoint:
-            continue;
-          case wal::RecordType::kPageImage: {
-            Result<std::pair<storage::PageId, storage::Page>> decoded =
-                engine::DecodePageImage(record.payload);
-            if (!decoded.ok()) return decoded.status();
-            written.push_back(decoded.value().first);
-            break;
-          }
-          case wal::RecordType::kPageSplit: {
-            Result<engine::SplitOp> split =
-                engine::DecodeSplitOp(record.payload);
-            if (!split.ok()) return split.status();
-            written.push_back(split.value().dst);
-            break;
-          }
-          default: {
-            Result<engine::SinglePageOp> op =
-                engine::DecodeSinglePageOp(record.type, record.payload);
-            if (!op.ok()) return op.status();
-            written.push_back(op.value().page);
-            break;
-          }
-        }
-        for (storage::PageId page : written) {
-          dpt.emplace(page, record.lsn);  // keeps the earliest rec_lsn
-        }
-      }
+      Result<std::map<storage::PageId, core::Lsn>> built = BuildAnalysisDpt(ctx);
+      if (!built.ok()) return built.status();
+      dpt = std::move(built).value();
     }
     return internal_methods::LsnRedoScan(ctx, /*add_split_constraints=*/false,
                                          &dpt, &last_stats_);
@@ -166,7 +123,78 @@ class PhysiologicalMethod : public RecoveryMethod {
 
   RedoScanStats last_scan_stats() const override { return last_stats_; }
 
+  Result<InstantAnalysis> AnalyzeForInstantRestart(EngineContext& ctx) override {
+    InstantAnalysis analysis;
+    analysis.options.mode = par::InstantRedoOptions::Mode::kLsnTest;
+    if (aries_analysis_) {
+      Result<std::map<storage::PageId, core::Lsn>> dpt = BuildAnalysisDpt(ctx);
+      if (!dpt.ok()) return dpt.status();
+      analysis.options.use_dpt = true;
+      analysis.options.dpt = std::move(dpt).value();
+    }
+    Result<std::vector<wal::LogRecord>> records =
+        internal_methods::StableSuffixForRedo(ctx);
+    if (!records.ok()) return records.status();
+    Result<par::RedoPlan> plan = par::BuildRedoPlan(std::move(records.value()),
+                                                    /*whole_splits=*/false);
+    if (!plan.ok()) return plan.status();
+    analysis.plan = std::move(plan.value());
+    return analysis;
+  }
+
  private:
+  /// Analysis pass (§4.3): start from the checkpoint's DPT and extend
+  /// it with every page a post-checkpoint record dirties (emplace keeps
+  /// the earliest rec_lsn). The redo scan then skips installed records
+  /// without page I/O. The caller owns the tracer phase.
+  Result<std::map<storage::PageId, core::Lsn>> BuildAnalysisDpt(
+      EngineContext& ctx) {
+    Result<std::map<storage::PageId, core::Lsn>> checkpoint_dpt =
+        internal_methods::ReadCheckpointDpt(ctx);
+    if (!checkpoint_dpt.ok()) return checkpoint_dpt.status();
+    std::map<storage::PageId, core::Lsn> dpt =
+        std::move(checkpoint_dpt).value();
+    Result<std::optional<wal::LogRecord>> checkpoint =
+        ctx.log->LatestStableCheckpoint();
+    if (!checkpoint.ok()) return checkpoint.status();
+    const core::Lsn analysis_from =
+        checkpoint.value().has_value() ? checkpoint.value()->lsn + 1 : 1;
+    Result<std::vector<wal::LogRecord>> tail =
+        ctx.log->StableRecords(analysis_from);
+    if (!tail.ok()) return tail.status();
+    for (const wal::LogRecord& record : tail.value()) {
+      std::vector<storage::PageId> written;
+      switch (record.type) {
+        case wal::RecordType::kCheckpoint:
+          continue;
+        case wal::RecordType::kPageImage: {
+          Result<std::pair<storage::PageId, storage::Page>> decoded =
+              engine::DecodePageImage(record.payload);
+          if (!decoded.ok()) return decoded.status();
+          written.push_back(decoded.value().first);
+          break;
+        }
+        case wal::RecordType::kPageSplit: {
+          Result<engine::SplitOp> split = engine::DecodeSplitOp(record.payload);
+          if (!split.ok()) return split.status();
+          written.push_back(split.value().dst);
+          break;
+        }
+        default: {
+          Result<engine::SinglePageOp> op =
+              engine::DecodeSinglePageOp(record.type, record.payload);
+          if (!op.ok()) return op.status();
+          written.push_back(op.value().page);
+          break;
+        }
+      }
+      for (storage::PageId page : written) {
+        dpt.emplace(page, record.lsn);  // keeps the earliest rec_lsn
+      }
+    }
+    return dpt;
+  }
+
   const bool aries_analysis_;
   RedoScanStats last_stats_;
 };

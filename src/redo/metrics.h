@@ -5,6 +5,7 @@
 #ifndef REDO_REDO_METRICS_H_
 #define REDO_REDO_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "obs/metrics.h"
@@ -30,6 +31,26 @@ struct ParallelRedoMetrics {
 
   /// Emits every counter (metrics-registry source enumeration).
   void EmitMetrics(obs::MetricEmitter& emit) const;
+};
+
+/// Counters for instant restart (the "redo.instant" source). Atomic,
+/// unlike ParallelRedoMetrics: drains and the registry's emission run
+/// while sessions are live, with no quiescent point to snapshot at.
+struct InstantRedoMetrics {
+  std::atomic<uint64_t> restarts{0};          ///< instant restarts begun
+  std::atomic<uint64_t> pages_on_demand{0};   ///< chains drained by a session fetch
+  std::atomic<uint64_t> pages_background{0};  ///< chains drained by a worker
+  std::atomic<uint64_t> tasks_applied{0};     ///< planned tasks replayed
+  std::atomic<uint64_t> tasks_skipped{0};     ///< redo test said installed
+  /// Wall time from RecoverInstant's return to the first Session commit
+  /// acked while still serving-while-redoing (last restart; 0 if none).
+  std::atomic<uint64_t> time_to_first_commit_us{0};
+
+  /// Emits every counter (metrics-registry source enumeration).
+  void EmitMetrics(obs::MetricEmitter& emit) const;
+
+  /// Zeroes every counter (atomics are not copy-assignable).
+  void Reset();
 };
 
 }  // namespace redo::par

@@ -1,6 +1,8 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace redo::storage {
 
@@ -43,6 +45,11 @@ Result<Page*> BufferPool::Fetch(PageId id) {
   // concurrent sessions' misses must serialize) and eviction (serial-only:
   // concurrent mode runs unbounded).
   std::lock_guard<std::mutex> lock(mu_);
+  if (redo_partitioned_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "buffer pool: frames are split out for redo (merge partitions "
+        "before fetching)");
+  }
   ++stats_.fetches;
   auto it = frames_.find(id);
   if (it != frames_.end()) {
@@ -51,6 +58,11 @@ Result<Page*> BufferPool::Fetch(PageId id) {
     return &it->second.page;
   }
   ++stats_.misses;
+  if (const uint64_t delay_us =
+          simulated_read_latency_us_.load(std::memory_order_relaxed);
+      delay_us != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
   // Read before evicting: if the read fails (bad sector, torn page) a
   // cached — possibly dirty — page must not have been sacrificed for it.
   // The transient overshoot of capacity by one local Page copy is the
@@ -160,6 +172,11 @@ Status BufferPool::FlushFrame(PageId id, Frame* frame) {
 }
 
 Status BufferPool::FlushPage(PageId id) {
+  if (redo_partitioned_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "buffer pool: frames are split out for redo (merge partitions "
+        "before flushing)");
+  }
   auto it = frames_.find(id);
   if (it == frames_.end() || !it->second.dirty) return Status::Ok();
   const std::vector<PageId> blocking = BlockingPages(id);
@@ -180,6 +197,11 @@ Status BufferPool::FlushPageCascading(PageId id) {
   // so hitting one here is a caller bug). A blocking page that is not
   // dirty can never satisfy its constraint (the required version was
   // lost).
+  if (redo_partitioned_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "buffer pool: frames are split out for redo (merge partitions "
+        "before flushing)");
+  }
   std::vector<PageId> on_path;
   std::function<Status(PageId)> flush_rec = [&](PageId page) -> Status {
     if (std::find(on_path.begin(), on_path.end(), page) != on_path.end()) {
@@ -218,6 +240,11 @@ Status BufferPool::FlushPageCascading(PageId id) {
 }
 
 Status BufferPool::FlushAll() {
+  if (redo_partitioned_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "buffer pool: frames are split out for redo (merge partitions "
+        "before flushing)");
+  }
   // Collect ids first: flushing mutates constraint state, not frames_.
   std::vector<PageId> dirty;
   for (const auto& [id, frame] : frames_) {
@@ -257,6 +284,7 @@ bool BufferPool::HasPendingOrderPath(PageId from, PageId to) const {
 void BufferPool::Crash() {
   frames_.clear();
   constraints_.clear();
+  redo_partitioned_.store(false, std::memory_order_relaxed);
 }
 
 void BufferPool::DropPage(PageId id) { frames_.erase(id); }
@@ -289,6 +317,11 @@ std::vector<DirtyPageEntry> BufferPool::DirtyPages() const {
 }
 
 Status BufferPool::EvictOne() {
+  if (redo_partitioned_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "buffer pool: frames are split out for redo (merge partitions "
+        "before evicting)");
+  }
   // Clean-first LRU: the least-recently-used clean page, falling back to
   // the least-recently-used dirty page only when every frame is dirty.
   // The most-recently-used frame is never the victim: callers fetch up
@@ -395,6 +428,7 @@ std::vector<BufferPool::RedoPartition> BufferPool::SplitForRedo(
     partitions[w].frames_.emplace(id, std::move(frame));
   }
   frames_.clear();
+  redo_partitioned_.store(true, std::memory_order_relaxed);
   return partitions;
 }
 
@@ -421,6 +455,7 @@ void BufferPool::MergeRedoPartitions(std::vector<RedoPartition>& partitions) {
     REDO_CHECK(ok) << "page " << id << " cached in two redo partitions";
   }
   for (RedoPartition& partition : partitions) partition.frames_.clear();
+  redo_partitioned_.store(false, std::memory_order_relaxed);
 }
 
 Status BufferPool::ReduceToCapacity() {

@@ -11,6 +11,7 @@
 #ifndef REDO_STORAGE_BUFFER_POOL_H_
 #define REDO_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -187,6 +188,14 @@ class BufferPool {
   void RegisterMetrics(obs::MetricsRegistry& registry,
                        const std::string& prefix = "pool");
 
+  /// Simulated device latency charged on every miss (disk page read).
+  /// 0 (the default) adds no delay. Benchmarks set this to model a real
+  /// page read, so strategies that defer or avoid redo I/O show the
+  /// saving in wall-clock time (mirrors the log's force latency knob).
+  void set_simulated_read_latency_us(uint64_t us) {
+    simulated_read_latency_us_.store(us, std::memory_order_relaxed);
+  }
+
   /// Retry budget for transient (kUnavailable) write failures during a
   /// flush. Bursty fault models should keep their burst length below
   /// this so flushes survive; see FlushFrame.
@@ -314,6 +323,13 @@ class BufferPool {
   /// erased, so PageLatchGuards stay valid across eviction and Crash.
   std::mutex latch_table_mu_;
   std::unordered_map<PageId, std::unique_ptr<std::mutex>> latches_;
+
+  /// True between SplitForRedo and MergeRedoPartitions, while the
+  /// frames live in the partitions. Fetch and the flush/evict paths
+  /// refuse with a diagnosed Status instead of silently serving stale
+  /// disk bytes (or flushing a frame that is not there).
+  std::atomic<bool> redo_partitioned_{false};
+  std::atomic<uint64_t> simulated_read_latency_us_{0};
 };
 
 }  // namespace redo::storage

@@ -71,4 +71,24 @@ class NullMessage {
 #define REDO_CHECK_GT(a, b) REDO_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
 #define REDO_CHECK_GE(a, b) REDO_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
 
+/// True when the build runs under ASan, TSan, or UBSan-with-ASan — the
+/// CI sanitizer jobs. Misuse that production code diagnoses with a
+/// Status (so callers can test the diagnosis) can additionally hard-stop
+/// under sanitizers via REDO_SANITIZER_CHECK, catching the misuse at the
+/// racing call site instead of at the later diagnosed one.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define REDO_SANITIZERS_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define REDO_SANITIZERS_ACTIVE 1
+#endif
+#endif
+
+#ifdef REDO_SANITIZERS_ACTIVE
+#define REDO_SANITIZER_CHECK(condition) REDO_CHECK(condition)
+#else
+#define REDO_SANITIZER_CHECK(condition) \
+  while (false) ::redo::internal_logging::NullMessage()
+#endif
+
 #endif  // REDO_UTIL_LOGGING_H_

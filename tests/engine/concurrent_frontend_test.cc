@@ -183,21 +183,24 @@ TEST_P(ConcurrentFrontendMethodTest, SplitsRunUnderConcurrentWriters) {
     }
   } joiner{writer, stop};
 
-  MiniDb::Session splitter = db->NewSession();
-  ASSERT_TRUE(splitter.WriteSlot(8, 0, 42).ok());
-  for (int i = 0; i < 16; ++i) {
-    Result<methods::RecoveryMethod::SplitLsns> lsns =
-        splitter.Split(MakeSlotTransfer(8, 0, 9, 1));
-    ASSERT_TRUE(lsns.ok());
-    // The logical method logs the whole split as one record (equal
-    // LSNs); every other method logs the destination before the source
-    // rewrite.
-    ASSERT_LE(lsns.value().split_lsn, lsns.value().rewrite_lsn);
-    ASSERT_TRUE(splitter.WriteSlot(8, 0, 42 + i).ok());
+  {
+    // Scoped: Recover() below refuses while any Session handle lives.
+    MiniDb::Session splitter = db->NewSession();
+    ASSERT_TRUE(splitter.WriteSlot(8, 0, 42).ok());
+    for (int i = 0; i < 16; ++i) {
+      Result<methods::RecoveryMethod::SplitLsns> lsns =
+          splitter.Split(MakeSlotTransfer(8, 0, 9, 1));
+      ASSERT_TRUE(lsns.ok());
+      // The logical method logs the whole split as one record (equal
+      // LSNs); every other method logs the destination before the source
+      // rewrite.
+      ASSERT_LE(lsns.value().split_lsn, lsns.value().rewrite_lsn);
+      ASSERT_TRUE(splitter.WriteSlot(8, 0, 42 + i).ok());
+    }
+    ASSERT_TRUE(splitter.Commit().ok());
+    stop.store(true);
+    writer.join();
   }
-  ASSERT_TRUE(splitter.Commit().ok());
-  stop.store(true);
-  writer.join();
 
   ASSERT_TRUE(db->EndConcurrent().ok());
   db->Crash();
@@ -227,9 +230,12 @@ TEST(ConcurrentFrontendTest, FuzzyCheckpointNeedsAnLsnTagMethod) {
 TEST(ConcurrentFrontendTest, FuzzyCheckpointBecomesRealWhenForced) {
   auto db = MakeDb(MethodKind::kPhysiological);
   ASSERT_TRUE(db->BeginConcurrent().ok());
-  MiniDb::Session session = db->NewSession();
-  for (int i = 0; i < 8; ++i) {
-    ASSERT_TRUE(session.WriteSlot(static_cast<PageId>(i), 0, i).ok());
+  {
+    // Scoped: Recover() below refuses while any Session handle lives.
+    MiniDb::Session session = db->NewSession();
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(session.WriteSlot(static_cast<PageId>(i), 0, i).ok());
+    }
   }
 
   Result<core::Lsn> ckpt = db->FuzzyCheckpoint();
@@ -265,8 +271,11 @@ TEST(ConcurrentFrontendTest, CheckpointTakesTheFuzzyPathWhenEnabled) {
   MiniDb db(options,
             methods::MakeMethod(MethodKind::kGeneralized, {kPages}));
   ASSERT_TRUE(db.BeginConcurrent().ok());
-  MiniDb::Session session = db.NewSession();
-  ASSERT_TRUE(session.WriteSlot(0, 0, 7).ok());
+  {
+    // Scoped: Recover() below refuses while any Session handle lives.
+    MiniDb::Session session = db.NewSession();
+    ASSERT_TRUE(session.WriteSlot(0, 0, 7).ok());
+  }
 
   const uint64_t forces_before = db.log().stats().forces;
   ASSERT_TRUE(db.Checkpoint().ok());
@@ -289,15 +298,18 @@ TEST(ConcurrentFrontendTest, CheckpointTakesTheFuzzyPathWhenEnabled) {
 TEST(ConcurrentFrontendTest, FreezeCommitsModelsTheCrashBoundary) {
   auto db = MakeDb(MethodKind::kPhysiological);
   ASSERT_TRUE(db->BeginConcurrent().ok());
-  MiniDb::Session session = db->NewSession();
-  ASSERT_TRUE(session.WriteSlot(0, 0, 1).ok());
-  ASSERT_TRUE(session.Commit().ok());
-  ASSERT_TRUE(session.WriteSlot(0, 1, 2).ok());
+  {
+    // Scoped: Recover() below refuses while any Session handle lives.
+    MiniDb::Session session = db->NewSession();
+    ASSERT_TRUE(session.WriteSlot(0, 0, 1).ok());
+    ASSERT_TRUE(session.Commit().ok());
+    ASSERT_TRUE(session.WriteSlot(0, 1, 2).ok());
 
-  db->FreezeCommits();
-  Result<core::Lsn> refused = session.Commit();
-  ASSERT_FALSE(refused.ok());
-  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+    db->FreezeCommits();
+    Result<core::Lsn> refused = session.Commit();
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  }
 
   db->Crash();
   EXPECT_FALSE(db->concurrent());
@@ -305,6 +317,90 @@ TEST(ConcurrentFrontendTest, FreezeCommitsModelsTheCrashBoundary) {
   // The acked write survives; the refused one vanished with the tail.
   EXPECT_EQ(db->ReadSlot(0, 0).value(), 1);
   EXPECT_EQ(db->ReadSlot(0, 1).value(), 0);
+}
+
+// Recover() must refuse — with a diagnosed Status, not a data race —
+// while any Session handle is live: a session thread could be between
+// its phase check and its gate acquisition, and recovery swapping state
+// under it is exactly the use-after-free this guard exists to prevent.
+// Handles are move-only; moving transfers the liveness, destruction
+// releases it.
+TEST(ConcurrentFrontendTest, RecoverRefusesWhileSessionHandlesLive) {
+  auto db = MakeDb(MethodKind::kPhysiological);
+  ASSERT_TRUE(db->BeginConcurrent().ok());
+  {
+    MiniDb::Session session = db->NewSession();
+    ASSERT_TRUE(session.WriteSlot(0, 0, 1).ok());
+    ASSERT_TRUE(session.Commit().ok());
+    ASSERT_TRUE(db->EndConcurrent().ok());
+    db->Crash();
+
+    Status refused = db->Recover();
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+
+    // A moved-to handle keeps the session live; the moved-from shell
+    // does not double-release when both go out of scope.
+    MiniDb::Session moved = std::move(session);
+    EXPECT_FALSE(db->Recover().ok());
+  }
+  // All handles released: recovery proceeds.
+  ASSERT_TRUE(db->Recover().ok());
+  EXPECT_EQ(db->ReadSlot(0, 0).value(), 1);
+}
+
+// Satellite audit: the fuzzy checkpoint snapshots the dirty-page table
+// and appends its record atomically under the exclusive gate, while the
+// group-commit window keeps commits in flight around it. The hole this
+// pins against: a write whose record is in the pipeline at snapshot
+// time, whose page is missing from the snapshot DPT, and whose LSN is
+// below the checkpoint's redo point — recovery starting at that
+// checkpoint would silently skip it. Because every apply happens under
+// the page latch BEFORE its commit is acked and the snapshot+append are
+// gate-exclusive, no interleaving can produce that hole; this test
+// hammers the race and verifies every acked commit survives.
+TEST(ConcurrentFrontendTest, FuzzyDptSnapshotCoversGroupCommitWindow) {
+  MiniDbOptions options;
+  options.num_pages = kPages;
+  options.cache_capacity = 0;
+  options.engine.fuzzy_checkpoints = true;
+  options.engine.group_commit_window_us = 200;  // keep a wide in-flight window
+  MiniDb db(options, methods::MakeMethod(MethodKind::kPhysiological, {kPages}));
+  ASSERT_TRUE(db.BeginConcurrent().ok());
+
+  constexpr int kRounds = 64;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> checkpoints{0};
+  std::thread checkpointer([&db, &stop, &checkpoints] {
+    while (!stop.load()) {
+      Result<core::Lsn> ckpt = db.FuzzyCheckpoint();
+      ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+      checkpoints.fetch_add(1);
+    }
+  });
+  {
+    MiniDb::Session session = db.NewSession();
+    for (int i = 0; i < kRounds; ++i) {
+      const PageId page = static_cast<PageId>(i % 4);
+      ASSERT_TRUE(session.WriteSlot(page, 0, i).ok());
+      Result<core::Lsn> acked = session.Commit();
+      ASSERT_TRUE(acked.ok());
+    }
+  }
+  stop.store(true);
+  checkpointer.join();
+  EXPECT_GT(checkpoints.load(), 0u);
+  ASSERT_TRUE(db.EndConcurrent().ok());
+
+  db.Crash();
+  ASSERT_TRUE(db.Recover().ok());
+  // Every page's last acked write survives no matter how many fuzzy
+  // checkpoints raced the pipeline.
+  for (int p = 0; p < 4; ++p) {
+    Result<int64_t> got = db.ReadSlot(static_cast<PageId>(p), 0);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), kRounds - 4 + p) << "page " << p;
+  }
 }
 
 }  // namespace

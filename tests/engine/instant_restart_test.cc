@@ -1,0 +1,341 @@
+// Instant restart (DESIGN.md §11): RecoverInstant() opens the engine
+// for Session traffic right after analysis; touching a page drains its
+// pending redo chain on demand while background workers sweep the rest
+// in write-graph order. These tests pin the API contracts, the
+// equivalence with the quiescing Recover() for every method, and the
+// races the design must survive (readers vs the background drain, a
+// second crash mid-drain). The interleaving-heavy oracles live in the
+// concurrent simulator's instant mode.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/minidb.h"
+#include "engine/ops.h"
+#include "util/rng.h"
+
+namespace redo::engine {
+namespace {
+
+using methods::MethodKind;
+using storage::PageId;
+
+constexpr size_t kPages = 24;
+constexpr uint32_t kSlots = 4;
+
+constexpr MethodKind kAllKinds[] = {
+    MethodKind::kLogical,        MethodKind::kPhysical,
+    MethodKind::kPhysiological,  MethodKind::kGeneralized,
+    MethodKind::kPhysiologicalAnalysis, MethodKind::kPhysicalPartial,
+};
+
+EngineOptions InstantEngine(size_t workers) {
+  EngineOptions engine;
+  engine.instant_restart = true;
+  engine.instant_drain_workers = workers;
+  engine.group_commit_window_us = 5;
+  return engine;
+}
+
+std::unique_ptr<MiniDb> MakeDb(MethodKind kind, const EngineOptions& engine) {
+  MiniDbOptions options;
+  options.num_pages = kPages;
+  options.cache_capacity = 0;
+  options.engine = engine;
+  return std::make_unique<MiniDb>(options, methods::MakeMethod(kind, {kPages}));
+}
+
+// Deterministic serial workload: slot writes with a sprinkle of slot
+// transfers so the redo plan has multi-page records bridging chains.
+void RunWorkload(MiniDb& db, uint64_t seed, size_t ops) {
+  Rng rng(seed);
+  for (size_t i = 0; i < ops; ++i) {
+    const PageId page = static_cast<PageId>(rng.Below(kPages));
+    if (rng.Below(100) < 6) {
+      PageId dst = static_cast<PageId>(rng.Below(kPages));
+      if (dst == page) dst = static_cast<PageId>((dst + 1) % kPages);
+      ASSERT_TRUE(db.Split(MakeSlotTransfer(page, 0, dst, 1)).ok());
+    } else {
+      const uint32_t slot = static_cast<uint32_t>(rng.Below(kSlots));
+      ASSERT_TRUE(
+          db.WriteSlot(page, slot, static_cast<int64_t>(i + 1)).ok());
+    }
+  }
+}
+
+std::vector<storage::Page> SnapshotDisk(MiniDb& db) {
+  std::vector<storage::Page> pages;
+  pages.reserve(kPages);
+  for (PageId p = 0; p < kPages; ++p) pages.push_back(db.disk().PeekPage(p));
+  return pages;
+}
+
+void RestoreCrashState(MiniDb& db, const std::vector<storage::Page>& disk) {
+  db.Crash();
+  for (PageId p = 0; p < kPages; ++p) db.disk().RepairPage(p, disk[p]);
+}
+
+std::vector<int64_t> SlotSnapshot(MiniDb& db) {
+  std::vector<int64_t> values;
+  values.reserve(kPages * kSlots);
+  for (PageId p = 0; p < kPages; ++p) {
+    for (uint32_t s = 0; s < kSlots; ++s) {
+      Result<int64_t> got = db.ReadSlot(p, s);
+      EXPECT_TRUE(got.ok()) << got.status().ToString();
+      values.push_back(got.ok() ? got.value() : -1);
+    }
+  }
+  return values;
+}
+
+// Crash a warmed-up engine and return the crash-time disk image, so a
+// test can recover the identical state as many times as it likes.
+std::vector<storage::Page> BuildCrashState(MiniDb& db, uint64_t seed,
+                                           size_t ops) {
+  RunWorkload(db, seed, ops);
+  EXPECT_TRUE(db.log().ForceAll().ok());
+  db.Crash();
+  return SnapshotDisk(db);
+}
+
+TEST(InstantRestartGuardsTest, RecoverInstantRequiresTheOptIn) {
+  auto db = MakeDb(MethodKind::kPhysical, EngineOptions{});
+  const Status refused = db->RecoverInstant();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InstantRestartGuardsTest, ValidateRejectsZeroDrainWorkers) {
+  MiniDbOptions options;
+  options.engine.instant_restart = true;
+  options.engine.instant_drain_workers = 0;
+  const Status invalid = options.Validate();
+  ASSERT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InstantRestartGuardsTest, WaitWithoutInstantRecoveryFails) {
+  auto db = MakeDb(MethodKind::kPhysical, InstantEngine(1));
+  const Status refused = db->WaitUntilRecovered();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InstantRestartGuardsTest, CheckpointsRefusedWhileServing) {
+  auto db = MakeDb(MethodKind::kPhysiological, InstantEngine(1));
+  const std::vector<storage::Page> crash_disk =
+      BuildCrashState(*db, /*seed=*/11, /*ops=*/2000);
+  RestoreCrashState(*db, crash_disk);
+  ASSERT_TRUE(db->RecoverInstant().ok());
+  // A checkpoint taken now would advance the redo point past chains
+  // that have not replayed yet. The refusal is only observable while
+  // the drain is still running; if the background worker already won,
+  // the guard is vacuously satisfied.
+  if (db->recovery_phase() == MiniDb::RecoveryPhase::kServing) {
+    const Status ckpt = db->Checkpoint();
+    if (!ckpt.ok()) {
+      EXPECT_EQ(ckpt.code(), StatusCode::kFailedPrecondition);
+    }
+    const Result<core::Lsn> fuzzy = db->FuzzyCheckpoint();
+    if (!fuzzy.ok()) {
+      EXPECT_EQ(fuzzy.status().code(), StatusCode::kFailedPrecondition);
+    }
+  }
+  ASSERT_TRUE(db->WaitUntilRecovered().ok());
+  ASSERT_TRUE(db->EndConcurrent().ok());
+}
+
+class InstantRestartMethodTest : public ::testing::TestWithParam<MethodKind> {};
+
+// The heart of the tentpole: for every method, serving-while-redoing
+// must land on exactly the state the quiescing Recover() produces from
+// the same crash disk. §5's claim — any linear extension of the write
+// graph is a correct redo order — is what makes the on-demand +
+// background interleaving legal.
+TEST_P(InstantRestartMethodTest, InstantEqualsOfflineRecovery) {
+  auto db = MakeDb(GetParam(), InstantEngine(2));
+  const std::vector<storage::Page> crash_disk =
+      BuildCrashState(*db, /*seed=*/7, /*ops=*/600);
+
+  ASSERT_TRUE(db->Recover().ok());
+  EXPECT_EQ(db->recovery_phase(), MiniDb::RecoveryPhase::kRecovered);
+  const std::vector<int64_t> expected = SlotSnapshot(*db);
+
+  RestoreCrashState(*db, crash_disk);
+  ASSERT_TRUE(db->RecoverInstant().ok());
+  ASSERT_TRUE(db->WaitUntilRecovered().ok());
+  EXPECT_EQ(db->recovery_phase(), MiniDb::RecoveryPhase::kRecovered);
+  ASSERT_TRUE(db->EndConcurrent().ok());
+  EXPECT_EQ(SlotSnapshot(*db), expected);
+  EXPECT_GE(db->instant_redo_metrics().restarts.load(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, InstantRestartMethodTest,
+                         ::testing::ValuesIn(kAllKinds));
+
+// A session read issued the moment the engine opens must see the fully
+// recovered value for that page — the on-demand drain runs before the
+// read no matter how far the background sweep has gotten.
+TEST(InstantRestartTest, OnDemandDrainServesReadsDuringRecovery) {
+  auto db = MakeDb(MethodKind::kPhysical, InstantEngine(1));
+  const std::vector<storage::Page> crash_disk =
+      BuildCrashState(*db, /*seed=*/13, /*ops=*/1500);
+
+  ASSERT_TRUE(db->Recover().ok());
+  const std::vector<int64_t> expected = SlotSnapshot(*db);
+
+  RestoreCrashState(*db, crash_disk);
+  ASSERT_TRUE(db->RecoverInstant().ok());
+  {
+    MiniDb::Session session = db->NewSession();
+    for (PageId p = 0; p < kPages; ++p) {
+      for (uint32_t s = 0; s < kSlots; ++s) {
+        Result<int64_t> got = session.ReadSlot(p, s);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_EQ(got.value(), expected[p * kSlots + s])
+            << "page " << p << " slot " << s;
+      }
+    }
+  }
+  ASSERT_TRUE(db->WaitUntilRecovered().ok());
+  ASSERT_TRUE(db->EndConcurrent().ok());
+  const auto& metrics = db->instant_redo_metrics();
+  EXPECT_GT(metrics.tasks_applied.load() + metrics.tasks_skipped.load(), 0u);
+}
+
+// Session writes committed while redo is still draining are durable
+// across the NEXT crash — serving-while-redoing hands out real commits,
+// not provisional ones.
+TEST(InstantRestartTest, WritesDuringServingSurviveTheNextCrash) {
+  auto db = MakeDb(MethodKind::kPhysical, InstantEngine(1));
+  const std::vector<storage::Page> crash_disk =
+      BuildCrashState(*db, /*seed=*/17, /*ops=*/1000);
+  RestoreCrashState(*db, crash_disk);
+
+  ASSERT_TRUE(db->RecoverInstant().ok());
+  {
+    MiniDb::Session session = db->NewSession();
+    for (PageId p = 0; p < kPages; ++p) {
+      ASSERT_TRUE(session.WriteSlot(p, 3, 7000 + p).ok());
+    }
+    ASSERT_TRUE(session.Commit().ok());
+  }
+  ASSERT_TRUE(db->WaitUntilRecovered().ok());
+  ASSERT_TRUE(db->EndConcurrent().ok());
+
+  db->Crash();
+  ASSERT_TRUE(db->Recover().ok());
+  for (PageId p = 0; p < kPages; ++p) {
+    Result<int64_t> got = db->ReadSlot(p, 3);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), 7000 + p) << "page " << p;
+  }
+}
+
+// The TSan target: reader threads hammer every page through Sessions
+// while two background workers drain chains under the exclusive gate.
+// Every read must return the recovered value; nothing may race.
+TEST(InstantRestartTest, ReadersRaceTheBackgroundDrain) {
+  auto db = MakeDb(MethodKind::kPhysiological, InstantEngine(2));
+  const std::vector<storage::Page> crash_disk =
+      BuildCrashState(*db, /*seed=*/19, /*ops=*/1500);
+
+  ASSERT_TRUE(db->Recover().ok());
+  const std::vector<int64_t> expected = SlotSnapshot(*db);
+
+  RestoreCrashState(*db, crash_disk);
+  ASSERT_TRUE(db->RecoverInstant().ok());
+  constexpr size_t kReaders = 4;
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&db, &expected, t] {
+      MiniDb::Session session = db->NewSession();
+      // Each reader starts at a different page so on-demand drains and
+      // the background sweep collide from several directions at once.
+      for (size_t i = 0; i < kPages; ++i) {
+        const PageId p = static_cast<PageId>((t * 7 + i) % kPages);
+        for (uint32_t s = 0; s < kSlots; ++s) {
+          Result<int64_t> got = session.ReadSlot(p, s);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          EXPECT_EQ(got.value(), expected[p * kSlots + s])
+              << "page " << p << " slot " << s;
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  ASSERT_TRUE(db->WaitUntilRecovered().ok());
+  ASSERT_TRUE(db->EndConcurrent().ok());
+  EXPECT_EQ(SlotSnapshot(*db), expected);
+}
+
+// Crashing mid-drain (before any traffic) must leave a state the
+// quiescing Recover() brings back to exactly the offline answer; a
+// commit acked during a later serving window must survive a crash that
+// strikes while redo is STILL draining (the double crash).
+TEST(InstantRestartTest, CrashDuringServingRecoversCleanly) {
+  auto db = MakeDb(MethodKind::kPhysical, InstantEngine(1));
+  const std::vector<storage::Page> crash_disk =
+      BuildCrashState(*db, /*seed=*/23, /*ops=*/1200);
+
+  ASSERT_TRUE(db->Recover().ok());
+  const std::vector<int64_t> expected = SlotSnapshot(*db);
+
+  // Crash between analysis and the first fetch: no traffic, no acks —
+  // recovery owes exactly the offline state.
+  RestoreCrashState(*db, crash_disk);
+  ASSERT_TRUE(db->RecoverInstant().ok());
+  db->Crash();
+  ASSERT_TRUE(db->Recover().ok());
+  EXPECT_EQ(SlotSnapshot(*db), expected);
+
+  // Double crash mid-drain with an acked commit in the window: the ack
+  // is a promise the second recovery must keep.
+  RestoreCrashState(*db, crash_disk);
+  ASSERT_TRUE(db->RecoverInstant().ok());
+  {
+    MiniDb::Session session = db->NewSession();
+    ASSERT_TRUE(session.WriteSlot(2, 3, 424242).ok());
+    ASSERT_TRUE(session.Commit().ok());
+  }
+  db->Crash();
+  ASSERT_TRUE(db->Recover().ok());
+  Result<int64_t> got = db->ReadSlot(2, 3);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), 424242);
+}
+
+// The redo.instant source feeds the engine's unified registry: a
+// restart that served a commit during the drain records a non-zero
+// time-to-first-commit.
+TEST(InstantRestartTest, TimeToFirstCommitMetricIsRecorded) {
+  auto db = MakeDb(MethodKind::kPhysical, InstantEngine(1));
+  const std::vector<storage::Page> crash_disk =
+      BuildCrashState(*db, /*seed=*/29, /*ops=*/1500);
+  RestoreCrashState(*db, crash_disk);
+
+  ASSERT_TRUE(db->RecoverInstant().ok());
+  bool committed_while_serving = false;
+  {
+    MiniDb::Session session = db->NewSession();
+    ASSERT_TRUE(session.WriteSlot(0, 0, 1).ok());
+    ASSERT_TRUE(session.Commit().ok());
+    // The phase only moves forward: still kServing AFTER the ack means
+    // the ack itself landed during serving and must have been timed.
+    committed_while_serving =
+        db->recovery_phase() == MiniDb::RecoveryPhase::kServing;
+  }
+  ASSERT_TRUE(db->WaitUntilRecovered().ok());
+  ASSERT_TRUE(db->EndConcurrent().ok());
+  EXPECT_EQ(db->instant_redo_metrics().restarts.load(), 1u);
+  if (committed_while_serving) {
+    EXPECT_GT(db->instant_redo_metrics().time_to_first_commit_us.load(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace redo::engine

@@ -376,6 +376,49 @@ TEST(BufferPoolTest, RedoPartitionRoundTripPreservesFramesAndStats) {
   EXPECT_EQ(disk.PeekPage(2).ReadSlot(0), 44);
 }
 
+// While frames are split out for redo, the pool must refuse — with a
+// diagnosed Status, not silent staleness — every entry point that could
+// touch a frame now living in a partition. Instant restart leans on
+// this: a stray fetch or background flush during a partitioned redo
+// pass would read a page that is mid-replay.
+TEST(BufferPoolTest, SplitForRedoRefusesPoolAccessUntilMerged) {
+  Disk disk(8);
+  BufferPool pool(&disk, 4);
+  Page* p = pool.Fetch(0).value();
+  p->WriteSlot(0, 1);
+  ASSERT_TRUE(pool.MarkDirty(0, 2).ok());
+  (void)pool.Fetch(1).value();
+
+  std::mutex disk_mutex;
+  std::vector<BufferPool::RedoPartition> parts =
+      pool.SplitForRedo(1, [](PageId) { return 0u; }, &disk_mutex);
+
+  EXPECT_EQ(pool.Fetch(0).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pool.FlushPage(0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pool.FlushPageCascading(0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pool.FlushAll().code(), StatusCode::kFailedPrecondition);
+
+  // Merging restores normal service with the frames intact.
+  pool.MergeRedoPartitions(parts);
+  EXPECT_TRUE(pool.Fetch(0).ok());
+  EXPECT_TRUE(pool.FlushAll().ok());
+}
+
+// The crash path must also clear the partitioned flag: a recovery that
+// dies mid-pass may not leave the pool permanently refusing service.
+TEST(BufferPoolTest, CrashClearsTheRedoPartitionedFlag) {
+  Disk disk(4);
+  BufferPool pool(&disk, 2);
+  (void)pool.Fetch(0).value();
+  std::mutex disk_mutex;
+  std::vector<BufferPool::RedoPartition> parts =
+      pool.SplitForRedo(1, [](PageId) { return 0u; }, &disk_mutex);
+  EXPECT_FALSE(pool.Fetch(0).ok());
+  pool.Crash();
+  EXPECT_TRUE(pool.Fetch(0).ok());
+}
+
 TEST(BufferPoolTest, ReduceToCapacityEvictsBackDown) {
   Disk disk(8);
   BufferPool pool(&disk, 2);
